@@ -1,0 +1,674 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md §4 for the experiment index) plus the
+   ablations, and hosts one Bechamel Test per table/figure family
+   (subcommand [micro]).
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe table1          # one artifact
+     dune exec bench/main.exe fig5 --full     # paper-scale histograms
+
+   Absolute numbers are simulator-bound (OCaml, 63-lane bitslicing); the
+   claims under reproduction are the *relative* shapes.  EXPERIMENTS.md
+   records paper-vs-measured for each artifact. *)
+
+module F = Ctg_falcon
+module Sig = Ctg_samplers.Sampler_sig
+module Bs = Ctg_prng.Bitstream
+
+let printf = Format.printf
+let line () = printf "%s@." (String.make 72 '-')
+
+let section name =
+  printf "@.%s@.== %s ==@.%s@." (String.make 72 '=') name (String.make 72 '=')
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ns per call, robust to a noisy shared machine: time [rounds] windows
+   of [min_time] each and keep the fastest window — contention can only
+   inflate a window, never deflate it, so the minimum tracks the true
+   cost. *)
+let ns_per_call ?(min_time = 0.25) ?(rounds = 5) f =
+  ignore (f ());
+  let window () =
+    let t0 = Unix.gettimeofday () in
+    let calls = ref 0 in
+    let elapsed = ref 0.0 in
+    while !elapsed < min_time do
+      f ();
+      incr calls;
+      elapsed := Unix.gettimeofday () -. t0
+    done;
+    !elapsed *. 1e9 /. float_of_int !calls
+  in
+  let best = ref (window ()) in
+  for _ = 2 to rounds do
+    let w = window () in
+    if w < !best then best := w
+  done;
+  !best
+
+let fresh_rng tag = Bs.of_chacha (Ctg_prng.Chacha20.of_seed ("bench-" ^ tag))
+
+(* -------------------------------------------------------------------- *)
+(* Shared, lazily-built artifacts                                        *)
+(* -------------------------------------------------------------------- *)
+
+let falcon_precision = 128
+let tail_cut = 13
+
+let enum_sigma2 =
+  lazy
+    (Ctg_kyao.Leaf_enum.enumerate
+       (Ctg_kyao.Matrix.create ~sigma:"2" ~precision:falcon_precision ~tail_cut))
+
+let enum_sigma6 =
+  lazy
+    (Ctg_kyao.Leaf_enum.enumerate
+       (Ctg_kyao.Matrix.create ~sigma:"6.15543" ~precision:falcon_precision
+          ~tail_cut))
+
+let bitsliced_sigma2 = lazy (Ctgauss.Sampler.of_enum (Lazy.force enum_sigma2))
+
+let cdt_table_sigma2 =
+  lazy
+    (Ctg_samplers.Cdt_table.of_matrix
+       (Lazy.force enum_sigma2).Ctg_kyao.Leaf_enum.matrix)
+
+let keypair_cache : (int, F.Keygen.keypair) Hashtbl.t = Hashtbl.create 3
+
+let keypair params =
+  let n = params.F.Params.n in
+  match Hashtbl.find_opt keypair_cache n with
+  | Some kp -> kp
+  | None ->
+    let kp, dt =
+      time_once (fun () -> F.Keygen.generate params (fresh_rng "keygen"))
+    in
+    printf "  [keygen %s: %.1fs, %d draw(s), NTRU eq %b]@." (F.Params.name params)
+      dt kp.F.Keygen.attempts
+      (F.Keygen.check_ntru_equation kp);
+    Hashtbl.replace keypair_cache n kp;
+    kp
+
+(* The four Table-1 samplers, freshly instantiated. *)
+let table1_samplers () =
+  let table = Lazy.force cdt_table_sigma2 in
+  [
+    ("byte-scan CDT", `NonCt, Ctg_samplers.Cdt_samplers.byte_scan table);
+    ("CDT", `NonCt, Ctg_samplers.Cdt_samplers.binary_search table);
+    ("linear-search CDT", `Ct, Ctg_samplers.Cdt_samplers.linear_ct table);
+    ("this work", `Ct, Sig.of_bitsliced (Lazy.force bitsliced_sigma2));
+  ]
+
+(* -------------------------------------------------------------------- *)
+(* Table 1: Falcon signing throughput under the four base samplers       *)
+(* -------------------------------------------------------------------- *)
+
+let paper_table1 =
+  (* signs/sec on the authors' i7-6600U: byte-scan, CDT, linear, ours. *)
+  [ (256, [ 10327.; 8041.; 6080.; 7025. ]);
+    (512, [ 5220.; 4064.; 3027.; 3527. ]);
+    (1024, [ 2640.; 2014.; 1519.; 1754. ]) ]
+
+let signs_per_sec kp inst ~min_time =
+  let base = F.Base_sampler.of_instance inst in
+  let rng = fresh_rng ("table1-" ^ inst.Sig.name) in
+  let counter = ref 0 in
+  let sign () =
+    incr counter;
+    let msg = Bytes.of_string (Printf.sprintf "table1 message %d" !counter) in
+    ignore (F.Sign.sign kp base rng ~msg)
+  in
+  1e9 /. ns_per_call ~min_time sign
+
+let cmd_table1 ?(min_time = 0.4) () =
+  section "Table 1: Falcon-sign throughput, four base samplers";
+  printf "paper reference in parentheses; ratios vs byte-scan in brackets@.@.";
+  printf "%-22s %14s %14s %14s %14s@." "" "byte-scan CDT" "CDT"
+    "linear CDT(ct)" "this work(ct)";
+  List.iter
+    (fun params ->
+      let kp = keypair params in
+      let rates =
+        List.map
+          (fun (_, _, inst) -> signs_per_sec kp inst ~min_time)
+          (table1_samplers ())
+      in
+      let paper = List.assoc params.F.Params.n paper_table1 in
+      let base_rate = List.nth rates 0 in
+      let base_paper = List.nth paper 0 in
+      printf "%-22s" (F.Params.name params);
+      List.iter2
+        (fun r p -> printf " %6.0f (%6.0f)" r p)
+        rates paper;
+      printf "@.%-22s" "  ratio vs byte-scan";
+      List.iter2
+        (fun r p ->
+          printf " [%4.2f] ((%4.2f))" (r /. base_rate) (p /. base_paper))
+        rates paper;
+      printf "@.")
+    F.Params.all;
+  printf
+    "@.shape: the linear-search CT penalty (the paper's worst case) comes@.";
+  printf "through strongly; byte-scan vs CDT vs this work is compressed@.";
+  printf "because the interpreted ffSampling fixed cost is a larger share@.";
+  printf "here than in the authors' C code — see EXPERIMENTS.md (T1).@."
+
+(* -------------------------------------------------------------------- *)
+(* Table 2: sampler kernel, ours vs simple minimization                  *)
+(* -------------------------------------------------------------------- *)
+
+let batch_kernel program =
+  (* PRNG excluded, exactly like the paper's Table 2 footnote: inputs are
+     pre-drawn, we time only the bitsliced evaluation of one batch. *)
+  let scratch = Ctgauss.Bitslice.scratch program in
+  let rng = fresh_rng "table2" in
+  let inputs =
+    Array.init program.Ctgauss.Gate.num_vars (fun _ -> Bs.next_word rng)
+  in
+  fun () -> Ctgauss.Bitslice.eval program scratch ~inputs
+
+let cmd_table2 () =
+  section "Table 2: constant-time sampler, this work vs simple minimization";
+  printf
+    "per-batch kernel time (63 samples, PRNG excluded as in the paper);@.";
+  printf "pseudo-cycles = ns x 2.6 (the paper's 2.6 GHz i7-6600U)@.@.";
+  let paper = [ ("2", 3787., 2293.); ("6.15543", 11136., 9880.) ] in
+  printf "%-10s %28s %28s %12s@." "sigma" "simple [21]" "this work" "improvement";
+  List.iter
+    (fun (sigma, enum) ->
+      let enum = Lazy.force enum in
+      let options = { Ctgauss.Compile.default_options with with_valid = false } in
+      let ours = Ctgauss.Compile.compile ~options (Ctgauss.Sublist.build enum) in
+      let simple = Ctgauss.Compile_simple.compile ~with_valid:false enum in
+      let t_ours = ns_per_call (batch_kernel ours) in
+      let t_simple = ns_per_call (batch_kernel simple) in
+      let impr = 100. *. (1. -. (t_ours /. t_simple)) in
+      let paper_simple, paper_ours, paper_impr =
+        match List.find_opt (fun (s, _, _) -> s = sigma) paper with
+        | Some (_, s, o) -> (s, o, 100. *. (1. -. (o /. s)))
+        | None -> (nan, nan, nan)
+      in
+      printf "%-10s %7.0f ns %5d gates %7.0f ns %5d gates %9.1f%%@." sigma
+        t_simple
+        (Ctgauss.Gate.gate_count simple)
+        t_ours
+        (Ctgauss.Gate.gate_count ours)
+        impr;
+      printf "%-10s %10.0f pseudo-cycles %12.0f pseudo-cycles@." ""
+        (t_simple *. 2.6) (t_ours *. 2.6);
+      printf "%-10s %10.0f paper-cycles %13.0f paper-cycles %8.1f%% (paper)@.@."
+        "" paper_simple paper_ours paper_impr)
+    [ ("2", enum_sigma2); ("6.15543", enum_sigma6) ]
+
+(* -------------------------------------------------------------------- *)
+(* Figures                                                               *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_fig1 () =
+  section "Fig. 1: probability matrix and DDG tree (sigma=2, n=6)";
+  let gt = Ctg_fixed.Gaussian_table.create ~sigma:"2" ~precision:6 ~tail_cut in
+  printf "%a@." Ctg_fixed.Gaussian_table.pp_matrix gt;
+  let m = Ctg_kyao.Matrix.of_table gt in
+  printf "DDG tree (root at left; * = unresolved residual):@.";
+  printf "%a@." Ctg_kyao.Ddg_tree.pp (Ctg_kyao.Ddg_tree.build m)
+
+let cmd_fig2 () =
+  section "Fig. 2: random bits -> sample bits as Boolean functions (sigma=2, n=6)";
+  let m = Ctg_kyao.Matrix.create ~sigma:"2" ~precision:6 ~tail_cut in
+  let enum = Ctg_kyao.Leaf_enum.enumerate m in
+  printf "leaf mapping (b_0 rightmost, x = don't care):@.%a@."
+    (Ctg_kyao.Leaf_enum.pp_list ?max_rows:None)
+    enum;
+  (* The global functions f^i_6, minimized over all 6 input bits. *)
+  let sample_bits = max 1 (Ctg_util.Bits.bits_needed m.Ctg_kyao.Matrix.support) in
+  let tables =
+    Array.init sample_bits (fun _ ->
+        Ctg_boolmin.Truth_table.create ~vars:6 ~default:Ctg_boolmin.Truth_table.Dc)
+  in
+  for x = 0 to 63 do
+    let bits = Array.init 6 (fun i -> (x lsr i) land 1 = 1) in
+    match Ctg_kyao.Column_sampler.walk_bits m bits with
+    | Ctg_kyao.Column_sampler.Hit { value; _ } ->
+      for bit = 0 to sample_bits - 1 do
+        let v =
+          if (value lsr bit) land 1 = 1 then Ctg_boolmin.Truth_table.On
+          else Ctg_boolmin.Truth_table.Off
+        in
+        Ctg_boolmin.Truth_table.set tables.(bit) x v
+      done
+    | Ctg_kyao.Column_sampler.Exhausted -> ()
+  done;
+  printf "minimized f^i_6 (variable order b_0..b_5; 'x' = unused):@.";
+  Array.iteri
+    (fun i tt ->
+      let sop = Ctg_boolmin.Sop.minimize tt in
+      printf "  f^%d = %s@." i (Ctg_boolmin.Sop.to_string ~vars:6 sop))
+    tables
+
+let cmd_fig3 () =
+  section "Fig. 3: list L sorted into sublists l_k (sigma=2, n=16)";
+  let m = Ctg_kyao.Matrix.create ~sigma:"2" ~precision:16 ~tail_cut in
+  let enum = Ctg_kyao.Leaf_enum.enumerate m in
+  printf "%a@." (Ctg_kyao.Leaf_enum.pp_list ?max_rows:None) enum;
+  printf "delta = %d, n' = %d, %d leaf strings@." enum.Ctg_kyao.Leaf_enum.delta
+    enum.Ctg_kyao.Leaf_enum.max_ones
+    (Array.length enum.Ctg_kyao.Leaf_enum.leaves)
+
+let cmd_fig4 () =
+  section "Fig. 4: minimization pipeline, stage by stage (sigma=2, n=128)";
+  let p = Ctgauss.Pipeline.run ~sigma:"2" ~precision:falcon_precision ~tail_cut () in
+  printf "%a@." Ctgauss.Pipeline.pp p
+
+let cmd_fig5 ~full () =
+  section "Fig. 5: histograms of the compiled samplers";
+  let total = if full then 64 * 10_000_000 else 63 * 100_000 in
+  List.iter
+    (fun (sigma, enum) ->
+      let s = Ctgauss.Sampler.of_enum (Lazy.force enum) in
+      let rng = fresh_rng ("fig5-" ^ sigma) in
+      let samples = Array.make total 0 in
+      let i = ref 0 in
+      while !i < total do
+        let batch = Ctgauss.Sampler.batch_signed s rng in
+        let take = min (Array.length batch) (total - !i) in
+        Array.blit batch 0 samples !i take;
+        i := !i + take
+      done;
+      let hist = Ctg_stats.Histogram.of_samples samples in
+      printf "@.sigma = %s, %d samples: mean %+.4f, std %.4f@." sigma total
+        (Ctg_stats.Histogram.mean hist)
+        (Ctg_stats.Histogram.std_dev hist);
+      printf "%a@." (Ctg_stats.Histogram.pp_bars ~width:56) hist;
+      (* Goodness of fit against the exact table. *)
+      let m = (Lazy.force enum).Ctg_kyao.Leaf_enum.matrix in
+      let exact = Ctg_stats.Distance.exact_probabilities m in
+      let support = m.Ctg_kyao.Matrix.support in
+      let observed =
+        Array.init (support + 1) (fun v ->
+            if v = 0 then Ctg_stats.Histogram.count hist 0
+            else
+              Ctg_stats.Histogram.count hist v + Ctg_stats.Histogram.count hist (-v))
+      in
+      let expected = Array.map (fun p -> p *. float_of_int total) exact in
+      let r = Ctg_stats.Chi_square.test ~observed ~expected in
+      printf "chi-square vs exact distribution: X2=%.2f (dof %d) p=%.4f@."
+        r.Ctg_stats.Chi_square.statistic r.Ctg_stats.Chi_square.dof
+        r.Ctg_stats.Chi_square.p_value)
+    [ ("2", enum_sigma2); ("6.15543", enum_sigma6) ]
+
+(* -------------------------------------------------------------------- *)
+(* X1: the Delta observation                                             *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_delta () =
+  section "X1 (Sec. 5): payload bound Delta for sigma = 1, 2, 6.15543, 215";
+  let paper = [ ("1", 4); ("2", 4); ("6.15543", 6); ("215", 15) ] in
+  printf "%-10s %8s %8s %10s %12s@." "sigma" "delta" "paper" "leaves" "unresolved";
+  List.iter
+    (fun (sigma, paper_delta) ->
+      let m = Ctg_kyao.Matrix.create ~sigma ~precision:falcon_precision ~tail_cut in
+      let e = Ctg_kyao.Leaf_enum.enumerate m in
+      printf "%-10s %8d %8d %10d %12d   thm1=%b@." sigma e.Ctg_kyao.Leaf_enum.delta
+        paper_delta
+        (Array.length e.Ctg_kyao.Leaf_enum.leaves)
+        e.Ctg_kyao.Leaf_enum.unresolved
+        (Ctg_kyao.Leaf_enum.check_theorem1 e))
+    paper;
+  printf "@.(exact Delta depends on the probability rounding pipeline; the@.";
+  printf "claim under test is that Delta stays small and grows slowly in sigma)@."
+
+(* -------------------------------------------------------------------- *)
+(* X2: PRNG overhead share (paper Sec. 7)                                *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_prng_overhead () =
+  section "X2 (Sec. 7): share of sampling time spent in the PRNG";
+  let s = Lazy.force bitsliced_sigma2 in
+  let kernel = batch_kernel (Ctgauss.Sampler.program s) in
+  let t_kernel = ns_per_call kernel in
+  let with_prng make_rng name =
+    let rng = make_rng () in
+    let t_total = ns_per_call (fun () -> ignore (Ctgauss.Sampler.batch_magnitude s rng)) in
+    let share = 100. *. (t_total -. t_kernel) /. t_total in
+    printf "  %-10s %8.0f ns/batch total, %6.0f ns kernel -> PRNG+pack %.0f%%@."
+      name t_total t_kernel share
+  in
+  with_prng (fun () -> fresh_rng "prng-chacha") "ChaCha20";
+  with_prng
+    (fun () -> Bs.of_shake (Ctg_prng.Keccak.shake128 (Bytes.of_string "seed")))
+    "SHAKE128";
+  printf "@.paper: 80-85%% with Keccak, ~60%% with ChaCha (their C kernel is@.";
+  printf "faster than ours, so their PRNG share is higher; the ordering@.";
+  printf "Keccak-share > ChaCha-share is the reproduced claim)@."
+
+(* -------------------------------------------------------------------- *)
+(* X3: dudect                                                            *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_dudect () =
+  section "X3 (Sec. 5.2): dudect leakage assessment on op-count traces";
+  let table = Lazy.force cdt_table_sigma2 in
+  let m = (Lazy.force enum_sigma2).Ctg_kyao.Leaf_enum.matrix in
+  let audit (inst : Sig.instance) =
+    let zero = Bs.of_bits (Array.make 40_000_000 false) in
+    let rnd = fresh_rng ("dudect-" ^ inst.Sig.name) in
+    let measure = function
+      | Ctg_ctcheck.Dudect.Fix -> snd (inst.Sig.sample_traced zero)
+      | Ctg_ctcheck.Dudect.Random -> snd (inst.Sig.sample_traced rnd)
+    in
+    let config =
+      { Ctg_ctcheck.Dudect.default_config with measurements = 15_000 }
+    in
+    let r = Ctg_ctcheck.Dudect.test_ops ~config measure in
+    printf "  %-16s claimed-ct=%-5b %a@." inst.Sig.name inst.Sig.constant_time
+      Ctg_ctcheck.Dudect.pp_report r
+  in
+  List.iter audit
+    [
+      Ctg_samplers.Cdt_samplers.byte_scan table;
+      Ctg_samplers.Cdt_samplers.binary_search table;
+      Ctg_samplers.Cdt_samplers.linear_ct table;
+      Sig.knuth_yao_reference m;
+      Ctg_samplers.Rejection.create m;
+      Sig.of_bitsliced (Lazy.force bitsliced_sigma2);
+    ];
+  printf "@.(the bitsliced trace is the gate count by construction: every@.";
+  printf "call executes the full straight-line program)@."
+
+(* -------------------------------------------------------------------- *)
+(* Ablations                                                             *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_ablation_min () =
+  section "A1: exact (Petrick) vs greedy cover minimization";
+  printf "%-10s %18s %18s@." "sigma" "exact gates/ns" "greedy gates/ns";
+  List.iter
+    (fun (sigma, enum) ->
+      let enum = Lazy.force enum in
+      let sublists = Ctgauss.Sublist.build enum in
+      let build exact =
+        Ctgauss.Compile.compile
+          ~options:
+            {
+              Ctgauss.Compile.default_options with
+              with_valid = false;
+              exact_minimize = exact;
+            }
+          sublists
+      in
+      let exact = build true and greedy = build false in
+      printf "%-10s %8d %8.0f %8d %8.0f@." sigma
+        (Ctgauss.Gate.gate_count exact)
+        (ns_per_call (batch_kernel exact))
+        (Ctgauss.Gate.gate_count greedy)
+        (ns_per_call (batch_kernel greedy)))
+    [ ("2", enum_sigma2); ("6.15543", enum_sigma6) ];
+  printf "@.(the sublist split keeps tables tiny, so greedy is near-exact;@.";
+  printf "the win of exactness is real but small — that is itself a finding)@."
+
+let cmd_ablation_chain () =
+  section "A2: structural sharing (selector chain CSE) on vs off";
+  let enum = Lazy.force enum_sigma2 in
+  let sublists = Ctgauss.Sublist.build enum in
+  let build share =
+    Ctgauss.Compile.compile
+      ~options:
+        {
+          Ctgauss.Compile.default_options with
+          with_valid = false;
+          share_selectors = share;
+        }
+      sublists
+  in
+  let shared = build true and unshared = build false in
+  printf "  shared:   %6d gates, %.0f ns/batch@."
+    (Ctgauss.Gate.gate_count shared)
+    (ns_per_call (batch_kernel shared));
+  printf "  unshared: %6d gates, %.0f ns/batch@."
+    (Ctgauss.Gate.gate_count unshared)
+    (ns_per_call (batch_kernel unshared));
+  printf "@.(without sharing, every selector c_k rebuilds its own prefix AND@.";
+  printf "chain: the quadratic blowup the incremental chain avoids)@."
+
+(* -------------------------------------------------------------------- *)
+(* A3: precision requirement, SD vs max-log analysis (paper Sec. 7)      *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_precision () =
+  section "A3 (Sec. 7): how many probability bits does sigma=2 really need?";
+  let candidates = [ 16; 32; 48; 64; 80; 96; 112; 128; 160; 200 ] in
+  let reports =
+    Ctg_stats.Precision.sweep ~sigma:"2" ~tail_cut:13 ~reference:256 candidates
+  in
+  List.iter (fun r -> printf "  %a@." Ctg_stats.Precision.pp_report r) reports;
+  (* Falcon-flavoured budget: 2^64 signatures x 2N=2^11 samples. *)
+  let lambda = 128 and log2_total_samples = 75 in
+  let sd_t = Ctg_stats.Precision.sd_target ~lambda ~log2_total_samples in
+  let ml_t = Ctg_stats.Precision.max_log_target ~lambda ~log2_total_samples in
+  printf "@.lambda=%d over 2^%d samples: SD target 2^%.0f, max-log target 2^%.0f@."
+    lambda log2_total_samples sd_t ml_t;
+  let show which name target =
+    match Ctg_stats.Precision.minimal_precision reports ~target_log2:target ~which with
+    | Some n -> printf "  %-8s analysis: n = %d suffices@." name n
+    | None -> printf "  %-8s analysis: no swept n reaches the target@." name
+  in
+  show `Sd "SD" sd_t;
+  show `Max_log "max-log" ml_t;
+  printf
+    "@.finding: with floor-rounded Knuth-Yao tables the max-log distance is@.";
+  printf "pinned at ~2^-(n - 123) by the smallest retained tail probability@.";
+  printf "(p_min ~ 2^-123 at sigma=2, tau=13), so the Renyi/max-log route@.";
+  printf "needs relative-error probability storage, not just fewer bits —@.";
+  printf "quantifying why the paper calls this a research direction rather@.";
+  printf "than a drop-in optimization.  The SD column shows the classical@.";
+  printf "rule log2(SD) ~ -(n-4) holding across the sweep.@."
+
+(* -------------------------------------------------------------------- *)
+(* A4: the sampler as a base for large sigma (paper Sec. 3 claim)        *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_large_sigma () =
+  section "A4 (Sec. 3): convolution to large sigma from the sigma=2 base";
+  let base = Lazy.force bitsliced_sigma2 in
+  printf "%-28s %12s %12s %10s %12s@." "construction" "target sigma"
+    "measured" "ns/sample" "base-draws";
+  List.iter
+    (fun (k, levels) ->
+      let c = Ctg_samplers.Convolution.create ~base ~k ~levels in
+      let rng = fresh_rng (Printf.sprintf "conv-%d-%d" k levels) in
+      let mom = Ctg_stats.Moments.create () in
+      let trials = 40_000 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to trials do
+        Ctg_stats.Moments.add mom
+          (float_of_int (Ctg_samplers.Convolution.sample c rng))
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      printf "%-28s %12.2f %12.2f %10.0f %12d@."
+        (Printf.sprintf "k=%d, levels=%d" k levels)
+        (Ctg_samplers.Convolution.sigma_effective c)
+        (Ctg_stats.Moments.std_dev mom)
+        (dt *. 1e9 /. float_of_int trials)
+        (Ctg_samplers.Convolution.base_samples_per_output c))
+    [ (4, 1); (8, 1); (4, 2); (11, 2) ];
+  printf "@.(sigma=215 ~ the paper's largest table: directly it needs a@.";
+  printf "2796-row matrix and a 112k-leaf enumeration; by convolution it@.";
+  printf "costs 4 base draws — the composition the paper cites [25,28])@."
+
+(* -------------------------------------------------------------------- *)
+(* A5: quality cost of the fixed-sigma substitution                      *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_sampler_quality () =
+  section "A5: signature quality, fixed sigma=2 base vs exact SamplerZ";
+  let params = F.Params.level1 in
+  let kp = keypair params in
+  let bound = F.Sign.norm_bound_sq params in
+  let run name base =
+    let rng = fresh_rng ("quality-" ^ name) in
+    let mom = Ctg_stats.Moments.create () in
+    let attempts = ref 0 in
+    let trials = 60 in
+    for i = 1 to trials do
+      let msg = Bytes.of_string (Printf.sprintf "quality %d" i) in
+      let s = F.Sign.sign kp base rng ~msg in
+      attempts := !attempts + s.F.Sign.attempts;
+      Ctg_stats.Moments.add mom (sqrt s.F.Sign.norm_sq)
+    done;
+    printf "  %-24s |s| mean %7.0f  std %6.0f  attempts/sig %.2f@." name
+      (Ctg_stats.Moments.mean mom)
+      (Ctg_stats.Moments.std_dev mom)
+      (float_of_int !attempts /. float_of_int trials);
+    Ctg_stats.Moments.mean mom
+  in
+  let paper_mode =
+    run "paper (sigma=2, rounded)"
+      (F.Base_sampler.of_instance
+         (Sig.of_bitsliced (Lazy.force bitsliced_sigma2)))
+  in
+  let ideal = run "ideal (per-leaf sigma')" (F.Base_sampler.ideal ()) in
+  printf "@.norm ratio paper/ideal: %.2f (prediction sqrt(4.08/1.37) = 1.73);@."
+    (paper_mode /. ideal);
+  printf "verification bound sqrt: %.0f — both modes fit with margin.@."
+    (sqrt bound);
+  printf "shorter vectors mean better security for the same parameters:@.";
+  printf "this is the quality the fixed-sigma plug gives up (DESIGN.md par. 2).@."
+
+(* -------------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks: one Test per table/figure family           *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_micro () =
+  section "Bechamel micro-benchmarks (one Test per table/figure family)";
+  let open Bechamel in
+  let enum2 = Lazy.force enum_sigma2 in
+  let enum6 = Lazy.force enum_sigma6 in
+  let options = { Ctgauss.Compile.default_options with with_valid = false } in
+  let ours2 = Ctgauss.Compile.compile ~options (Ctgauss.Sublist.build enum2) in
+  let simple2 = Ctgauss.Compile_simple.compile ~with_valid:false enum2 in
+  let ours6 = Ctgauss.Compile.compile ~options (Ctgauss.Sublist.build enum6) in
+  let table = Lazy.force cdt_table_sigma2 in
+  let kp = keypair F.Params.level1 in
+  let sign_test name inst =
+    let base = F.Base_sampler.of_instance inst in
+    let rng = fresh_rng ("micro-" ^ name) in
+    let msg = Bytes.of_string "bechamel" in
+    Test.make ~name (Staged.stage (fun () -> ignore (F.Sign.sign kp base rng ~msg)))
+  in
+  let sample_test name (inst : Sig.instance) =
+    let rng = fresh_rng ("micro-" ^ name) in
+    Test.make ~name (Staged.stage (fun () -> ignore (inst.Sig.sample_magnitude rng)))
+  in
+  let tests =
+    Test.make_grouped ~name:"ctgauss"
+      [
+        (* Table 2 family: the sampler kernels. *)
+        Test.make ~name:"table2/batch63-ours-sigma2"
+          (Staged.stage (batch_kernel ours2));
+        Test.make ~name:"table2/batch63-simple-sigma2"
+          (Staged.stage (batch_kernel simple2));
+        Test.make ~name:"table2/batch63-ours-sigma6.15543"
+          (Staged.stage (batch_kernel ours6));
+        (* Table 1 family: one signature per sampler (Falcon-256). *)
+        sign_test "table1/sign256-bitsliced"
+          (Sig.of_bitsliced (Lazy.force bitsliced_sigma2));
+        sign_test "table1/sign256-byte-scan-cdt"
+          (Ctg_samplers.Cdt_samplers.byte_scan table);
+        sign_test "table1/sign256-binary-cdt"
+          (Ctg_samplers.Cdt_samplers.binary_search table);
+        sign_test "table1/sign256-linear-ct-cdt"
+          (Ctg_samplers.Cdt_samplers.linear_ct table);
+        (* Fig. 5 family: per-sample cost with PRNG included. *)
+        sample_test "fig5/sample-bitsliced-sigma2"
+          (Sig.of_bitsliced (Lazy.force bitsliced_sigma2));
+        sample_test "fig5/sample-knuth-yao-ref"
+          (Sig.knuth_yao_reference enum2.Ctg_kyao.Leaf_enum.matrix);
+        (* X1 family: the leaf enumeration itself. *)
+        Test.make ~name:"delta/enumerate-sigma2-n128"
+          (Staged.stage (fun () ->
+               ignore
+                 (Ctg_kyao.Leaf_enum.enumerate enum2.Ctg_kyao.Leaf_enum.matrix)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  printf "%-44s %16s@." "benchmark" "ns/run (OLS)";
+  List.iter (fun (name, est) -> printf "%-44s %16.1f@." name est) rows
+
+(* -------------------------------------------------------------------- *)
+(* Dispatch                                                              *)
+(* -------------------------------------------------------------------- *)
+
+let usage () =
+  printf
+    "usage: main.exe [all|table1|table2|fig1|fig2|fig3|fig4|fig5|delta|@.";
+  printf "                 prng-overhead|dudect|ablation-min|ablation-chain|@.";
+  printf "                 precision|large-sigma|sampler-quality|micro]@.";
+  printf "        [--full]   (fig5 at the paper's 64x10^7 samples)@."
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let args = List.filter (fun a -> a <> "--full") args in
+  let cmd = match args with [] -> "all" | c :: _ -> c in
+  match cmd with
+  | "table1" -> cmd_table1 ()
+  | "table2" -> cmd_table2 ()
+  | "fig1" -> cmd_fig1 ()
+  | "fig2" -> cmd_fig2 ()
+  | "fig3" -> cmd_fig3 ()
+  | "fig4" -> cmd_fig4 ()
+  | "fig5" -> cmd_fig5 ~full ()
+  | "delta" -> cmd_delta ()
+  | "prng-overhead" -> cmd_prng_overhead ()
+  | "dudect" -> cmd_dudect ()
+  | "ablation-min" -> cmd_ablation_min ()
+  | "ablation-chain" -> cmd_ablation_chain ()
+  | "precision" -> cmd_precision ()
+  | "large-sigma" -> cmd_large_sigma ()
+  | "sampler-quality" -> cmd_sampler_quality ()
+  | "micro" -> cmd_micro ()
+  | "all" ->
+    cmd_fig1 ();
+    cmd_fig2 ();
+    cmd_fig3 ();
+    cmd_fig4 ();
+    cmd_delta ();
+    cmd_table2 ();
+    cmd_fig5 ~full ();
+    cmd_prng_overhead ();
+    cmd_dudect ();
+    cmd_ablation_min ();
+    cmd_ablation_chain ();
+    cmd_precision ();
+    cmd_large_sigma ();
+    cmd_table1 ();
+    cmd_sampler_quality ();
+    cmd_micro ();
+    line ();
+    printf "done; see EXPERIMENTS.md for paper-vs-measured discussion@."
+  | "help" | "--help" | "-h" -> usage ()
+  | other ->
+    printf "unknown command %S@." other;
+    usage ();
+    exit 1

@@ -1,0 +1,1 @@
+bin/falcon_cli.ml: Arg Bytes Cmd Cmdliner Ctg_falcon Ctg_kyao Ctg_prng Ctg_samplers Ctgauss In_channel Out_channel Printf Term Unix

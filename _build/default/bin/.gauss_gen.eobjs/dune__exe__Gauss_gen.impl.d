@@ -1,0 +1,1 @@
+bin/gauss_gen.ml: Arg Array Cmd Cmdliner Ctg_bigint Ctg_fixed Ctg_kyao Ctg_prng Ctg_stats Ctgauss Format Out_channel Printf Term

@@ -1,0 +1,1 @@
+bin/gauss_gen.mli:

@@ -1,0 +1,1 @@
+examples/ct_audit.ml: Array Ctg_ctcheck Ctg_kyao Ctg_prng Ctg_samplers Ctgauss Format List

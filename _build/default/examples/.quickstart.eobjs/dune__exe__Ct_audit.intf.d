@@ -1,0 +1,1 @@
+examples/ct_audit.mli:

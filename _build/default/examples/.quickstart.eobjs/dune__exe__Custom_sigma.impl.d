@@ -1,0 +1,1 @@
+examples/custom_sigma.ml: Array Ctg_kyao Ctg_prng Ctg_stats Ctgauss Format Out_channel Printf String Sys

@@ -1,0 +1,1 @@
+examples/falcon_signing.ml: Array Bytes Char Ctg_falcon Ctg_prng Ctg_samplers Ctgauss Format Sys Unix

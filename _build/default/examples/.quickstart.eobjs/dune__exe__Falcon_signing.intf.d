@@ -1,0 +1,1 @@
+examples/falcon_signing.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ctg_prng Ctg_stats Ctgauss Format

@@ -1,0 +1,75 @@
+(* Falcon signing end-to-end with the paper's constant-time sampler
+   plugged into the signer (the scenario of the paper's Table 1).
+
+     dune exec examples/falcon_signing.exe            # Falcon-256
+     dune exec examples/falcon_signing.exe -- 512     # Falcon-512
+*)
+
+module F = Ctg_falcon
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 256 in
+  let params =
+    match n with
+    | 256 -> F.Params.level1
+    | 512 -> F.Params.level2
+    | 1024 -> F.Params.level3
+    | _ -> F.Params.custom ~n
+  in
+  Format.printf "== %s ==@.@." (F.Params.name params);
+
+  let rng = Ctg_prng.Bitstream.of_chacha (Ctg_prng.Chacha20.of_seed "falcon-example") in
+
+  Format.printf "key generation (NTRUSolve: exact fG - gF = q over Z[x]/(x^N+1))...@.";
+  let t0 = Unix.gettimeofday () in
+  let kp = F.Keygen.generate params rng in
+  Format.printf "  done in %.2fs after %d (f,g) draw(s)@." (Unix.gettimeofday () -. t0)
+    kp.F.Keygen.attempts;
+  Format.printf "  NTRU equation check: %b; public key check: %b@."
+    (F.Keygen.check_ntru_equation kp)
+    (F.Keygen.check_public_key kp);
+  Format.printf "  public key: %d bytes (14-bit packed)@.@."
+    (F.Codec.public_key_bytes kp.F.Keygen.h);
+
+  (* The experiment knob: the base Gaussian sampler inside ffSampling. *)
+  Format.printf "building the paper's sigma=2 constant-time sampler (n=128)...@.";
+  let ct_sampler = Ctgauss.Sampler.create ~sigma:"2" ~precision:128 ~tail_cut:13 () in
+  let base =
+    F.Base_sampler.of_instance (Ctg_samplers.Sampler_sig.of_bitsliced ct_sampler)
+  in
+  Format.printf "  %d gates, %d samples per bitsliced batch@.@."
+    (Ctgauss.Sampler.gate_count ct_sampler)
+    Ctgauss.Bitslice.lanes;
+
+  let msg = Bytes.of_string "the quick brown fox signs a lattice" in
+  let bound = F.Sign.norm_bound_sq params in
+  let signature = F.Sign.sign kp base rng ~msg in
+  Format.printf "signed: |s|=%.0f (bound %.0f), %d attempt(s), %d base-sampler calls@."
+    (sqrt signature.F.Sign.norm_sq) (sqrt bound) signature.F.Sign.attempts
+    (F.Base_sampler.calls base);
+  let blob = F.Codec.encode_signature ~salt:signature.F.Sign.salt ~s2:signature.F.Sign.s2 in
+  Format.printf "signature: %d bytes (salt + compressed s2)@.@." (Bytes.length blob);
+
+  (* Verify through the wire format, then check tamper rejection. *)
+  (match F.Codec.decode_signature ~params blob with
+  | None -> failwith "decode failed"
+  | Some (salt, s2) ->
+    let ok = F.Verify.verify ~params ~h:kp.F.Keygen.h ~bound_sq:bound ~msg ~salt ~s2 in
+    Format.printf "verification: %b@." ok;
+    let forged =
+      F.Verify.verify ~params ~h:kp.F.Keygen.h ~bound_sq:bound
+        ~msg:(Bytes.of_string "a different message") ~salt ~s2
+    in
+    Format.printf "forged message rejected: %b@.@." (not forged));
+
+  (* Small throughput taste (the real Table 1 lives in bench/main.exe). *)
+  let iters = 30 in
+  F.Base_sampler.reset_calls base;
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to iters do
+    let m = Bytes.cat msg (Bytes.make 1 (Char.chr i)) in
+    ignore (F.Sign.sign kp base rng ~msg:m)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "%d signatures in %.2fs: %.1f signs/sec (%d sampler calls)@."
+    iters dt (float_of_int iters /. dt) (F.Base_sampler.calls base)

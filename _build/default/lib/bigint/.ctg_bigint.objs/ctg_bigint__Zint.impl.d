@@ -1,0 +1,1 @@
+lib/bigint/zint.ml: Format Nat String

@@ -1,0 +1,1 @@
+lib/bigint/zint.mli: Format Nat

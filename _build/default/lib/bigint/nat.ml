@@ -1,0 +1,331 @@
+(* Limbs are 31-bit, little-endian, normalized (no trailing zero limb).
+   31-bit limbs keep every intermediate product below OCaml's native
+   max_int = 2^62 - 1: limb*limb + limb + limb <= 2^62 - 1 exactly. *)
+
+type t = int array
+
+let limb_bits = 31
+let base = 1 lsl limb_bits
+let mask = base - 1
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let normalize (a : int array) : t =
+  let n = Array.length a in
+  let rec top i = if i > 0 && a.(i - 1) = 0 then top (i - 1) else i in
+  let m = top n in
+  if m = n then a else Array.sub a 0 m
+
+let of_int v =
+  if v < 0 then invalid_arg "Nat.of_int: negative";
+  if v = 0 then zero
+  else begin
+    let l0 = v land mask in
+    let v1 = v lsr limb_bits in
+    if v1 = 0 then [| l0 |] else [| l0; v1 |]
+  end
+
+let to_int (a : t) =
+  match Array.length a with
+  | 0 -> 0
+  | 1 -> a.(0)
+  | 2 -> a.(0) lor (a.(1) lsl limb_bits)
+  | _ -> failwith "Nat.to_int: overflow"
+
+let is_zero a = Array.length a = 0
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let num_bits (a : t) =
+  let n = Array.length a in
+  if n = 0 then 0 else ((n - 1) * limb_bits) + Ctg_util.Bits.bits_needed a.(n - 1)
+
+let testbit (a : t) i =
+  let limb = i / limb_bits in
+  limb < Array.length a && (a.(limb) lsr (i mod limb_bits)) land 1 = 1
+
+let add (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  let n = max la lb in
+  let out = Array.make (n + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to n - 1 do
+    let av = if i < la then a.(i) else 0 in
+    let bv = if i < lb then b.(i) else 0 in
+    let t = av + bv + !carry in
+    out.(i) <- t land mask;
+    carry := t lsr limb_bits
+  done;
+  out.(n) <- !carry;
+  normalize out
+
+let sub (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la < lb then invalid_arg "Nat.sub: negative result";
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let bv = if i < lb then b.(i) else 0 in
+    let t = a.(i) - bv - !borrow in
+    if t < 0 then begin
+      out.(i) <- t + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- t;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then invalid_arg "Nat.sub: negative result";
+  normalize out
+
+let mul_schoolbook (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let t = out.(i + j) + (ai * b.(j)) + !carry in
+          out.(i + j) <- t land mask;
+          carry := t lsr limb_bits
+        done;
+        out.(i + lb) <- out.(i + lb) + !carry
+      end
+    done;
+    normalize out
+  end
+
+let karatsuba_threshold = 32
+
+let shift_limbs (a : t) k : t =
+  if is_zero a then zero
+  else Array.append (Array.make k 0) a
+
+let low_limbs (a : t) k : t =
+  if Array.length a <= k then a else normalize (Array.sub a 0 k)
+
+let high_limbs (a : t) k : t =
+  if Array.length a <= k then zero
+  else Array.sub a k (Array.length a - k)
+
+let rec mul (a : t) (b : t) : t =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else if min la lb < karatsuba_threshold then mul_schoolbook a b
+  else begin
+    (* Karatsuba: a = a1*B^k + a0, b = b1*B^k + b0. *)
+    let k = (max la lb + 1) / 2 in
+    let a0 = low_limbs a k and a1 = high_limbs a k in
+    let b0 = low_limbs b k and b1 = high_limbs b k in
+    let z0 = mul a0 b0 in
+    let z2 = mul a1 b1 in
+    let z1 = sub (mul (add a0 a1) (add b0 b1)) (add z0 z2) in
+    add (add z0 (shift_limbs z1 k)) (shift_limbs z2 (2 * k))
+  end
+
+let mul_int (a : t) v =
+  if v < 0 || v >= base then invalid_arg "Nat.mul_int: out of limb range";
+  if v = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let out = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let t = (a.(i) * v) + !carry in
+      out.(i) <- t land mask;
+      carry := t lsr limb_bits
+    done;
+    out.(la) <- !carry;
+    normalize out
+  end
+
+let shift_left (a : t) k =
+  if k < 0 then invalid_arg "Nat.shift_left: negative";
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    let out = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bits in
+      out.(i + limbs) <- out.(i + limbs) lor (v land mask);
+      out.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize out
+  end
+
+let shift_right (a : t) k =
+  if k < 0 then invalid_arg "Nat.shift_right: negative";
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else begin
+      let n = la - limbs in
+      let out = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let lo = a.(i + limbs) lsr bits in
+        let hi =
+          if bits = 0 || i + limbs + 1 >= la then 0
+          else (a.(i + limbs + 1) lsl (limb_bits - bits)) land mask
+        in
+        out.(i) <- lo lor hi
+      done;
+      normalize out
+    end
+  end
+
+(* Division by a single limb; returns (quotient, remainder). *)
+let divmod_limb (a : t) v =
+  let la = Array.length a in
+  let out = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    out.(i) <- cur / v;
+    r := cur mod v
+  done;
+  (normalize out, !r)
+
+(* Knuth TAOCP vol. 2, algorithm D. *)
+let divmod (a : t) (b : t) =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then begin
+    let q, r = divmod_limb a b.(0) in
+    (q, of_int r)
+  end
+  else begin
+    (* Normalize so the top limb of the divisor has its high bit set. *)
+    let shift = limb_bits - Ctg_util.Bits.bits_needed b.(Array.length b - 1) in
+    let u = shift_left a shift and v = shift_left b shift in
+    let n = Array.length v in
+    let m = Array.length u - n in
+    let u = Array.append u (Array.make (m + n + 1 - Array.length u) 0) in
+    let q = Array.make (m + 1) 0 in
+    let vtop = v.(n - 1) in
+    let vnext = if n >= 2 then v.(n - 2) else 0 in
+    for j = m downto 0 do
+      let two = (u.(j + n) lsl limb_bits) lor u.(j + n - 1) in
+      let qhat = ref (two / vtop) in
+      let rhat = ref (two mod vtop) in
+      if !qhat >= base then begin
+        qhat := base - 1;
+        rhat := two - (!qhat * vtop)
+      end;
+      (* Refine qhat: at most two decrements. *)
+      while
+        !rhat < base
+        && !qhat * vnext > (!rhat lsl limb_bits) lor u.(j + n - 2)
+      do
+        decr qhat;
+        rhat := !rhat + vtop
+      done;
+      (* Multiply-subtract u[j..j+n] -= qhat * v. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr limb_bits;
+        let t = u.(i + j) - (p land mask) - !borrow in
+        if t < 0 then begin
+          u.(i + j) <- t + base;
+          borrow := 1
+        end
+        else begin
+          u.(i + j) <- t;
+          borrow := 0
+        end
+      done;
+      let t = u.(j + n) - !carry - !borrow in
+      if t < 0 then begin
+        (* qhat was one too large: add back. *)
+        u.(j + n) <- t + base;
+        decr qhat;
+        let c = ref 0 in
+        for i = 0 to n - 1 do
+          let s = u.(i + j) + v.(i) + !c in
+          u.(i + j) <- s land mask;
+          c := s lsr limb_bits
+        done;
+        u.(j + n) <- (u.(j + n) + !c) land mask
+      end
+      else u.(j + n) <- t;
+      q.(j) <- !qhat
+    done;
+    let r = shift_right (normalize (Array.sub u 0 n)) shift in
+    (normalize q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let pow a k =
+  if k < 0 then invalid_arg "Nat.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else begin
+      let acc = if k land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (k lsr 1)
+    end
+  in
+  go one a k
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let chunks = ref [] in
+    let cur = ref a in
+    while not (is_zero !cur) do
+      let q, r = divmod_limb !cur 1_000_000_000 in
+      chunks := r :: !chunks;
+      cur := q
+    done;
+    match !chunks with
+    | [] -> "0"
+    | first :: rest ->
+      let buf = Buffer.create 32 in
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
+      Buffer.contents buf
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Nat.of_string: empty";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' ->
+        acc := add (mul_int !acc 10) (of_int (Char.code c - Char.code '0'))
+      | '_' -> ()
+      | _ -> invalid_arg (Printf.sprintf "Nat.of_string: %c" c))
+    s;
+  !acc
+
+let to_float_exp a =
+  let bits = num_bits a in
+  if bits = 0 then (0.0, 0)
+  else begin
+    (* Take the top 53 bits as the mantissa. *)
+    let take = min bits 53 in
+    let top = shift_right a (bits - take) in
+    let m = float_of_int (to_int top) /. Float.of_int (1 lsl take) in
+    (m, bits)
+  end
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,58 @@
+(** Arbitrary-precision unsigned integers.
+
+    Values are immutable arrays of 31-bit limbs, little-endian, normalized
+    (no trailing zero limb).  The empty array is zero.  All operations are
+    purely functional.  This module exists because the sealed build
+    environment has no [zarith]; see DESIGN.md. *)
+
+type t
+
+val zero : t
+val one : t
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val num_bits : t -> int
+(** Position of the highest set bit plus one; [num_bits zero = 0]. *)
+
+val testbit : t -> int -> bool
+val add : t -> t -> t
+val sub : t -> t -> t
+(** @raise Invalid_argument if the result would be negative. *)
+
+val mul : t -> t -> t
+(** Schoolbook below 32 limbs, Karatsuba above. *)
+
+val mul_int : t -> int -> t
+(** Multiply by a small non-negative integer (< 2^31). *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b = (q, r)] with [a = q*b + r], [0 <= r < b] (Knuth alg. D).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val pow : t -> int -> t
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val of_string : string -> t
+(** Parse decimal digits. @raise Invalid_argument on other input. *)
+
+val to_float_exp : t -> float * int
+(** [to_float_exp v = (m, e)] with [v = m * 2^e] approximately and
+    [0.5 <= m < 1] (or [m = 0]).  Used for floating-point estimates of huge
+    values in Falcon key generation. *)
+
+val pp : Format.formatter -> t -> unit

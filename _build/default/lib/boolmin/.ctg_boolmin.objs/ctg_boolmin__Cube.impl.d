@@ -1,0 +1,1 @@
+lib/boolmin/cube.ml: Ctg_util Stdlib String

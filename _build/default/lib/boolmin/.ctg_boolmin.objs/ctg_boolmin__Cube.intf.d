@@ -1,0 +1,1 @@
+lib/boolmin/cube.mli:

@@ -1,0 +1,1 @@
+lib/boolmin/greedy_cover.mli: Cube

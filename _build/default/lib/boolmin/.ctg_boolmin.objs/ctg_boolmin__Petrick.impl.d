@@ -1,0 +1,1 @@
+lib/boolmin/petrick.ml: Array Cube Greedy_cover Hashtbl List Stdlib

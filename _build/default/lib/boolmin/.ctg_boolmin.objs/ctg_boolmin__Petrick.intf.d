@@ -1,0 +1,1 @@
+lib/boolmin/petrick.mli: Cube

@@ -1,0 +1,1 @@
+lib/boolmin/quine_mccluskey.ml: Cube Hashtbl List Set Truth_table

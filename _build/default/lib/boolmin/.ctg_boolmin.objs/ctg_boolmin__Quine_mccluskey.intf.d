@@ -1,0 +1,1 @@
+lib/boolmin/quine_mccluskey.mli: Cube Truth_table

@@ -1,0 +1,1 @@
+lib/boolmin/sop.ml: Ctg_util Cube Greedy_cover List Petrick Quine_mccluskey String Truth_table

@@ -1,0 +1,1 @@
+lib/boolmin/sop.mli: Cube Truth_table

@@ -1,0 +1,1 @@
+lib/boolmin/truth_table.ml: Array Cube List

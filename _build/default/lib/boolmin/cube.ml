@@ -1,0 +1,44 @@
+type t = { mask : int; value : int }
+
+let make ~mask ~value = { mask; value = value land mask }
+let universal = { mask = 0; value = 0 }
+
+let of_minterm ~vars m =
+  let mask = (1 lsl vars) - 1 in
+  { mask; value = m land mask }
+
+let num_literals c = Ctg_util.Bits.popcount c.mask
+let covers c m = m land c.mask = c.value
+
+(* a subsumes b iff a's specified variables are a subset of b's and agree. *)
+let subsumes a b = a.mask land b.mask = a.mask && b.value land a.mask = a.value
+
+let merge a b =
+  if a.mask <> b.mask then None
+  else begin
+    let diff = a.value lxor b.value in
+    if diff <> 0 && diff land (diff - 1) = 0 then
+      Some { mask = a.mask land lnot diff; value = a.value land lnot diff }
+    else None
+  end
+
+let minterms ~vars c =
+  let free = lnot c.mask land ((1 lsl vars) - 1) in
+  (* Enumerate submasks of [free] and OR them into the fixed part. *)
+  let rec go sub acc =
+    let acc = (c.value lor sub) :: acc in
+    if sub = 0 then acc else go ((sub - 1) land free) acc
+  in
+  go free []
+
+let compare a b =
+  if a.mask <> b.mask then Stdlib.compare a.mask b.mask
+  else Stdlib.compare a.value b.value
+
+let equal a b = a.mask = b.mask && a.value = b.value
+
+let to_string ~vars c =
+  String.init vars (fun i ->
+      if c.mask land (1 lsl i) = 0 then 'x'
+      else if c.value land (1 lsl i) <> 0 then '1'
+      else '0')

@@ -1,0 +1,32 @@
+(** Product terms (cubes) over up to 30 Boolean variables.
+
+    A cube is a pair of bit masks: [mask] marks the specified variables and
+    [value] their required polarity.  [mask = 0] is the universal cube. *)
+
+type t = private { mask : int; value : int }
+
+val make : mask:int -> value:int -> t
+(** Normalizes: bits of [value] outside [mask] are cleared. *)
+
+val universal : t
+val of_minterm : vars:int -> int -> t
+(** Fully-specified cube for minterm [m] over [vars] variables. *)
+
+val num_literals : t -> int
+val covers : t -> int -> bool
+(** [covers c m]: minterm [m] satisfies every literal of [c]. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes a b]: every minterm of [b] is covered by [a]. *)
+
+val merge : t -> t -> t option
+(** Adjacency merge (the Quine-McCluskey step): defined when both cubes
+    specify the same variables and differ in exactly one polarity. *)
+
+val minterms : vars:int -> t -> int list
+(** All covered minterms — exponential in free variables; tests only. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : vars:int -> t -> string
+(** E.g. ["1x0"]: variable 0 leftmost, ['x'] for unspecified. *)

@@ -1,0 +1,37 @@
+module Int_set = Set.Make (Int)
+
+let cover ~ones ~primes =
+  let rec go uncovered chosen =
+    if Int_set.is_empty uncovered then List.rev chosen
+    else begin
+      let score c =
+        Int_set.fold
+          (fun m acc -> if Cube.covers c m then acc + 1 else acc)
+          uncovered 0
+      in
+      let best =
+        List.fold_left
+          (fun best c ->
+            let s = score c in
+            match best with
+            | None -> if s > 0 then Some (c, s) else None
+            | Some (_, bs) ->
+              if s > bs then Some (c, s)
+              else if
+                s = bs && s > 0
+                &&
+                match best with
+                | Some (bc, _) -> Cube.num_literals c < Cube.num_literals bc
+                | None -> false
+              then Some (c, s)
+              else best)
+          None primes
+      in
+      match best with
+      | None -> failwith "Greedy_cover.cover: uncoverable minterm"
+      | Some (c, _) ->
+        let uncovered = Int_set.filter (fun m -> not (Cube.covers c m)) uncovered in
+        go uncovered (c :: chosen)
+    end
+  in
+  go (Int_set.of_list ones) []

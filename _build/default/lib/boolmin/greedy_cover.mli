@@ -1,0 +1,5 @@
+(** Greedy set-cover fallback: repeatedly take the prime covering the most
+    still-uncovered minterms (ties: fewer literals).  Used when Petrick's
+    expansion would explode; at most a logarithmic factor from optimal. *)
+
+val cover : ones:int list -> primes:Cube.t list -> Cube.t list

@@ -1,0 +1,114 @@
+let max_products = ref 20_000
+
+(* Products of the POS expansion are bitmasks over prime indices; the
+   method is only attempted when there are at most 62 candidate primes. *)
+let absorb products =
+  let arr = Array.of_list products in
+  let n = Array.length arr in
+  let dead = Array.make n false in
+  for i = 0 to n - 1 do
+    if not dead.(i) then
+      for j = 0 to n - 1 do
+        if i <> j && (not dead.(j)) && arr.(i) land arr.(j) = arr.(i) then
+          (* arr.(i) subset of arr.(j): j is absorbed. *)
+          dead.(j) <- true
+      done
+  done;
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    if not dead.(i) then acc := arr.(i) :: !acc
+  done;
+  !acc
+
+let essential_split ~ones ~primes =
+  let primes = Array.of_list primes in
+  let covering m =
+    let acc = ref [] in
+    Array.iteri (fun i c -> if Cube.covers c m then acc := i :: !acc) primes;
+    !acc
+  in
+  let essential = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      match covering m with
+      | [ i ] -> Hashtbl.replace essential i ()
+      | _ :: _ -> ()
+      | [] -> failwith "Petrick.cover: uncoverable minterm")
+    ones;
+  let chosen = Hashtbl.fold (fun i () acc -> primes.(i) :: acc) essential [] in
+  let remaining =
+    List.filter (fun m -> not (List.exists (fun c -> Cube.covers c m) chosen)) ones
+  in
+  (chosen, remaining, primes)
+
+let product_cost primes p =
+  let terms = ref 0 and lits = ref 0 in
+  Array.iteri
+    (fun i c ->
+      if p land (1 lsl i) <> 0 then begin
+        incr terms;
+        lits := !lits + Cube.num_literals c
+      end)
+    primes;
+  (!terms, !lits)
+
+let cover ~ones ~primes =
+  let chosen, remaining, prime_arr = essential_split ~ones ~primes in
+  if remaining = [] then chosen
+  else begin
+    (* Only primes that cover something remaining matter. *)
+    let useful =
+      Array.to_list prime_arr
+      |> List.filter (fun c -> List.exists (fun m -> Cube.covers c m) remaining)
+    in
+    let useful_arr = Array.of_list useful in
+    if Array.length useful_arr > 62 then
+      chosen @ Greedy_cover.cover ~ones:remaining ~primes:useful
+    else begin
+      let sums =
+        List.map
+          (fun m ->
+            let acc = ref [] in
+            Array.iteri
+              (fun i c -> if Cube.covers c m then acc := i :: !acc)
+              useful_arr;
+            !acc)
+          remaining
+      in
+      let expand products sum =
+        let next =
+          List.concat_map
+            (fun p -> List.map (fun i -> p lor (1 lsl i)) sum)
+            products
+        in
+        absorb (List.sort_uniq Stdlib.compare next)
+      in
+      let rec go products = function
+        | [] -> Some products
+        | sum :: rest ->
+          let products = expand products sum in
+          if List.length products > !max_products then None
+          else go products rest
+      in
+      match go [ 0 ] sums with
+      | None -> chosen @ Greedy_cover.cover ~ones:remaining ~primes:useful
+      | Some products ->
+        let best =
+          List.fold_left
+            (fun best p ->
+              let cost = product_cost useful_arr p in
+              match best with
+              | None -> Some (p, cost)
+              | Some (_, bc) -> if cost < bc then Some (p, cost) else best)
+            None products
+        in
+        (match best with
+        | None -> chosen
+        | Some (p, _) ->
+          let extra = ref [] in
+          Array.iteri
+            (fun i c -> if p land (1 lsl i) <> 0 then extra := c :: !extra)
+            useful_arr;
+          chosen @ List.rev !extra)
+    end
+  end

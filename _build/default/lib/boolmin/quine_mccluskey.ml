@@ -1,0 +1,38 @@
+module Cube_set = Set.Make (Cube)
+
+let primes tt =
+  let vars = Truth_table.vars tt in
+  let care = Truth_table.ones tt @ Truth_table.dontcares tt in
+  let start =
+    List.fold_left
+      (fun s m -> Cube_set.add (Cube.of_minterm ~vars m) s)
+      Cube_set.empty care
+  in
+  let rec round current primes_acc =
+    if Cube_set.is_empty current then primes_acc
+    else begin
+      let cubes = Cube_set.elements current in
+      let merged_away = Hashtbl.create 64 in
+      let next = ref Cube_set.empty in
+      let rec pairs = function
+        | [] -> ()
+        | c :: rest ->
+          List.iter
+            (fun c' ->
+              match Cube.merge c c' with
+              | None -> ()
+              | Some m ->
+                Hashtbl.replace merged_away c ();
+                Hashtbl.replace merged_away c' ();
+                next := Cube_set.add m !next)
+            rest;
+          pairs rest
+      in
+      pairs cubes;
+      let primes_here =
+        List.filter (fun c -> not (Hashtbl.mem merged_away c)) cubes
+      in
+      round !next (primes_here @ primes_acc)
+    end
+  in
+  round start []

@@ -1,0 +1,6 @@
+(** Prime-implicant generation by the Quine-McCluskey tabular method. *)
+
+val primes : Truth_table.t -> Cube.t list
+(** All prime implicants of the function (don't-cares participate in
+    merging but a cube consisting only of don't-cares is still reported;
+    cover selection ignores it if useless). *)

@@ -1,0 +1,38 @@
+type t = Cube.t list
+
+let eval sop m = List.exists (fun c -> Cube.covers c m) sop
+
+let minimize ?(exact_vars_limit = 12) tt =
+  let ones = Truth_table.ones tt in
+  if ones = [] then []
+  else begin
+    let primes = Quine_mccluskey.primes tt in
+    let sop =
+      if Truth_table.vars tt <= exact_vars_limit then
+        Petrick.cover ~ones ~primes
+      else Greedy_cover.cover ~ones ~primes
+    in
+    assert (Truth_table.implements tt (fun m -> eval sop m));
+    sop
+  end
+
+let num_terms = List.length
+
+let num_literals sop =
+  List.fold_left (fun acc c -> acc + Cube.num_literals c) 0 sop
+
+let gate_cost sop =
+  let term_gates =
+    List.fold_left
+      (fun acc c ->
+        let l = Cube.num_literals c in
+        let nots = Ctg_util.Bits.popcount (c.Cube.mask land lnot c.Cube.value) in
+        acc + max 0 (l - 1) + nots)
+      0 sop
+  in
+  term_gates + max 0 (List.length sop - 1)
+
+let to_string ~vars sop =
+  match sop with
+  | [] -> "0"
+  | _ -> String.concat " | " (List.map (Cube.to_string ~vars) sop)

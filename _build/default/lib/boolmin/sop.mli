@@ -1,0 +1,23 @@
+(** Sums of products: the minimizer's public entry point and cost model. *)
+
+type t = Cube.t list
+(** Disjunction of product terms; [[]] is the constant false and a list
+    containing {!Cube.universal} is the constant true. *)
+
+val minimize : ?exact_vars_limit:int -> Truth_table.t -> t
+(** Two-level minimization: Quine-McCluskey primes, then exact cover
+    (Petrick) when the table has at most [exact_vars_limit] variables
+    (default 12), greedy otherwise.  The result implements the table
+    (asserted in debug builds). *)
+
+val eval : t -> int -> bool
+(** Evaluate on a minterm (variable [i] = bit [i]). *)
+
+val gate_cost : t -> int
+(** Two-input gate count when evaluated bitsliced: (literals - 1) AND
+    gates per term plus NOT gates for complemented literals, plus
+    (terms - 1) OR gates. *)
+
+val num_terms : t -> int
+val num_literals : t -> int
+val to_string : vars:int -> t -> string

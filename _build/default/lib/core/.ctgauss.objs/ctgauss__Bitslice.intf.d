@@ -1,0 +1,1 @@
+lib/core/bitslice.mli: Gate

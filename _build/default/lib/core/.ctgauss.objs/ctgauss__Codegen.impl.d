@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Buffer Gate List Printf String

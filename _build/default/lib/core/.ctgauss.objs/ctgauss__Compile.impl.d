@@ -1,0 +1,1 @@
+lib/core/compile.ml: Array Ctg_boolmin Ctg_kyao Gate List Sublist

@@ -1,0 +1,1 @@
+lib/core/compile_simple.ml: Array Ctg_kyao Ctg_util Gate List Stdlib

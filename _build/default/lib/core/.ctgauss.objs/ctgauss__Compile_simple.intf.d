@@ -1,0 +1,1 @@
+lib/core/compile_simple.mli: Ctg_kyao Gate

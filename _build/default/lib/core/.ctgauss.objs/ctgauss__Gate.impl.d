@@ -1,0 +1,1 @@
+lib/core/gate.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Compile Compile_simple Ctg_kyao Format Gate List Printf Sublist

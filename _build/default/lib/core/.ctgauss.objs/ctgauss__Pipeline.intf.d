@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Compile Ctg_kyao Format Gate Sublist

@@ -1,0 +1,1 @@
+lib/core/sampler.ml: Array Bitslice Compile Compile_simple Ctg_kyao Ctg_prng Ctg_util Gate Sublist

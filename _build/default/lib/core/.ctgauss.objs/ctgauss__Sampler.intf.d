@@ -1,0 +1,1 @@
+lib/core/sampler.mli: Compile Ctg_kyao Ctg_prng Gate

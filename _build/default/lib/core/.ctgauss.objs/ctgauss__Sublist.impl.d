@@ -1,0 +1,1 @@
+lib/core/sublist.ml: Array Ctg_boolmin Ctg_kyao Ctg_util List

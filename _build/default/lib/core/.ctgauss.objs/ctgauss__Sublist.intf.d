@@ -1,0 +1,1 @@
+lib/core/sublist.mli: Ctg_boolmin Ctg_kyao

@@ -1,0 +1,17 @@
+(** Source-code emission for compiled samplers — the deliverable the paper
+    promises as a public tool ("we will provide a tool that implements the
+    strategies mentioned here").  The generated C uses only bitwise
+    operators on [uint64_t]; the generated OCaml mirrors {!Bitslice}. *)
+
+val to_c : ?name:string -> Gate.t -> string
+(** A self-contained C function
+    [void <name>(const uint64_t *b, uint64_t *out)] where [b] has
+    [num_vars] bitsliced words and [out] receives the output bit words
+    (plus the valid word last, when present). *)
+
+val to_ocaml : ?name:string -> Gate.t -> string
+(** An OCaml function of type [int array -> int array] with the same
+    contract, 63 lanes per word. *)
+
+val to_dot : ?name:string -> Gate.t -> string
+(** Graphviz rendering of the gate DAG (small programs only). *)

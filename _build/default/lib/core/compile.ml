@@ -1,0 +1,114 @@
+module Sop = Ctg_boolmin.Sop
+module Cube = Ctg_boolmin.Cube
+
+type options = {
+  with_valid : bool;
+  share_selectors : bool;
+  exact_minimize : bool;
+  flatten_onehot : bool;
+}
+
+let default_options =
+  {
+    with_valid = true;
+    share_selectors = true;
+    exact_minimize = true;
+    flatten_onehot = true;
+  }
+
+let minimize ~options tt =
+  let exact_vars_limit = if options.exact_minimize then 12 else -1 in
+  Sop.minimize ~exact_vars_limit tt
+
+(* Emit a SOP whose variable p is input bit b_{base+p}. *)
+let emit_sop b ~base sop =
+  let emit_cube (c : Cube.t) =
+    let lits = ref [] in
+    for p = 29 downto 0 do
+      if c.Cube.mask land (1 lsl p) <> 0 then begin
+        let v = Gate.var b (base + p) in
+        let lit =
+          if c.Cube.value land (1 lsl p) <> 0 then v else Gate.bnot b v
+        in
+        lits := lit :: !lits
+      end
+    done;
+    Gate.band_list b !lits
+  in
+  Gate.bor_list b (List.map emit_cube sop)
+
+let selector_chain b ~options ~num_entries =
+  (* prefix.(k) = b_0 & ... & b_{k-1}; c_k = prefix.(k) & ~b_k. *)
+  let prefix = Array.make num_entries (Gate.const b true) in
+  for k = 1 to num_entries - 1 do
+    prefix.(k) <-
+      (if options.share_selectors then Gate.band b prefix.(k - 1) (Gate.var b (k - 1))
+       else
+         Gate.band_list b (List.init k (fun i -> Gate.var b i)))
+  done;
+  Array.init num_entries (fun k ->
+      Gate.band b prefix.(k) (Gate.bnot b (Gate.var b k)))
+
+let compile ?(options = default_options) (s : Sublist.t) =
+  let n = s.Sublist.enum.Ctg_kyao.Leaf_enum.matrix.Ctg_kyao.Matrix.precision in
+  let entries = s.Sublist.entries in
+  let num_entries = Array.length entries in
+  (* share_selectors=false is the A2 ablation: no incremental prefix chain
+     and no structural hashing to silently rebuild it. *)
+  let b = Gate.builder ~cse:options.share_selectors ~num_vars:n () in
+  let selectors = selector_chain b ~options ~num_entries in
+  let payload_reg kappa tt =
+    emit_sop b ~base:(kappa + 1) (minimize ~options tt)
+  in
+  (* Two equivalent combiners (selectors are one-hot on every terminating
+     string): the paper-literal nested if-elseif chain of Eqn. 2, and the
+     flattened OR of guarded terms. *)
+  let chain_nested per_entry =
+    (* The last sublist is the final else (no selector test). *)
+    let acc = ref (per_entry (num_entries - 1)) in
+    for k = num_entries - 2 downto 0 do
+      acc := Gate.mux b ~sel:selectors.(k) ~if_one:(per_entry k) ~if_zero:!acc
+    done;
+    !acc
+  in
+  let chain_flat per_entry =
+    let terms =
+      List.init num_entries (fun k -> Gate.band b selectors.(k) (per_entry k))
+    in
+    Gate.bor_list b terms
+  in
+  let chain per_entry =
+    if options.flatten_onehot then chain_flat per_entry else chain_nested per_entry
+  in
+  let outputs =
+    Array.init s.Sublist.sample_bits (fun bit ->
+        chain (fun k -> payload_reg k entries.(k).Sublist.bit_tables.(bit)))
+  in
+  let valid =
+    if not options.with_valid then None
+    else begin
+      (* Strings with more than max κ leading ones never terminate
+         (Theorem 1's residual), so the hit chain ends in false. *)
+      let hit k = payload_reg k entries.(k).Sublist.hit_table in
+      if options.flatten_onehot then Some (chain_flat hit)
+      else begin
+        let acc = ref (Gate.const b false) in
+        for k = num_entries - 1 downto 0 do
+          acc := Gate.mux b ~sel:selectors.(k) ~if_one:(hit k) ~if_zero:!acc
+        done;
+        Some !acc
+      end
+    end
+  in
+  Gate.finish b ~outputs ~valid
+
+let sop_report ?(options = default_options) (s : Sublist.t) =
+  Array.map
+    (fun (e : Sublist.entry) ->
+      let sops =
+        Array.to_list (Array.map (minimize ~options) e.Sublist.bit_tables)
+      in
+      let terms = List.fold_left (fun a sop -> a + Sop.num_terms sop) 0 sops in
+      let lits = List.fold_left (fun a sop -> a + Sop.num_literals sop) 0 sops in
+      (e.Sublist.kappa, terms, lits))
+    s.Sublist.entries

@@ -1,0 +1,35 @@
+(** The paper's compiler (Sec. 5): one exactly-minimized Δ-variable SOP per
+    (sublist, output bit), recombined with the constant-time
+    if-elseif-…-else selector chain of Eqn. 2,
+    [f^ι_n = c_0 ? f^{ι,0}_Δ : (c_1 ? f^{ι,1}_Δ : …)] with
+    [c_κ = b_0 & … & b_{κ-1} & ¬b_κ]. *)
+
+type options = {
+  with_valid : bool;
+      (** Also compute a termination flag (not in the paper, which accepts
+          the ≤ 2^-117 bias; needed for exact-distribution tests at small
+          precision).  Default [true]. *)
+  share_selectors : bool;
+      (** Build the prefix ANDs of the selectors incrementally and share
+          structurally-identical gates (CSE), so the whole chain costs one
+          gate per level; [false] disables both — ablation A2.  Default
+          [true]. *)
+  exact_minimize : bool;
+      (** Petrick-exact covers (the paper's Espresso [-Dso -S1]); [false]
+          falls back to the greedy cover (ablation A1).  Default [true]. *)
+  flatten_onehot : bool;
+      (** Combine sublists as [OR_κ (c_κ & f^{ι,κ})] instead of the nested
+          muxes of Eqn. 2.  The selectors are one-hot, so both forms agree
+          on every terminating string; the flat form drops constant-false
+          terms and evaluates with a regular AND/OR instruction pattern
+          (measurably faster interpreted).  [false] is the paper-literal
+          nested chain.  Default [true]. *)
+}
+
+val default_options : options
+
+val compile : ?options:options -> Sublist.t -> Gate.t
+
+val sop_report : ?options:options -> Sublist.t -> (int * int * int) array
+(** Per-sublist [(κ, total terms, total literals)] after minimization —
+    the data behind the paper's claimed minimization quality. *)

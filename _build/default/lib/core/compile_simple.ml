@@ -1,0 +1,98 @@
+module Le = Ctg_kyao.Leaf_enum
+
+(* A full-length product term: cell i is the required value of input bit
+   b_i, or Free for a don't-care.  Terms come from leaf strings (length
+   level+1, don't-cares beyond), then optionally get merged pairwise. *)
+type cell = Zero | One | Free
+
+let term_of_leaf ~n (leaf : Le.leaf) =
+  Array.init n (fun i ->
+      if i > leaf.Le.level then Free
+      else if leaf.Le.bits.(i) then One
+      else Zero)
+
+(* One Quine-McCluskey adjacency pass to fixpoint: two terms agreeing
+   everywhere except one position where one has Zero and the other One
+   merge into the term with that position Free.  O(T²·n) per round; the
+   global functions have at most ~1200 terms, so this stays fast. *)
+let merge_terms ~n terms =
+  let mergeable a b =
+    let diff = ref (-1) in
+    let rec go i =
+      if i >= n then !diff >= 0
+      else begin
+        match (a.(i), b.(i)) with
+        | Zero, Zero | One, One | Free, Free -> go (i + 1)
+        | Zero, One | One, Zero ->
+          if !diff >= 0 then false
+          else begin
+            diff := i;
+            go (i + 1)
+          end
+        | Free, Zero | Free, One | Zero, Free | One, Free -> false
+      end
+    in
+    if go 0 then Some !diff else None
+  in
+  let rec fixpoint terms =
+    let arr = Array.of_list terms in
+    let t = Array.length arr in
+    let dead = Array.make t false in
+    let fresh = ref [] in
+    let merged_any = ref false in
+    for i = 0 to t - 1 do
+      for j = i + 1 to t - 1 do
+        if (not dead.(i)) || not dead.(j) then begin
+          match mergeable arr.(i) arr.(j) with
+          | None -> ()
+          | Some pos ->
+            let m = Array.copy arr.(i) in
+            m.(pos) <- Free;
+            fresh := m :: !fresh;
+            dead.(i) <- true;
+            dead.(j) <- true;
+            merged_any := true
+        end
+      done
+    done;
+    if not !merged_any then terms
+    else begin
+      let survivors = ref !fresh in
+      Array.iteri (fun i t -> if not dead.(i) then survivors := t :: !survivors) arr;
+      (* Deduplicate merged results before the next round. *)
+      fixpoint (List.sort_uniq Stdlib.compare !survivors)
+    end
+  in
+  fixpoint terms
+
+let compile ?(with_valid = true) ?(merge_adjacent = true) (enum : Le.t) =
+  let n = enum.Le.matrix.Ctg_kyao.Matrix.precision in
+  let support = enum.Le.matrix.Ctg_kyao.Matrix.support in
+  let sample_bits = max 1 (Ctg_util.Bits.bits_needed support) in
+  let b = Gate.builder ~num_vars:n () in
+  (* Emit one product term; CSE turns shared prefixes into a trie. *)
+  let emit_term term =
+    let acc = ref (Gate.const b true) in
+    for i = 0 to n - 1 do
+      (match term.(i) with
+      | Free -> ()
+      | One -> acc := Gate.band b !acc (Gate.var b i)
+      | Zero -> acc := Gate.band b !acc (Gate.bnot b (Gate.var b i)))
+    done;
+    !acc
+  in
+  let function_of leaves_pred =
+    let terms =
+      Array.to_list enum.Le.leaves
+      |> List.filter leaves_pred
+      |> List.map (term_of_leaf ~n)
+    in
+    let terms = if merge_adjacent then merge_terms ~n terms else terms in
+    Gate.bor_list b (List.map emit_term terms)
+  in
+  let outputs =
+    Array.init sample_bits (fun bit ->
+        function_of (fun leaf -> Le.sample_bit leaf bit))
+  in
+  let valid = if with_valid then Some (function_of (fun _ -> true)) else None in
+  Gate.finish b ~outputs ~valid

@@ -1,0 +1,15 @@
+(** Baseline compiler in the style of the prior work [21] (Karmakar et al.,
+    IEEE TC 2018), which the paper's Table 2 compares against: one product
+    term per DDG leaf over the full determined prefix, OR-ed per output
+    bit, with structural sharing of common AND prefixes.  No sublist
+    split, no don't-care exploitation.
+
+    [merge_adjacent] additionally runs adjacency merging (the first
+    Quine-McCluskey step) on the full-length terms before emission — a
+    stand-in for [21] feeding its global functions through a synthesis
+    tool.  The paper's improvement is claimed over that minimized
+    baseline, so Table 2 uses [merge_adjacent = true]. *)
+
+val compile :
+  ?with_valid:bool -> ?merge_adjacent:bool -> Ctg_kyao.Leaf_enum.t -> Gate.t
+(** Defaults: [with_valid = true], [merge_adjacent = true]. *)

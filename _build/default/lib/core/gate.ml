@@ -1,0 +1,146 @@
+type reg = int
+
+type instr =
+  | And of reg * reg
+  | Or of reg * reg
+  | Xor of reg * reg
+  | Not of reg
+  | Const of bool
+
+type t = {
+  num_vars : int;
+  instrs : instr array;
+  outputs : reg array;
+  valid : reg option;
+}
+
+type builder = {
+  num_vars : int;
+  cse : bool;
+  mutable rev_instrs : instr list;
+  mutable next : reg;
+  memo : (instr, reg) Hashtbl.t;
+}
+
+let builder ?(cse = true) ~num_vars () =
+  {
+    num_vars;
+    cse;
+    rev_instrs = [];
+    next = num_vars;
+    memo = Hashtbl.create 256;
+  }
+
+let var b i =
+  assert (i >= 0 && i < b.num_vars);
+  i
+
+let emit b instr =
+  match if b.cse then Hashtbl.find_opt b.memo instr else None with
+  | Some r -> r
+  | None ->
+    let r = b.next in
+    b.next <- r + 1;
+    b.rev_instrs <- instr :: b.rev_instrs;
+    if b.cse then Hashtbl.replace b.memo instr r;
+    r
+
+let const b v = emit b (Const v)
+
+(* Constant registers are recognized structurally: with CSE on, [const]
+   always returns the same register for the same Boolean, so we can track
+   the two possible constants for simplification. *)
+let is_const b r =
+  match Hashtbl.find_opt b.memo (Const true) with
+  | Some r' when r' = r -> Some true
+  | _ -> (
+    match Hashtbl.find_opt b.memo (Const false) with
+    | Some r' when r' = r -> Some false
+    | _ -> None)
+
+let norm2 x y = if x <= y then (x, y) else (y, x)
+
+let band b x y =
+  match (is_const b x, is_const b y) with
+  | Some true, _ -> y
+  | _, Some true -> x
+  | Some false, _ | _, Some false -> const b false
+  | None, None ->
+    if x = y then x
+    else begin
+      let x, y = norm2 x y in
+      emit b (And (x, y))
+    end
+
+let bor b x y =
+  match (is_const b x, is_const b y) with
+  | Some false, _ -> y
+  | _, Some false -> x
+  | Some true, _ | _, Some true -> const b true
+  | None, None ->
+    if x = y then x
+    else begin
+      let x, y = norm2 x y in
+      emit b (Or (x, y))
+    end
+
+let bxor b x y =
+  match (is_const b x, is_const b y) with
+  | Some false, _ -> y
+  | _, Some false -> x
+  | Some true, _ -> emit b (Not y)
+  | _, Some true -> emit b (Not x)
+  | None, None ->
+    if x = y then const b false
+    else begin
+      let x, y = norm2 x y in
+      emit b (Xor (x, y))
+    end
+
+let bnot b x =
+  match is_const b x with
+  | Some v -> const b (not v)
+  | None -> emit b (Not x)
+
+let mux b ~sel ~if_one ~if_zero =
+  if if_one = if_zero then if_one
+  else bor b (band b sel if_one) (band b (bnot b sel) if_zero)
+
+let band_list b = function
+  | [] -> const b true
+  | r :: rest -> List.fold_left (band b) r rest
+
+let bor_list b = function
+  | [] -> const b false
+  | r :: rest -> List.fold_left (bor b) r rest
+
+let finish b ~outputs ~valid =
+  {
+    num_vars = b.num_vars;
+    instrs = Array.of_list (List.rev b.rev_instrs);
+    outputs;
+    valid;
+  }
+
+let gate_count (t : t) =
+  Array.fold_left
+    (fun acc i -> match i with Const _ -> acc | And _ | Or _ | Xor _ | Not _ -> acc + 1)
+    0 t.instrs
+
+let depth (t : t) =
+  let d = Array.make (t.num_vars + Array.length t.instrs) 0 in
+  Array.iteri
+    (fun i instr ->
+      let r = t.num_vars + i in
+      d.(r) <-
+        (match instr with
+        | Const _ -> 0
+        | Not x -> d.(x) + 1
+        | And (x, y) | Or (x, y) | Xor (x, y) -> max d.(x) d.(y) + 1))
+    t.instrs;
+  Array.fold_left max 0 d
+
+let pp_stats fmt (t : t) =
+  Format.fprintf fmt "vars=%d gates=%d depth=%d outputs=%d valid=%b"
+    t.num_vars (gate_count t) (depth t) (Array.length t.outputs)
+    (t.valid <> None)

@@ -1,0 +1,54 @@
+(** Straight-line Boolean programs: the compilation target of both sampler
+    compilers and the unit of the repo's cost model.
+
+    Registers [0 .. num_vars-1] are the input variables (the random bits
+    [b_0 .. b_{n-1}]); instruction [i] defines register [num_vars + i].
+    Programs contain only AND/OR/XOR/NOT/constants, so evaluating one is
+    branch-free and secret-independent by construction — the constant-time
+    property the paper needs. *)
+
+type reg = int
+
+type instr =
+  | And of reg * reg
+  | Or of reg * reg
+  | Xor of reg * reg
+  | Not of reg
+  | Const of bool
+
+type t = private {
+  num_vars : int;
+  instrs : instr array;
+  outputs : reg array;  (** [outputs.(i)] holds bit [i] of the sample. *)
+  valid : reg option;  (** 1 iff the input string terminates the walk. *)
+}
+
+(** Builders accumulate instructions with common-subexpression elimination
+    (structural hashing with commutative normalization), so shared selector
+    prefixes of Eqn. 2 cost one gate each. *)
+type builder
+
+val builder : ?cse:bool -> num_vars:int -> unit -> builder
+val var : builder -> int -> reg
+val const : builder -> bool -> reg
+val band : builder -> reg -> reg -> reg
+val bor : builder -> reg -> reg -> reg
+val bxor : builder -> reg -> reg -> reg
+val bnot : builder -> reg -> reg
+
+val mux : builder -> sel:reg -> if_one:reg -> if_zero:reg -> reg
+(** Constant-time select: [(sel & if_one) | (~sel & if_zero)]. *)
+
+val band_list : builder -> reg list -> reg
+(** AND of a list ([const true] when empty). *)
+
+val bor_list : builder -> reg list -> reg
+
+val finish : builder -> outputs:reg array -> valid:reg option -> t
+val gate_count : t -> int
+(** Number of non-constant instructions (the paper's cost proxy). *)
+
+val depth : t -> int
+(** Longest dependency chain, counting non-constant gates. *)
+
+val pp_stats : Format.formatter -> t -> unit

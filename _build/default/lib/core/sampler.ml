@@ -1,0 +1,91 @@
+module Bs = Ctg_prng.Bitstream
+
+type method_ = Split_minimized | Simple
+
+type t = {
+  matrix : Ctg_kyao.Matrix.t;
+  enum : Ctg_kyao.Leaf_enum.t;
+  program : Gate.t;
+  scratch : Bitslice.scratch;
+  inputs : int array;
+  sample_bits : int;
+  mutable buffer : int array; (* signed samples ready to hand out *)
+  mutable buffer_pos : int;
+  mutable buffer_mag : int array;
+  mutable buffer_mag_pos : int;
+}
+
+let of_enum ?(method_ = Split_minimized) ?options (enum : Ctg_kyao.Leaf_enum.t) =
+  let program =
+    match method_ with
+    | Split_minimized -> Compile.compile ?options (Sublist.build enum)
+    | Simple ->
+      let with_valid =
+        match options with None -> true | Some o -> o.Compile.with_valid
+      in
+      Compile_simple.compile ~with_valid enum
+  in
+  let support = enum.Ctg_kyao.Leaf_enum.matrix.Ctg_kyao.Matrix.support in
+  {
+    matrix = enum.Ctg_kyao.Leaf_enum.matrix;
+    enum;
+    program;
+    scratch = Bitslice.scratch program;
+    inputs = Array.make program.Gate.num_vars 0;
+    sample_bits = max 1 (Ctg_util.Bits.bits_needed support);
+    buffer = [||];
+    buffer_pos = 0;
+    buffer_mag = [||];
+    buffer_mag_pos = 0;
+  }
+
+let create ?method_ ?options ~sigma ~precision ~tail_cut () =
+  let matrix = Ctg_kyao.Matrix.create ~sigma ~precision ~tail_cut in
+  of_enum ?method_ ?options (Ctg_kyao.Leaf_enum.enumerate matrix)
+
+let batch_magnitude t rng =
+  for i = 0 to Array.length t.inputs - 1 do
+    t.inputs.(i) <- Bs.next_word rng
+  done;
+  Bitslice.eval t.program t.scratch ~inputs:t.inputs;
+  let mags = Bitslice.magnitudes t.program t.scratch in
+  let valid = Bitslice.valid_word t.program t.scratch in
+  if valid <> Bitslice.all_ones then
+    for lane = 0 to Bitslice.lanes - 1 do
+      if (valid lsr lane) land 1 = 0 then
+        mags.(lane) <- Ctg_kyao.Column_sampler.sample_magnitude t.matrix rng
+    done;
+  mags
+
+let batch_signed t rng =
+  let mags = batch_magnitude t rng in
+  let signs = Bs.next_word rng in
+  Array.mapi
+    (fun lane m -> if (signs lsr lane) land 1 = 1 then -m else m)
+    mags
+
+let sample t rng =
+  if t.buffer_pos >= Array.length t.buffer then begin
+    t.buffer <- batch_signed t rng;
+    t.buffer_pos <- 0
+  end;
+  let s = t.buffer.(t.buffer_pos) in
+  t.buffer_pos <- t.buffer_pos + 1;
+  s
+
+let sample_magnitude t rng =
+  if t.buffer_mag_pos >= Array.length t.buffer_mag then begin
+    t.buffer_mag <- batch_magnitude t rng;
+    t.buffer_mag_pos <- 0
+  end;
+  let s = t.buffer_mag.(t.buffer_mag_pos) in
+  t.buffer_mag_pos <- t.buffer_mag_pos + 1;
+  s
+
+let program t = t.program
+let gate_count t = Gate.gate_count t.program
+let sample_bits t = t.sample_bits
+let matrix t = t.matrix
+let enum t = t.enum
+let sigma t = t.matrix.Ctg_kyao.Matrix.sigma
+let eval_bits t bits = Bitslice.eval_single t.program bits

@@ -1,0 +1,56 @@
+(** Public API: constant-time discrete Gaussian samplers compiled to
+    bitsliced Boolean programs.
+
+    {[
+      let s = Sampler.create ~sigma:"2" ~precision:128 ~tail_cut:13 () in
+      let rng = Ctg_prng.(Bitstream.of_chacha (Chacha20.of_seed "demo")) in
+      let z = Sampler.sample s rng        (* one signed sample *)
+      let zs = Sampler.batch_signed s rng (* 63 samples per program run *)
+    ]} *)
+
+type method_ =
+  | Split_minimized  (** This paper: sublist split + exact minimization. *)
+  | Simple  (** The prior-work baseline of Table 2. *)
+
+type t
+
+val create :
+  ?method_:method_ ->
+  ?options:Compile.options ->
+  sigma:string ->
+  precision:int ->
+  tail_cut:int ->
+  unit ->
+  t
+(** Runs the full pipeline of the paper's Fig. 4: probability matrix →
+    list L → sublists → minimized Boolean functions → combined constant-
+    time program.  [Split_minimized] with default options is the paper's
+    construction. *)
+
+val of_enum : ?method_:method_ -> ?options:Compile.options -> Ctg_kyao.Leaf_enum.t -> t
+(** Reuse an existing leaf enumeration (saves the table rebuild when
+    comparing compilers on the same σ). *)
+
+val batch_magnitude : t -> Ctg_prng.Bitstream.t -> int array
+(** 63 magnitudes from one bitsliced program evaluation.  Lanes whose walk
+    did not terminate within the precision (probability < 2^-117 at Falcon
+    parameters) are resampled with the reference walk. *)
+
+val batch_signed : t -> Ctg_prng.Bitstream.t -> int array
+(** Magnitudes combined with one word of sign bits. *)
+
+val sample : t -> Ctg_prng.Bitstream.t -> int
+(** Single signed sample from an internal buffer refilled per batch. *)
+
+val sample_magnitude : t -> Ctg_prng.Bitstream.t -> int
+
+val program : t -> Gate.t
+val gate_count : t -> int
+val sample_bits : t -> int
+val matrix : t -> Ctg_kyao.Matrix.t
+val enum : t -> Ctg_kyao.Leaf_enum.t
+val sigma : t -> string
+
+val eval_bits : t -> bool array -> int * bool
+(** Run the compiled program on an explicit bit string (equivalence
+    testing against {!Ctg_kyao.Column_sampler.walk_bits}). *)

@@ -1,0 +1,63 @@
+module Le = Ctg_kyao.Leaf_enum
+module Tt = Ctg_boolmin.Truth_table
+module Cube = Ctg_boolmin.Cube
+
+type entry = {
+  kappa : int;
+  window : int;
+  leaves : Le.leaf list;
+  bit_tables : Tt.t array;
+  hit_table : Tt.t;
+}
+
+type t = { enum : Le.t; sample_bits : int; entries : entry array }
+
+let payload_of_leaf ~window (leaf : Le.leaf) =
+  let j = leaf.Le.payload in
+  assert (j <= window);
+  let mask = (1 lsl j) - 1 in
+  let value = ref 0 in
+  for p = 0 to j - 1 do
+    (* Payload variable p is input bit b_{κ+1+p}. *)
+    if leaf.Le.bits.(leaf.Le.ones + 1 + p) then value := !value lor (1 lsl p)
+  done;
+  Cube.make ~mask ~value:!value
+
+let build_entry ~sample_bits ~precision ~delta kappa leaves =
+  let window = min delta (max 0 (precision - 1 - kappa)) in
+  let bit_tables =
+    Array.init sample_bits (fun _ -> Tt.create ~vars:window ~default:Dc)
+  in
+  let hit_table = Tt.create ~vars:window ~default:Off in
+  let mark (leaf : Le.leaf) =
+    let cube = payload_of_leaf ~window leaf in
+    let minterms = Cube.minterms ~vars:window cube in
+    List.iter
+      (fun m ->
+        Tt.set hit_table m On;
+        for bit = 0 to sample_bits - 1 do
+          let v = if Le.sample_bit leaf bit then Tt.On else Tt.Off in
+          Tt.set bit_tables.(bit) m v
+        done)
+      minterms
+  in
+  List.iter mark leaves;
+  { kappa; window; leaves; bit_tables; hit_table }
+
+let build (enum : Le.t) =
+  let precision = enum.Le.matrix.Ctg_kyao.Matrix.precision in
+  let support = enum.Le.matrix.Ctg_kyao.Matrix.support in
+  let sample_bits = max 1 (Ctg_util.Bits.bits_needed support) in
+  let by_kappa = Array.make (enum.Le.max_ones + 1) [] in
+  Array.iter
+    (fun (leaf : Le.leaf) ->
+      by_kappa.(leaf.Le.ones) <- leaf :: by_kappa.(leaf.Le.ones))
+    enum.Le.leaves;
+  let entries =
+    Array.mapi
+      (fun kappa leaves ->
+        build_entry ~sample_bits ~precision ~delta:enum.Le.delta kappa
+          (List.rev leaves))
+      by_kappa
+  in
+  { enum; sample_bits; entries }

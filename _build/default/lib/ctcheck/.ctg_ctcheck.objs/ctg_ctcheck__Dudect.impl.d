@@ -1,0 +1,1 @@
+lib/ctcheck/dudect.ml: Array Ctg_prng Ctg_stats Format List Stdlib Unix

@@ -1,0 +1,1 @@
+lib/ctcheck/dudect.mli: Format

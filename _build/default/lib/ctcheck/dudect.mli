@@ -1,0 +1,39 @@
+(** dudect-style leakage assessment (Reparaz, Balasch, Verbauwhede, DATE
+    2017) — "dude, is my code constant time?", the tool the paper uses in
+    Sec. 5.2 to validate its sampler.
+
+    Two input classes (fix vs. random) are interleaved randomly and a
+    Welch t-test compares their measurement distributions.  Because OCaml's
+    GC makes wall-clock noisy, measurements can be either [`Time] (cycles
+    via [Unix.gettimeofday], with the usual percentile cropping) or
+    [`Ops] (the deterministic work counters every sampler exposes), the
+    latter giving an exact witness; see DESIGN.md. *)
+
+type clazz = Fix | Random
+
+type config = {
+  measurements : int;  (** per class, default 50_000 *)
+  threshold : float;  (** |t| above this flags a leak; dudect uses 4.5 *)
+  crop_percentile : float;
+      (** Discard measurements above this sample percentile before the
+          test (time mode only, tames GC/interrupt outliers); 0.95. *)
+}
+
+val default_config : config
+
+type report = {
+  t_statistic : float;
+  leaky : bool;
+  samples_per_class : int;
+  mean_fix : float;
+  mean_random : float;
+}
+
+val test_ops : ?config:config -> (clazz -> int) -> report
+(** [test_ops f]: [f clazz] performs one operation of the given input class
+    and returns its deterministic work count. *)
+
+val test_time : ?config:config -> (clazz -> unit) -> report
+(** Wall-clock variant; measures [f clazz] in nanoseconds. *)
+
+val pp_report : Format.formatter -> report -> unit

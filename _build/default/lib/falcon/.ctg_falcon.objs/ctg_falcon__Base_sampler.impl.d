@@ -1,0 +1,1 @@
+lib/falcon/base_sampler.ml: Ctg_prng Ctg_samplers Float

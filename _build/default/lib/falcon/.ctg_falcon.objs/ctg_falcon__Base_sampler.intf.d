@@ -1,0 +1,1 @@
+lib/falcon/base_sampler.mli: Ctg_prng Ctg_samplers

@@ -1,0 +1,1 @@
+lib/falcon/codec.ml: Array Buffer Bytes Char Keygen Params Zq

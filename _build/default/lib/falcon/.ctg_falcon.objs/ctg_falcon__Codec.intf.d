@@ -1,0 +1,1 @@
+lib/falcon/codec.mli: Keygen Params

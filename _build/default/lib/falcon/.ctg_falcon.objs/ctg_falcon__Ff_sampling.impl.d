@@ -1,0 +1,1 @@
+lib/falcon/ff_sampling.ml: Array Base_sampler Fftc Hashtbl Ldl

@@ -1,0 +1,1 @@
+lib/falcon/ff_sampling.mli: Base_sampler Ctg_prng Fftc Ldl

@@ -1,0 +1,1 @@
+lib/falcon/fftc.ml: Array Hashtbl

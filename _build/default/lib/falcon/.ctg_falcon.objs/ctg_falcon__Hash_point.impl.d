@@ -1,0 +1,1 @@
+lib/falcon/hash_point.ml: Array Bytes Char Ctg_prng Zq

@@ -1,0 +1,1 @@
+lib/falcon/keygen.ml: Array Ctg_bigint Ctg_prng Fftc Ldl Ntru_solve Ntt Params Polyz Zq

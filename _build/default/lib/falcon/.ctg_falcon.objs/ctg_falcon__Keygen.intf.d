@@ -1,0 +1,1 @@
+lib/falcon/keygen.mli: Ctg_prng Fftc Ldl Params

@@ -1,0 +1,1 @@
+lib/falcon/ldl.mli: Fftc

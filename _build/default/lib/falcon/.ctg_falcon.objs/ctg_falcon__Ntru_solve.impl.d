@@ -1,0 +1,1 @@
+lib/falcon/ntru_solve.ml: Array Ctg_bigint Fftc Float Polyz

@@ -1,0 +1,1 @@
+lib/falcon/ntru_solve.mli: Ctg_bigint Polyz

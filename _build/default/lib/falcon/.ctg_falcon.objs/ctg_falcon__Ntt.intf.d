@@ -1,0 +1,1 @@
+lib/falcon/ntt.mli:

@@ -1,0 +1,1 @@
+lib/falcon/params.ml:

@@ -1,0 +1,1 @@
+lib/falcon/polyz.ml: Array Ctg_bigint

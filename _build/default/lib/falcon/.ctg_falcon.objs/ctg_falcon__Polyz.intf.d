@@ -1,0 +1,1 @@
+lib/falcon/polyz.mli: Ctg_bigint

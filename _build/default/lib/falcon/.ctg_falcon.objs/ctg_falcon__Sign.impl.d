@@ -1,0 +1,1 @@
+lib/falcon/sign.ml: Array Bytes Char Ctg_prng Ff_sampling Fftc Float Hash_point Keygen Params

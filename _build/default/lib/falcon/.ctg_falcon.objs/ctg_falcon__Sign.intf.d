@@ -1,0 +1,1 @@
+lib/falcon/sign.mli: Base_sampler Ctg_prng Keygen Params

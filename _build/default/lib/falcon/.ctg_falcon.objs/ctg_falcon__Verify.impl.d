@@ -1,0 +1,1 @@
+lib/falcon/verify.ml: Array Bytes Hash_point Ntt Params Sign Zq

@@ -1,0 +1,1 @@
+lib/falcon/verify.mli: Params

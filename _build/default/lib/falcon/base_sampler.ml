@@ -1,0 +1,41 @@
+module Bs = Ctg_prng.Bitstream
+
+type kind =
+  | Paper of Ctg_samplers.Sampler_sig.instance
+  | Ideal
+
+type t = { kind : kind; mutable calls : int }
+
+let of_instance inst = { kind = Paper inst; calls = 0 }
+let ideal () = { kind = Ideal; calls = 0 }
+
+let name t =
+  match t.kind with
+  | Paper inst -> inst.Ctg_samplers.Sampler_sig.name
+  | Ideal -> "ideal-float"
+
+let uniform01 rng =
+  (* 53 random bits into (0, 1]. *)
+  let hi = Bs.next_bits rng 26 and lo = Bs.next_bits rng 27 in
+  (float_of_int ((hi lsl 27) lor lo) +. 1.0) /. 9007199254740992.0
+
+let sample_around t rng ~center ~sigma' =
+  t.calls <- t.calls + 1;
+  match t.kind with
+  | Paper inst ->
+    let base = Ctg_samplers.Sampler_sig.sample_signed inst rng in
+    Float.to_int (Float.round center) + base
+  | Ideal ->
+    (* Box-Muller, then round: a continuous-Gaussian stand-in for the
+       exact SamplerZ, good enough to benchmark signature quality. *)
+    let u1 = uniform01 rng and u2 = uniform01 rng in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    Float.to_int (Float.round (center +. (sigma' *. z)))
+
+let calls t = t.calls
+let reset_calls t = t.calls <- 0
+
+let error_variance t =
+  match t.kind with
+  | Paper _ -> (2.0 *. 2.0) +. (1.0 /. 12.0)
+  | Ideal -> 1.0 (* scaled by σ'² at the use site *)

@@ -1,0 +1,31 @@
+(** The experiment knob of the paper's Table 1: the base integer Gaussian
+    sampler that ffSampling calls at every tree leaf (2N times per
+    signature attempt).
+
+    [Paper]-mode plugs in any fixed-σ sampler behind the common
+    {!Ctg_samplers.Sampler_sig.instance} interface, handling the leaf
+    center by rounding (the σ' of the leaf is ignored, as when the DAC
+    authors plugged their σ=2 sampler into the Falcon reference code; see
+    DESIGN.md).  [Ideal]-mode is a floating-point reference with the exact
+    per-leaf σ', used to quantify the quality cost of the substitution. *)
+
+type t
+
+val of_instance : Ctg_samplers.Sampler_sig.instance -> t
+val ideal : unit -> t
+(** Box-Muller rounding with the leaf's σ'; not constant time. *)
+
+val name : t -> string
+
+val sample_around :
+  t -> Ctg_prng.Bitstream.t -> center:float -> sigma':float -> int
+
+val calls : t -> int
+(** Total leaf samples drawn through this instance. *)
+
+val reset_calls : t -> unit
+
+val error_variance : t -> float
+(** Approximate variance of [z − center] per call: [σ_b² + 1/12] in paper
+    mode (base σ_b = 2 plus rounding), [σ'²] nominal in ideal mode (the
+    caller substitutes the actual σ').  Drives the signature norm bound. *)

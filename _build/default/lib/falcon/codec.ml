@@ -1,0 +1,218 @@
+type writer = { buf : Buffer.t; mutable acc : int; mutable nbits : int }
+
+let writer () = { buf = Buffer.create 256; acc = 0; nbits = 0 }
+
+let put w bit =
+  w.acc <- (w.acc lsl 1) lor (bit land 1);
+  w.nbits <- w.nbits + 1;
+  if w.nbits = 8 then begin
+    Buffer.add_char w.buf (Char.chr w.acc);
+    w.acc <- 0;
+    w.nbits <- 0
+  end
+
+let put_bits w v k =
+  for i = k - 1 downto 0 do
+    put w ((v lsr i) land 1)
+  done
+
+let finish w =
+  if w.nbits > 0 then begin
+    Buffer.add_char w.buf (Char.chr (w.acc lsl (8 - w.nbits)));
+    w.acc <- 0;
+    w.nbits <- 0
+  end;
+  Buffer.to_bytes w.buf
+
+type reader = { data : bytes; mutable pos : int }
+
+let reader data = { data; pos = 0 }
+
+let get r =
+  let byte = r.pos lsr 3 in
+  if byte >= Bytes.length r.data then None
+  else begin
+    let bit = (Char.code (Bytes.get r.data byte) lsr (7 - (r.pos land 7))) land 1 in
+    r.pos <- r.pos + 1;
+    Some bit
+  end
+
+let get_bits r k =
+  let rec go acc i =
+    if i = k then Some acc
+    else match get r with None -> None | Some b -> go ((acc lsl 1) lor b) (i + 1)
+  in
+  go 0 0
+
+(* Falcon's coefficient coding: sign, 7 low magnitude bits, then the high
+   part in unary (that many 1s, closed by a 0). *)
+let compress_s2 s2 =
+  let w = writer () in
+  Array.iter
+    (fun c ->
+      let mag = abs c in
+      if mag >= 1 lsl 17 then invalid_arg "Codec.compress_s2: coefficient too large";
+      put w (if c < 0 then 1 else 0);
+      put_bits w (mag land 0x7f) 7;
+      let high = mag lsr 7 in
+      for _ = 1 to high do
+        put w 1
+      done;
+      put w 0)
+    s2;
+  finish w
+
+let decompress_s2 ~n data =
+  let r = reader data in
+  let out = Array.make n 0 in
+  let rec unary acc =
+    match get r with
+    | None -> None
+    | Some 0 -> Some acc
+    | Some _ -> if acc > 1 lsl 10 then None else unary (acc + 1)
+  in
+  let rec go i =
+    if i = n then Some out
+    else
+      match (get r, get_bits r 7) with
+      | Some sign, Some low -> (
+        match unary 0 with
+        | None -> None
+        | Some high ->
+          let mag = (high lsl 7) lor low in
+          out.(i) <- (if sign = 1 then -mag else mag);
+          go (i + 1))
+      | _, _ -> None
+  in
+  go 0
+
+let encode_signature ~salt ~s2 =
+  let body = compress_s2 s2 in
+  let len = Bytes.length body in
+  let out = Bytes.create (Bytes.length salt + 2 + len) in
+  Bytes.blit salt 0 out 0 (Bytes.length salt);
+  Bytes.set out (Bytes.length salt) (Char.chr (len lsr 8));
+  Bytes.set out (Bytes.length salt + 1) (Char.chr (len land 0xff));
+  Bytes.blit body 0 out (Bytes.length salt + 2) len;
+  out
+
+let decode_signature ~params data =
+  let sb = params.Params.salt_bytes in
+  if Bytes.length data < sb + 2 then None
+  else begin
+    let salt = Bytes.sub data 0 sb in
+    let len =
+      (Char.code (Bytes.get data sb) lsl 8) lor Char.code (Bytes.get data (sb + 1))
+    in
+    if Bytes.length data <> sb + 2 + len then None
+    else
+      match decompress_s2 ~n:params.Params.n (Bytes.sub data (sb + 2) len) with
+      | None -> None
+      | Some s2 -> Some (salt, s2)
+  end
+
+let encode_public_key h =
+  let w = writer () in
+  Array.iter (fun c -> put_bits w (Zq.reduce c) 14) h;
+  finish w
+
+let decode_public_key ~n data =
+  let r = reader data in
+  let out = Array.make n 0 in
+  let rec go i =
+    if i = n then Some out
+    else
+      match get_bits r 14 with
+      | None -> None
+      | Some v -> if v >= Zq.q then None else (out.(i) <- v; go (i + 1))
+  in
+  go 0
+
+let signature_bytes ~salt ~s2 = Bytes.length (encode_signature ~salt ~s2)
+let public_key_bytes h = Bytes.length (encode_public_key h)
+
+(* Binary keypair format:
+   "FKR1" | n/4 (1 byte) | f (n signed bytes) | g (n signed bytes)
+   | F (3 bytes/coeff, two's complement) | G (same) | h (14-bit packed). *)
+let keypair_magic = "FKR1"
+
+let encode_keypair (kp : Keygen.keypair) =
+  let n = kp.Keygen.params.Params.n in
+  let buf = Buffer.create (1024 + (8 * n)) in
+  Buffer.add_string buf keypair_magic;
+  Buffer.add_char buf (Char.chr (n / 4 land 0xff));
+  Buffer.add_char buf (Char.chr (n / 1024));
+  let small p =
+    Array.iter
+      (fun c ->
+        if c < -128 || c > 127 then invalid_arg "Codec.encode_keypair: f/g range";
+        Buffer.add_char buf (Char.chr (c land 0xff)))
+      p
+  in
+  let wide p =
+    Array.iter
+      (fun c ->
+        if c < -(1 lsl 23) || c >= 1 lsl 23 then
+          invalid_arg "Codec.encode_keypair: F/G range";
+        let u = c land 0xFFFFFF in
+        Buffer.add_char buf (Char.chr (u land 0xff));
+        Buffer.add_char buf (Char.chr ((u lsr 8) land 0xff));
+        Buffer.add_char buf (Char.chr ((u lsr 16) land 0xff)))
+      p
+  in
+  small kp.Keygen.secret.Keygen.f;
+  small kp.Keygen.secret.Keygen.g;
+  wide kp.Keygen.secret.Keygen.big_f;
+  wide kp.Keygen.secret.Keygen.big_g;
+  Buffer.add_bytes buf (encode_public_key kp.Keygen.h);
+  Buffer.to_bytes buf
+
+let decode_keypair data =
+  let len = Bytes.length data in
+  if len < 6 || Bytes.sub_string data 0 4 <> keypair_magic then None
+  else begin
+    let n = (Char.code (Bytes.get data 4) * 4) + (Char.code (Bytes.get data 5) * 1024) in
+    if n < 4 || n > 4096 || n land (n - 1) <> 0 then None
+    else begin
+      let pos = ref 6 in
+      let take k f =
+        if !pos + k > len then None
+        else begin
+          let v = f !pos in
+          pos := !pos + k;
+          Some v
+        end
+      in
+      let small () =
+        take n (fun base ->
+            Array.init n (fun i ->
+                let u = Char.code (Bytes.get data (base + i)) in
+                if u > 127 then u - 256 else u))
+      in
+      let wide () =
+        take (3 * n) (fun base ->
+            Array.init n (fun i ->
+                let b k = Char.code (Bytes.get data (base + (3 * i) + k)) in
+                let u = b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) in
+                if u >= 1 lsl 23 then u - (1 lsl 24) else u))
+      in
+      match (small (), small (), wide (), wide ()) with
+      | Some f, Some g, Some big_f, Some big_g ->
+        let h_bytes = ((14 * n) + 7) / 8 in
+        if !pos + h_bytes <> len then None
+        else begin
+          match decode_public_key ~n (Bytes.sub data !pos h_bytes) with
+          | None -> None
+          | Some h ->
+            let params =
+              match n with
+              | 256 -> Params.level1
+              | 512 -> Params.level2
+              | 1024 -> Params.level3
+              | _ -> Params.custom ~n
+            in
+            Some (Keygen.restore params ~secret:{ Keygen.f; g; big_f; big_g } ~h)
+        end
+      | _, _, _, _ -> None
+    end
+  end

@@ -1,0 +1,37 @@
+(** Serialization: Falcon-style signature compression (sign bit + 7 raw
+    low bits + unary high bits per coefficient) and fixed-width public-key
+    packing.  Gives the byte sizes behind Falcon's headline "smallest
+    pk + signature" claim, which the paper's intro leans on. *)
+
+type writer
+type reader
+
+val compress_s2 : int array -> bytes
+(** @raise Invalid_argument if some |coefficient| ≥ 2^17 (no valid
+    signature gets near that). *)
+
+val decompress_s2 : n:int -> bytes -> int array option
+(** [None] on malformed input. *)
+
+val encode_signature : salt:bytes -> s2:int array -> bytes
+(** salt ‖ 2-byte length ‖ compressed s2. *)
+
+val decode_signature :
+  params:Params.t -> bytes -> (bytes * int array) option
+
+val encode_public_key : int array -> bytes
+(** 14 bits per coefficient, packed. *)
+
+val decode_public_key : n:int -> bytes -> int array option
+
+val signature_bytes : salt:bytes -> s2:int array -> int
+val public_key_bytes : int array -> int
+
+val encode_keypair : Keygen.keypair -> bytes
+(** Binary format: magic, degree, f and g as signed bytes, F and G as
+    3-byte signed values, h packed at 14 bits — the whole key material
+    needed by {!Keygen.restore}. *)
+
+val decode_keypair : bytes -> Keygen.keypair option
+(** [None] on malformed input (bad magic, bad degree, out-of-range
+    coefficients). *)

@@ -1,0 +1,15 @@
+(** ffSampling (fast Fourier nearest-plane sampling): walk the Falcon tree
+    and draw one integer per leaf from the base sampler, producing an
+    integer vector [z] close to the target [t] under the Gram geometry.
+    This is where the paper's constant-time sampler gets exercised 2N
+    times per signature attempt. *)
+
+val sample :
+  Ldl.t ->
+  Base_sampler.t ->
+  Ctg_prng.Bitstream.t ->
+  t0:Fftc.t ->
+  t1:Fftc.t ->
+  Fftc.t * Fftc.t
+(** [(z0, z1)] in the FFT domain; their coefficients are exact integers
+    (up to FP noise). *)

@@ -1,0 +1,53 @@
+(** Complex FFT for the negacyclic ring R[x]/(x^n + 1): evaluations at the
+    n odd powers of the 2n-th root of unity.  Full-complex storage (no
+    Hermitian packing) keeps split/merge — the recursions of ffSampling —
+    simple; see DESIGN.md.
+
+    Arrays [re]/[im] have length n; all operations are out-of-place. *)
+
+type t = { re : float array; im : float array }
+
+val of_real : float array -> t
+(** Forward FFT of real coefficients. *)
+
+val of_int_poly : int array -> t
+val to_real : t -> float array
+(** Inverse FFT, real parts (imaginary residue is FP noise). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Pointwise (ring product). *)
+
+val div : t -> t -> t
+val adjoint : t -> t
+(** Pointwise conjugate = FFT of [f*(x^-1)]. *)
+
+val scale : t -> float -> t
+
+val split : t -> t * t
+(** Falcon's splitfft: [f(x) = f0(x²) + x·f1(x²)], both halves in the
+    FFT domain of size n/2.  Requires n ≥ 2. *)
+
+val merge : t -> t -> t
+(** Inverse of {!split}. *)
+
+val norm_sq : t -> float
+(** Σ|f_j|² over coefficients = (1/n)·Σ|FFT_j|² (Parseval). *)
+
+(** {2 In-place variants for the signing hot path}
+
+    ffSampling visits ~2N nodes per signature; these write into caller
+    buffers so the walk allocates nothing. *)
+
+val create : int -> t
+(** Zeroed buffer of size n. *)
+
+val blit : t -> t -> unit
+(** [blit src dst]. *)
+
+val split_into : t -> t * t -> unit
+(** As {!split}, into two preallocated half-size buffers. *)
+
+val merge_into : t * t -> t -> unit
+(** As {!merge}, into a preallocated full-size buffer. *)

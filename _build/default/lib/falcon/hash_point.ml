@@ -1,0 +1,20 @@
+let hash ~n ~salt ~msg =
+  let input = Bytes.cat salt msg in
+  let xof = Ctg_prng.Keccak.shake128 input in
+  let out = Array.make n 0 in
+  (* Accept 16-bit draws below 5·q = 61445 (the largest multiple of q
+     below 2^16), reducing mod q: exactly uniform. *)
+  let limit = 65536 / Zq.q * Zq.q in
+  let rec fill i =
+    if i < n then begin
+      let b = Ctg_prng.Keccak.squeeze xof 2 in
+      let v = (Char.code (Bytes.get b 0) lsl 8) lor Char.code (Bytes.get b 1) in
+      if v < limit then begin
+        out.(i) <- v mod Zq.q;
+        fill (i + 1)
+      end
+      else fill i
+    end
+  in
+  fill 0;
+  out

@@ -1,0 +1,5 @@
+(** Falcon's HashToPoint: SHAKE128(salt ‖ message) squeezed into N uniform
+    coefficients mod q by 16-bit rejection sampling (Falcon spec, Alg. 3). *)
+
+val hash : n:int -> salt:bytes -> msg:bytes -> int array
+(** Coefficients in [[0, q)]. *)

@@ -1,0 +1,24 @@
+(** Falcon's LDL tree (the "Falcon tree"): the recursive FFT-domain LDL*
+    decomposition of the Gram matrix of the secret basis
+    [B = [[g, −f], [G, −F]]].  Built once at key generation; ffSampling
+    walks it once per signature. *)
+
+type tree =
+  | Leaf of { d : float; sigma' : float }
+      (** [d]: squared Gram-Schmidt norm at this leaf;
+          [sigma' = sigma_sign / sqrt d]: the std dev an exact SamplerZ
+          would use here. *)
+  | Node of { l : Fftc.t; left : tree; right : tree }
+
+type t = {
+  root : tree;
+  sum_d : float;  (** Σ d over the 2N leaves = Σ ‖b̃_i‖². *)
+  sigma_sign : float;
+}
+
+val build :
+  b1:Fftc.t * Fftc.t -> b2:Fftc.t * Fftc.t -> sigma_sign:float -> t
+(** [b1 = (FFT g, FFT (−f))], [b2 = (FFT G, FFT (−F))]. *)
+
+val leaf_count : t -> int
+(** 2N: one base-sampler call per leaf per signature attempt. *)

@@ -1,0 +1,23 @@
+(** NTRUSolve: given small [f, g] in Z[x]/(x^n+1), find [F, G] with
+    [f·G − g·F = q] — the hard half of Falcon key generation.
+
+    Algorithm (as in the Falcon reference code): descend by the field norm
+    [N(f) = f_e² − x·f_o²] to degree 1, solve the integer Bézout equation
+    with an extended GCD, lift back up with [F = F'(x²)·g(−x)], and after
+    every lift size-reduce [(F, G)] against [(f, g)] with Babai rounding
+    computed on scaled floating-point FFTs. *)
+
+val solve : q:int -> f:Polyz.t -> g:Polyz.t -> (Polyz.t * Polyz.t) option
+(** [None] when the resultants share a factor with [q] (the caller draws a
+    fresh [f, g]). *)
+
+val egcd :
+  Ctg_bigint.Zint.t ->
+  Ctg_bigint.Zint.t ->
+  Ctg_bigint.Zint.t * Ctg_bigint.Zint.t * Ctg_bigint.Zint.t
+(** [(d, u, v)] with [u·a + v·b = d = gcd(a,b) >= 0]; iterative, safe for
+    multi-thousand-bit inputs.  Exposed for tests. *)
+
+val reduce : f:Polyz.t -> g:Polyz.t -> Polyz.t -> Polyz.t -> Polyz.t * Polyz.t
+(** One full Babai size-reduction of [(F, G)] against [(f, g)]; exposed
+    for tests. *)

@@ -1,0 +1,84 @@
+type plan = {
+  n : int;
+  psi_pow : int array; (* ψ^i, i < n: twist to make cyclic NTT negacyclic *)
+  psi_inv_pow : int array;
+  w_pow : int array; (* ω^i = ψ^2i, i < n *)
+  w_inv_pow : int array;
+  n_inv : int;
+}
+
+let plan n =
+  if n < 2 || n land (n - 1) <> 0 then invalid_arg "Ntt.plan: n";
+  let psi = Zq.primitive_root_2n n in
+  let psi_inv = Zq.inv psi in
+  let powers b = Array.init n (fun i -> Zq.pow b i) in
+  {
+    n;
+    psi_pow = powers psi;
+    psi_inv_pow = powers psi_inv;
+    w_pow = powers (Zq.mul psi psi);
+    w_inv_pow = powers (Zq.inv (Zq.mul psi psi));
+    n_inv = Zq.inv n;
+  }
+
+let bit_reverse a =
+  let n = Array.length a in
+  let bits =
+    let rec go b v = if v = 1 then b else go (b + 1) (v lsr 1) in
+    go 0 n
+  in
+  for i = 0 to n - 1 do
+    let r = ref 0 in
+    for b = 0 to bits - 1 do
+      if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+    done;
+    if i < !r then begin
+      let t = a.(i) in
+      a.(i) <- a.(!r);
+      a.(!r) <- t
+    end
+  done
+
+(* In-place iterative radix-2 cyclic NTT with twiddles w_pow (forward) or
+   w_inv_pow (inverse). *)
+let cyclic p a ~inverse =
+  let n = p.n in
+  let w = if inverse then p.w_inv_pow else p.w_pow in
+  bit_reverse a;
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let step = n / !len in
+    let i = ref 0 in
+    while !i < n do
+      for j = 0 to half - 1 do
+        let u = a.(!i + j) in
+        let v = Zq.mul a.(!i + j + half) w.(j * step) in
+        a.(!i + j) <- Zq.add u v;
+        a.(!i + j + half) <- Zq.sub u v
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let forward p coeffs =
+  let a = Array.mapi (fun i c -> Zq.mul (Zq.reduce c) p.psi_pow.(i)) coeffs in
+  cyclic p a ~inverse:false;
+  a
+
+let inverse p evals =
+  let a = Array.copy evals in
+  cyclic p a ~inverse:true;
+  Array.mapi (fun i c -> Zq.mul (Zq.mul c p.n_inv) p.psi_inv_pow.(i)) a
+
+let negacyclic_mul p a b =
+  let fa = forward p a and fb = forward p b in
+  let prod = Array.init p.n (fun i -> Zq.mul fa.(i) fb.(i)) in
+  inverse p prod
+
+let invertible p a = Array.for_all (fun e -> e <> 0) (forward p a)
+
+let ring_inv p a =
+  let fa = forward p a in
+  inverse p (Array.map Zq.inv fa)

@@ -1,0 +1,22 @@
+(** Number-theoretic transform over Z_q for the negacyclic ring
+    Z_q[x]/(x^n + 1) — the workhorse of Falcon verification and public-key
+    arithmetic.  [n] must be a power of two dividing 2048. *)
+
+type plan
+
+val plan : int -> plan
+(** Precomputed twiddles for degree [n]. *)
+
+val negacyclic_mul : plan -> int array -> int array -> int array
+(** Product in Z_q[x]/(x^n+1); inputs are coefficient vectors in [[0,q)]. *)
+
+val forward : plan -> int array -> int array
+(** Evaluations at the odd powers of the 2n-th root (twisted NTT). *)
+
+val inverse : plan -> int array -> int array
+
+val invertible : plan -> int array -> bool
+(** True iff no forward evaluation is zero (unit of the ring). *)
+
+val ring_inv : plan -> int array -> int array
+(** Inverse in the ring. @raise Division_by_zero if not a unit. *)

@@ -1,0 +1,61 @@
+module Bs = Ctg_prng.Bitstream
+
+type signature = {
+  salt : bytes;
+  s1 : int array;
+  s2 : int array;
+  norm_sq : float;
+  attempts : int;
+}
+
+let signature_norm_sq s1 s2 =
+  let acc = ref 0.0 in
+  let add s = Array.iter (fun c -> acc := !acc +. (float_of_int c *. float_of_int c)) s in
+  add s1;
+  add s2;
+  !acc
+
+let norm_bound_sq (params : Params.t) =
+  (* Each of the 2N Gram-Schmidt coordinates carries error variance
+     σ_b² + 1/12 ≈ 4.08 under the fixed σ_b = 2 base sampler, and
+     Σ‖b̃_i‖² ≈ 2Nq for a balanced NTRU basis, so
+     E‖s‖² ≈ 4.08 · 2Nq.  The 1.6 slack absorbs basis imbalance and the
+     χ²-like spread; the ideal sampler's E‖s‖² = 2N·(1.17²q) sits far
+     below the bound. *)
+  let sigma_b = 2.0 in
+  let per_coord = (sigma_b *. sigma_b) +. (1.0 /. 12.0) in
+  let sum_gs = float_of_int (2 * params.Params.n * params.Params.q) in
+  1.6 *. per_coord *. sum_gs
+
+let round_to_int_array (f : Fftc.t) =
+  Array.map (fun x -> Float.to_int (Float.round x)) (Fftc.to_real f)
+
+let sign kp base rng ~msg =
+  let params = kp.Keygen.params in
+  let n = params.Params.n in
+  let qf = float_of_int params.Params.q in
+  let bound = norm_bound_sq params in
+  let b10, b11 = kp.Keygen.b1_fft in
+  let b20, b21 = kp.Keygen.b2_fft in
+  let rec attempt k =
+    if k > params.Params.max_sign_attempts then
+      failwith "Sign.sign: norm bound never met (miscalibrated?)";
+    let salt = Bytes.create params.Params.salt_bytes in
+    for i = 0 to Bytes.length salt - 1 do
+      Bytes.set salt i (Char.chr (Bs.next_byte rng))
+    done;
+    let c = Hash_point.hash ~n ~salt ~msg in
+    let c_fft = Fftc.of_int_poly c in
+    (* t = (c, 0)·B⁻¹ = (−c·F/q, c·f/q) for B = [[g, −f], [G, −F]]. *)
+    let t0 = Fftc.scale (Fftc.mul c_fft kp.Keygen.big_f_fft) (-1.0 /. qf) in
+    let t1 = Fftc.scale (Fftc.mul c_fft kp.Keygen.f_fft) (1.0 /. qf) in
+    let z0, z1 = Ff_sampling.sample kp.Keygen.tree base rng ~t0 ~t1 in
+    (* s = (t − z)·B: s1 over the first column (g, G), s2 over (−f, −F). *)
+    let d0 = Fftc.sub t0 z0 and d1 = Fftc.sub t1 z1 in
+    let s1 = round_to_int_array (Fftc.add (Fftc.mul d0 b10) (Fftc.mul d1 b20)) in
+    let s2 = round_to_int_array (Fftc.add (Fftc.mul d0 b11) (Fftc.mul d1 b21)) in
+    let norm_sq = signature_norm_sq s1 s2 in
+    if norm_sq <= bound then { salt; s1; s2; norm_sq; attempts = k }
+    else attempt (k + 1)
+  in
+  attempt 1

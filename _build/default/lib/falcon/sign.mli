@@ -1,0 +1,29 @@
+(** Falcon signing: hash-to-point, target computation, ffSampling with the
+    pluggable base Gaussian sampler, norm rejection, retry with a fresh
+    salt — the loop whose throughput the paper's Table 1 measures. *)
+
+type signature = {
+  salt : bytes;
+  s1 : int array;  (** Recomputable from s2; kept for tests/inspection. *)
+  s2 : int array;
+  norm_sq : float;
+  attempts : int;  (** Salt draws until the norm check passed. *)
+}
+
+val norm_bound_sq : Params.t -> float
+(** Acceptance bound ‖(s1,s2)‖², a scheme constant shared by signer and
+    verifier: 1.6 × the expected squared norm of a signature produced with
+    the fixed σ=2 base sampler (error variance σ² + 1/12 per Gram-Schmidt
+    coordinate, Σ‖b̃_i‖² ≈ 2Nq).  The ideal variable-σ sampler lands well
+    under it.  Calibrated for shape, not for Falcon's security-optimal
+    tightness — see DESIGN.md. *)
+
+val sign :
+  Keygen.keypair ->
+  Base_sampler.t ->
+  Ctg_prng.Bitstream.t ->
+  msg:bytes ->
+  signature
+
+val signature_norm_sq : int array -> int array -> float
+(** ‖(s1, s2)‖² with integer coefficients taken as given. *)

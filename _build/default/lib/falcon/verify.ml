@@ -1,0 +1,13 @@
+let recover_s1 ~params ~h ~c ~s2 =
+  let plan = Ntt.plan params.Params.n in
+  let s2_q = Array.map Zq.reduce s2 in
+  let s2h = Ntt.negacyclic_mul plan s2_q h in
+  Array.init params.Params.n (fun i -> Zq.centered (Zq.sub c.(i) s2h.(i)))
+
+let verify ~params ~h ~bound_sq ~msg ~salt ~s2 =
+  Bytes.length salt = params.Params.salt_bytes
+  && begin
+       let c = Hash_point.hash ~n:params.Params.n ~salt ~msg in
+       let s1 = recover_s1 ~params ~h ~c ~s2 in
+       Sign.signature_norm_sq s1 s2 <= bound_sq
+     end

@@ -1,0 +1,15 @@
+(** Falcon verification: recompute [c], recover [s1 = c − s2·h mod q]
+    (centered), and check the squared norm of [(s1, s2)]. *)
+
+val verify :
+  params:Params.t ->
+  h:int array ->
+  bound_sq:float ->
+  msg:bytes ->
+  salt:bytes ->
+  s2:int array ->
+  bool
+
+val recover_s1 :
+  params:Params.t -> h:int array -> c:int array -> s2:int array -> int array
+(** Centered representatives of [c − s2·h mod q]. *)

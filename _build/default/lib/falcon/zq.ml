@@ -1,0 +1,40 @@
+let q = 12289
+let reduce x = ((x mod q) + q) mod q
+let add a b = (a + b) mod q
+let sub a b = (a - b + q) mod q
+let mul a b = a * b mod q
+
+let pow base e =
+  let rec go acc base e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (e lsr 1)
+    end
+  in
+  go 1 (reduce base) e
+
+let inv a =
+  let a = reduce a in
+  if a = 0 then raise Division_by_zero;
+  pow a (q - 2)
+
+let centered x =
+  let x = reduce x in
+  if x > q / 2 then x - q else x
+
+(* q - 1 = 2^12 · 3; g is a generator iff g^((q-1)/2) and g^((q-1)/3)
+   both differ from 1. *)
+let generator =
+  lazy
+    (let rec find g =
+       if g >= q then failwith "Zq.generator: none found"
+       else if pow g ((q - 1) / 2) <> 1 && pow g ((q - 1) / 3) <> 1 then g
+       else find (g + 1)
+     in
+     find 2)
+
+let primitive_root_2n n =
+  let two_n = 2 * n in
+  if (q - 1) mod two_n <> 0 then invalid_arg "Zq.primitive_root_2n";
+  pow (Lazy.force generator) ((q - 1) / two_n)

@@ -1,0 +1,19 @@
+(** Arithmetic modulo q = 12289 (Falcon's modulus, q ≡ 1 mod 2048, so the
+    negacyclic NTT exists for every ring degree used here). *)
+
+val q : int
+val reduce : int -> int
+(** Canonical representative in [[0, q)] of any int. *)
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+val pow : int -> int -> int
+val inv : int -> int
+(** @raise Division_by_zero on 0. *)
+
+val centered : int -> int
+(** Representative in [(-q/2, q/2]]. *)
+
+val primitive_root_2n : int -> int
+(** [primitive_root_2n n] is an element of order exactly [2n]. *)

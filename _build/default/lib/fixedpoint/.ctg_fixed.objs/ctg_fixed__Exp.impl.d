@@ -1,0 +1,1 @@
+lib/fixedpoint/exp.ml: Ctg_bigint Fixed

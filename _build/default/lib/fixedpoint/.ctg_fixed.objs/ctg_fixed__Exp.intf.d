@@ -1,0 +1,1 @@
+lib/fixedpoint/exp.mli: Fixed

@@ -1,0 +1,1 @@
+lib/fixedpoint/fixed.ml: Ctg_bigint Format String

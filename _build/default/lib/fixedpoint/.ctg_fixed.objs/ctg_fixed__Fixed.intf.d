@@ -1,0 +1,1 @@
+lib/fixedpoint/fixed.mli: Ctg_bigint Format

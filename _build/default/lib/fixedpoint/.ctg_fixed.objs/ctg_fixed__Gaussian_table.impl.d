@@ -1,0 +1,1 @@
+lib/fixedpoint/gaussian_table.ml: Array Ctg_bigint Exp Fixed Format

@@ -1,0 +1,1 @@
+lib/fixedpoint/gaussian_table.mli: Ctg_bigint Format

@@ -1,0 +1,59 @@
+module Nat = Ctg_bigint.Nat
+
+type t = { frac_bits : int; v : Nat.t }
+
+let create ~frac_bits v =
+  assert (frac_bits >= 0);
+  { frac_bits; v }
+
+let zero ~frac_bits = create ~frac_bits Nat.zero
+let one ~frac_bits = create ~frac_bits (Nat.shift_left Nat.one frac_bits)
+let of_int ~frac_bits n = create ~frac_bits (Nat.shift_left (Nat.of_int n) frac_bits)
+
+let of_decimal_string ~frac_bits s =
+  let int_part, frac_part =
+    match String.index_opt s '.' with
+    | None -> (s, "")
+    | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let int_part = if int_part = "" then "0" else int_part in
+  (* value = int_part + frac_digits / 10^d; scale by 2^frac_bits and divide. *)
+  let digits = Nat.of_string (int_part ^ if frac_part = "" then "0" else frac_part) in
+  let d = if frac_part = "" then 1 else String.length frac_part in
+  let denom = Nat.pow (Nat.of_int 10) d in
+  let scaled = Nat.shift_left digits frac_bits in
+  (* Round to nearest. *)
+  let q, r = Nat.divmod scaled denom in
+  let q = if Nat.compare (Nat.shift_left r 1) denom >= 0 then Nat.add q Nat.one else q in
+  create ~frac_bits q
+
+let same a b =
+  assert (a.frac_bits = b.frac_bits);
+  a.frac_bits
+
+let add a b = create ~frac_bits:(same a b) (Nat.add a.v b.v)
+let sub a b = create ~frac_bits:(same a b) (Nat.sub a.v b.v)
+
+let mul a b =
+  let f = same a b in
+  create ~frac_bits:f (Nat.shift_right (Nat.mul a.v b.v) f)
+
+let div a b =
+  let f = same a b in
+  create ~frac_bits:f (Nat.div (Nat.shift_left a.v f) b.v)
+
+let shift_right a k = create ~frac_bits:a.frac_bits (Nat.shift_right a.v k)
+let shift_left a k = create ~frac_bits:a.frac_bits (Nat.shift_left a.v k)
+let compare a b = Nat.compare a.v b.v
+let equal a b = a.frac_bits = b.frac_bits && Nat.equal a.v b.v
+let is_zero a = Nat.is_zero a.v
+
+let fraction_bits x n =
+  assert (n <= x.frac_bits);
+  Nat.shift_right x.v (x.frac_bits - n)
+
+let to_float x =
+  let m, e = Nat.to_float_exp x.v in
+  ldexp m (e - x.frac_bits)
+
+let pp fmt x = Format.fprintf fmt "%.17g" (to_float x)

@@ -1,0 +1,40 @@
+(** Unsigned fixed-point reals with an explicit number of fraction bits.
+
+    A value is a {!Ctg_bigint.Nat.t} [v] interpreted as [v * 2^-frac_bits].
+    All binary operations require both operands to carry the same
+    [frac_bits] (checked by assertion): mixing precisions silently is the
+    classic source of wrong probability tables. *)
+
+type t = private { frac_bits : int; v : Ctg_bigint.Nat.t }
+
+val create : frac_bits:int -> Ctg_bigint.Nat.t -> t
+val zero : frac_bits:int -> t
+val one : frac_bits:int -> t
+val of_int : frac_bits:int -> int -> t
+
+val of_decimal_string : frac_bits:int -> string -> t
+(** Parse a non-negative decimal such as ["6.15543"] exactly (rounded to the
+    target precision).  Used to take σ as the paper spells it. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Full product, floor-rounded back to [frac_bits]. *)
+
+val div : t -> t -> t
+(** Floor division. @raise Division_by_zero *)
+
+val shift_right : t -> int -> t
+val shift_left : t -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+val fraction_bits : t -> int -> Ctg_bigint.Nat.t
+(** [fraction_bits x n] for [x < 1] is [floor(x * 2^n)]: the first [n]
+    binary fraction digits, as an integer in [[0, 2^n)]. *)
+
+val to_float : t -> float
+(** Lossy, for diagnostics only. *)
+
+val pp : Format.formatter -> t -> unit

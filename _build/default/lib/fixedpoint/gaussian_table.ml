@@ -1,0 +1,56 @@
+module Nat = Ctg_bigint.Nat
+
+type t = {
+  sigma : string;
+  precision : int;
+  tail_cut : int;
+  support : int;
+  prob : Nat.t array;
+}
+
+let guard_bits = 96
+
+let create ~sigma ~precision ~tail_cut =
+  if precision < 4 then invalid_arg "Gaussian_table.create: precision < 4";
+  let f = precision + guard_bits in
+  let sigma_fx = Fixed.of_decimal_string ~frac_bits:f sigma in
+  if Fixed.is_zero sigma_fx then invalid_arg "Gaussian_table.create: sigma = 0";
+  let tau_sigma = Fixed.mul (Fixed.of_int ~frac_bits:f tail_cut) sigma_fx in
+  let support = Nat.to_int (Nat.shift_right tau_sigma.Fixed.v f) in
+  let two_sigma_sq = Fixed.shift_left (Fixed.mul sigma_fx sigma_fx) 1 in
+  let weight v =
+    let x = Fixed.div (Fixed.of_int ~frac_bits:f (v * v)) two_sigma_sq in
+    let rho = Exp.exp_neg x in
+    if v = 0 then rho else Fixed.shift_left rho 1
+  in
+  let weights = Array.init (support + 1) weight in
+  let total =
+    Array.fold_left (fun acc w -> Nat.add acc w.Fixed.v) Nat.zero weights
+  in
+  let scale w = Nat.div (Nat.shift_left w.Fixed.v precision) total in
+  let prob = Array.map scale weights in
+  { sigma; precision; tail_cut; support; prob }
+
+let row_bit t ~row ~col =
+  assert (row >= 0 && row <= t.support && col >= 0 && col < t.precision);
+  if Nat.testbit t.prob.(row) (t.precision - 1 - col) then 1 else 0
+
+let column_weight t col =
+  let acc = ref 0 in
+  for row = 0 to t.support do
+    acc := !acc + row_bit t ~row ~col
+  done;
+  !acc
+
+let residual t =
+  let sum = Array.fold_left Nat.add Nat.zero t.prob in
+  Nat.sub (Nat.shift_left Nat.one t.precision) sum
+
+let pp_matrix fmt t =
+  for row = 0 to t.support do
+    Format.fprintf fmt "P%-3d " row;
+    for col = 0 to t.precision - 1 do
+      Format.fprintf fmt "%d" (row_bit t ~row ~col)
+    done;
+    Format.pp_print_newline fmt ()
+  done

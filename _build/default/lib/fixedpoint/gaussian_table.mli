@@ -1,0 +1,32 @@
+(** The paper's probability matrix (Sec. 3.2).
+
+    Row [v] holds the n-bit binary expansion of [D^n_σ(v)] for [v = 0] and
+    [2·D^n_σ(v)] for [v ∈ [1, τσ]] — the sign of a sample is decided by a
+    separate random bit.  Probabilities are floor-rounded so their sum stays
+    strictly below 1 (the residual mass is the never-terminating string set
+    of Theorem 1; see DESIGN.md §5). *)
+
+type t = private {
+  sigma : string;  (** σ exactly as requested, e.g. ["6.15543"]. *)
+  precision : int;  (** n: number of binary fraction digits kept. *)
+  tail_cut : int;  (** τ: support is [[0, floor(τσ)]]. *)
+  support : int;  (** floor(τσ). *)
+  prob : Ctg_bigint.Nat.t array;  (** [prob.(v)] = floor(p_v · 2^n) < 2^n. *)
+}
+
+val create : sigma:string -> precision:int -> tail_cut:int -> t
+(** Builds the table with 96 guard bits of internal precision.
+    @raise Invalid_argument if σ parses to zero or precision < 4. *)
+
+val row_bit : t -> row:int -> col:int -> int
+(** Matrix entry [P[row][col]]: the digit of [p_row] worth [2^-(col+1)]. *)
+
+val column_weight : t -> int -> int
+(** [h_i]: Hamming weight of column [i] (number of DDG leaves at level i). *)
+
+val residual : t -> Ctg_bigint.Nat.t
+(** [2^n - Σ_v prob.(v)]: never-terminating probability mass, scaled by
+    [2^n].  Bounded by [support + 1]. *)
+
+val pp_matrix : Format.formatter -> t -> unit
+(** Render the matrix like the paper's Fig. 1 (rows P0..P_support). *)

@@ -1,0 +1,1 @@
+lib/kyao/column_sampler.ml: Array Ctg_prng Matrix

@@ -1,0 +1,1 @@
+lib/kyao/column_sampler.mli: Ctg_prng Matrix

@@ -1,0 +1,1 @@
+lib/kyao/ddg_tree.ml: Array Ctg_prng Format Matrix

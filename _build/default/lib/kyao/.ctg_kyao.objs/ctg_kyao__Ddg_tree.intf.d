@@ -1,0 +1,1 @@
+lib/kyao/ddg_tree.mli: Ctg_prng Format Matrix

@@ -1,0 +1,1 @@
+lib/kyao/gap.ml: Array Ctg_bigint Matrix

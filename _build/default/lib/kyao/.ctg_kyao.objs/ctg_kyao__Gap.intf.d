@@ -1,0 +1,1 @@
+lib/kyao/gap.mli: Ctg_bigint Matrix

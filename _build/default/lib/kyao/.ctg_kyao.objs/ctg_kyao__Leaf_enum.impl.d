@@ -1,0 +1,1 @@
+lib/kyao/leaf_enum.ml: Array Buffer Ctg_util Format List Matrix Stdlib

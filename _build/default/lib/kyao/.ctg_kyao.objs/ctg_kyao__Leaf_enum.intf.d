@@ -1,0 +1,1 @@
+lib/kyao/leaf_enum.mli: Format Matrix

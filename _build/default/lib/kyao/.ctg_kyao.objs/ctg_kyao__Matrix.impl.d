@@ -1,0 +1,1 @@
+lib/kyao/matrix.ml: Array Ctg_fixed

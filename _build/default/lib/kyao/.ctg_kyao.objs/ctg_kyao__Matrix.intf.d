@@ -1,0 +1,1 @@
+lib/kyao/matrix.mli: Ctg_fixed

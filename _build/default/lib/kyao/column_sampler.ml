@@ -1,0 +1,34 @@
+type outcome = Hit of { value : int; level : int } | Exhausted
+
+(* Alg. 1 with the inner row scan folded into arithmetic on the walk
+   distance [d]: after [d <- 2d + r], the walk hits a leaf iff
+   [d < h_col], and the sample is the (d+1)-th set row from the bottom. *)
+let walk_gen (m : Matrix.t) next_bit =
+  let rec go d col =
+    if col >= m.Matrix.precision then Exhausted
+    else
+      match next_bit col with
+      | None -> Exhausted
+      | Some r ->
+        let d = (2 * d) + r in
+        let h = m.Matrix.col_weight.(col) in
+        if d < h then Hit { value = Matrix.row_for m ~col ~rank:d; level = col }
+        else go (d - h) (col + 1)
+  in
+  go 0 0
+
+let walk m bs = walk_gen m (fun _ -> Some (Ctg_prng.Bitstream.next_bit bs))
+
+let walk_bits m bits =
+  walk_gen m (fun col ->
+      if col < Array.length bits then Some (if bits.(col) then 1 else 0)
+      else None)
+
+let rec sample_magnitude m bs =
+  match walk m bs with
+  | Hit { value; _ } -> value
+  | Exhausted -> sample_magnitude m bs
+
+let sample_signed m bs =
+  let v = sample_magnitude m bs in
+  if Ctg_prng.Bitstream.next_bit bs = 1 then -v else v

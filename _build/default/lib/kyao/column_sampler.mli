@@ -1,0 +1,27 @@
+(** Algorithm 1 of the paper: column-scanning Knuth-Yao sampling.  Builds
+    the DDG tree on the fly; this is the {e reference} (non-constant-time)
+    sampler every compiled sampler is validated against. *)
+
+type outcome =
+  | Hit of { value : int; level : int }
+      (** Sample magnitude [value] found at DDG level [level] (i.e. after
+          consuming [level + 1] random bits). *)
+  | Exhausted
+      (** The walk consumed all [precision] columns without hitting a leaf
+          (Theorem 1's residual mass, probability < (support+1)·2^-n). *)
+
+val walk : Matrix.t -> Ctg_prng.Bitstream.t -> outcome
+(** One pass over the columns, consuming one bit per column until a hit. *)
+
+val walk_bits : Matrix.t -> bool array -> outcome
+(** Same walk driven by an explicit bit string ([b_0] at index 0); consumes
+    at most [Array.length] bits and returns [Exhausted] if they run out or
+    the matrix is exhausted. *)
+
+val sample_magnitude : Matrix.t -> Ctg_prng.Bitstream.t -> int
+(** Restart until a hit. *)
+
+val sample_signed : Matrix.t -> Ctg_prng.Bitstream.t -> int
+(** Magnitude with a uniform sign bit: the paper's folded representation
+    (row 0 keeps full weight, other rows carry 2·D(v), so flipping a fair
+    sign yields the symmetric distribution). *)

@@ -1,0 +1,62 @@
+type node = Leaf of int | Internal of node * node | Dead
+
+(* Node with walk distance [d] at level [col]: a leaf iff d < h_col,
+   otherwise its children at level col+1 have distances 2(d-h) and
+   2(d-h)+1 — the same arithmetic as Column_sampler. *)
+let build (m : Matrix.t) =
+  let rec node col d =
+    if col >= m.Matrix.precision then Dead
+    else begin
+      let h = m.Matrix.col_weight.(col) in
+      if d < h then Leaf (Matrix.row_for m ~col ~rank:d)
+      else begin
+        let base = 2 * (d - h) in
+        Internal (node (col + 1) base, node (col + 1) (base + 1))
+      end
+    end
+  in
+  Internal (node 0 0, node 0 1)
+
+let leaf_count_per_level (m : Matrix.t) =
+  let counts = Array.make m.Matrix.precision 0 in
+  let rec go col node =
+    match node with
+    | Leaf _ -> counts.(col) <- counts.(col) + 1
+    | Dead -> ()
+    | Internal (a, b) ->
+      go (col + 1) a;
+      go (col + 1) b
+  in
+  (match build m with
+  | Internal (a, b) ->
+    go 0 a;
+    go 0 b
+  | Leaf _ | Dead -> ());
+  counts
+
+let rec walk_tree node bs =
+  match node with
+  | Leaf v -> Some v
+  | Dead -> None
+  | Internal (zero, one) ->
+    if Ctg_prng.Bitstream.next_bit bs = 0 then walk_tree zero bs
+    else walk_tree one bs
+
+let pp fmt root =
+  (* Sideways rendering: bit-1 subtree above, root in the middle. *)
+  let rec go node prefix kind =
+    let branch, below, above =
+      match kind with
+      | `Root -> ("", prefix, prefix)
+      | `Top -> (prefix ^ ",-", prefix ^ "| ", prefix ^ "  ")
+      | `Bottom -> (prefix ^ "`-", prefix ^ "  ", prefix ^ "| ")
+    in
+    match node with
+    | Leaf v -> Format.fprintf fmt "%s%d@." branch v
+    | Dead -> Format.fprintf fmt "%s*@." branch
+    | Internal (zero, one) ->
+      go one above `Top;
+      Format.fprintf fmt "%sI@." branch;
+      go zero below `Bottom
+  in
+  go root "" `Root

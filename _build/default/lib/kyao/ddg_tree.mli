@@ -1,0 +1,20 @@
+(** Explicit DDG tree (discrete distribution generating tree), as drawn in
+    the paper's Fig. 1.  Only sensible for small precision; the samplers
+    never materialize it. *)
+
+type node =
+  | Leaf of int  (** Sample value. *)
+  | Internal of node * node  (** (child on bit 0, child on bit 1). *)
+  | Dead  (** Unresolved beyond the last column (residual mass). *)
+
+val build : Matrix.t -> node
+(** Root of the tree. *)
+
+val leaf_count_per_level : Matrix.t -> int array
+(** Must equal the column weights [h_i] — the defining DDG property. *)
+
+val walk_tree : node -> Ctg_prng.Bitstream.t -> int option
+(** Follow random bits down the tree; [None] on a [Dead] end. *)
+
+val pp : Format.formatter -> node -> unit
+(** ASCII rendering, root at the left, like the paper's figure. *)

@@ -1,0 +1,20 @@
+module Z = Ctg_bigint.Zint
+
+let gap (m : Matrix.t) bits i =
+  assert (i < Array.length bits && i < m.Matrix.precision);
+  let acc = ref Z.zero in
+  for j = 0 to i do
+    let b = if bits.(j) then 1 else 0 in
+    let term = Z.of_int (b - m.Matrix.col_weight.(j)) in
+    acc := Z.add !acc (Z.shift_left term (i - j))
+  done;
+  !acc
+
+let first_negative m bits =
+  let n = min (Array.length bits) m.Matrix.precision in
+  let rec go i =
+    if i >= n then None
+    else if Z.sign (gap m bits i) < 0 then Some i
+    else go (i + 1)
+  in
+  go 0

@@ -1,0 +1,12 @@
+(** The paper's Eqn. 1:
+    [GAP^i = Σ_j b_j·2^(i-j) − Σ_j h_j·2^(i-j)] for [j in 0..i].
+    A sample is found at column [i] iff [GAP^i < 0] and [GAP^i' >= 0] for
+    all earlier [i'].  Exposed for tests and teaching; exact over {!Zint}
+    because the partial sums exceed 2^precision. *)
+
+val gap : Matrix.t -> bool array -> int -> Ctg_bigint.Zint.t
+(** [gap m bits i] — requires [i < Array.length bits]. *)
+
+val first_negative : Matrix.t -> bool array -> int option
+(** Smallest [i] with [GAP^i < 0], if any — must equal the hit level of
+    {!Column_sampler.walk_bits} (verified by the test suite). *)

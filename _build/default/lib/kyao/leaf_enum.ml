@@ -1,0 +1,95 @@
+type leaf = {
+  value : int;
+  level : int;
+  bits : bool array;
+  ones : int;
+  payload : int;
+}
+
+type t = {
+  matrix : Matrix.t;
+  leaves : leaf array;
+  delta : int;
+  max_ones : int;
+  unresolved : int;
+}
+
+(* Walk all paths level by level.  The number of simultaneously internal
+   nodes is bounded by support + 2 (the unresolved probability mass at
+   level i is below (support+2)·2^-(i+1)), so this is linear in
+   precision · support despite the tree's exponential node count. *)
+let enumerate (m : Matrix.t) =
+  let leaves = ref [] in
+  let internal = ref [| [||] |] (* paths of internal nodes, root only *) in
+  for col = 0 to m.Matrix.precision - 1 do
+    let h = m.Matrix.col_weight.(col) in
+    let next = ref [] in
+    let parents = !internal in
+    (* Child d = 2m + b of parent m; leaf iff d < h. *)
+    for p = Array.length parents - 1 downto 0 do
+      for b = 1 downto 0 do
+        let d = (2 * p) + b in
+        let path = Array.append parents.(p) [| b = 1 |] in
+        if d < h then begin
+          let value = Matrix.row_for m ~col ~rank:d in
+          (* Theorem 1: [ones <= col] always (an all-ones leaf string is
+             impossible); check_theorem1 verifies rather than clamps. *)
+          let ones = Ctg_util.Bits.leading_ones path in
+          leaves :=
+            { value; level = col; bits = path; ones; payload = col - ones }
+            :: !leaves
+        end
+        else next := (d - h, path) :: !next
+      done
+    done;
+    let next = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) !next in
+    internal := Array.of_list (List.map snd next)
+  done;
+  let unresolved = Array.length !internal in
+  let leaf_list =
+    List.sort
+      (fun a b ->
+        if a.ones <> b.ones then Stdlib.compare a.ones b.ones
+        else if a.level <> b.level then Stdlib.compare a.level b.level
+        else Stdlib.compare a.bits b.bits)
+      !leaves
+  in
+  let leaves = Array.of_list leaf_list in
+  let delta = Array.fold_left (fun acc l -> max acc l.payload) 0 leaves in
+  let max_ones = Array.fold_left (fun acc l -> max acc l.ones) 0 leaves in
+  { matrix = m; leaves; delta; max_ones; unresolved }
+
+let check_theorem1 t =
+  Array.for_all
+    (fun l -> Array.exists (fun b -> not b) l.bits)
+    t.leaves
+
+let sample_bit leaf i = (leaf.value lsr i) land 1 = 1
+
+let pp_list ?max_rows fmt t =
+  let n = t.matrix.Matrix.precision in
+  let rows =
+    match max_rows with
+    | None -> Array.length t.leaves
+    | Some r -> min r (Array.length t.leaves)
+  in
+  let value_bits =
+    max 1 (Ctg_util.Bits.bits_needed t.matrix.Matrix.support)
+  in
+  for i = 0 to rows - 1 do
+    let l = t.leaves.(i) in
+    (* Paper order: b_0 is the rightmost character ("LSB"). *)
+    let buf = Buffer.create n in
+    for pos = n - 1 downto 0 do
+      if pos > l.level then Buffer.add_char buf 'x'
+      else Buffer.add_char buf (if l.bits.(pos) then '1' else '0')
+    done;
+    let vbuf = Buffer.create value_bits in
+    for pos = value_bits - 1 downto 0 do
+      Buffer.add_char vbuf (if sample_bit l pos then '1' else '0')
+    done;
+    Format.fprintf fmt "%s -> %s (v=%d, k=%d, j=%d)@." (Buffer.contents buf)
+      (Buffer.contents vbuf) l.value l.ones l.payload
+  done;
+  if rows < Array.length t.leaves then
+    Format.fprintf fmt "... (%d more)@." (Array.length t.leaves - rows)

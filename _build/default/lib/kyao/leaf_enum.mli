@@ -1,0 +1,37 @@
+(** Enumeration of the DDG tree leaves together with the random-bit strings
+    that reach them — the paper's list L (Sec. 5.1) — plus the structural
+    facts of Theorem 1 (every string is [x^i (0/1)^j 0 1^k]) and the
+    experimentally small payload bound Δ. *)
+
+type leaf = {
+  value : int;  (** Sample magnitude at this leaf. *)
+  level : int;  (** DDG level: the walk consumes [level + 1] bits. *)
+  bits : bool array;
+      (** The determined bits, [bits.(0)] = [b_0] (first consumed); length
+          [level + 1].  Later bits are the don't-cares [x^i]. *)
+  ones : int;  (** k: length of the all-ones prefix (paper's [1^k]). *)
+  payload : int;  (** j = level - k: bits after the first zero. *)
+}
+
+type t = {
+  matrix : Matrix.t;
+  leaves : leaf array;  (** Sorted by (ones, then value of payload bits). *)
+  delta : int;  (** Δ = max over leaves of [payload]. *)
+  max_ones : int;  (** n' in the paper: largest κ with a non-empty sublist. *)
+  unresolved : int;
+      (** Walk states still internal after the last column (Theorem 1's
+          never-terminating residual; equals the scaled residual mass). *)
+}
+
+val enumerate : Matrix.t -> t
+
+val check_theorem1 : t -> bool
+(** Every leaf string contains a zero (no [x^i 1^k'] leaf exists). *)
+
+val sample_bit : leaf -> int -> bool
+(** [sample_bit leaf i] is bit [i] of [leaf.value] (LSB = bit 0). *)
+
+val pp_list : ?max_rows:int -> Format.formatter -> t -> unit
+(** Print the sorted list L as in the paper's Fig. 3: bit string (don't
+    cares as 'x', in paper order with b_0 rightmost) and the sample value
+    in binary. *)

@@ -1,0 +1,1 @@
+lib/prng/bitstream.ml: Array Bytes Chacha20 Char Int64 Keccak Splitmix64

@@ -1,0 +1,1 @@
+lib/prng/bitstream.mli: Chacha20 Keccak Splitmix64

@@ -1,0 +1,1 @@
+lib/prng/chacha20.ml: Array Bytes Char String

@@ -1,0 +1,1 @@
+lib/prng/keccak.ml: Array Bytes Char Int64

@@ -1,0 +1,130 @@
+type backend =
+  | Chacha of Chacha20.t
+  | Shake of Keccak.xof
+  | Splitmix of Splitmix64.t
+  | Fixed of bool array
+
+type t = {
+  backend : backend;
+  mutable cur : int; (* bit buffer, bits served from the LSB up *)
+  mutable cur_bits : int; (* bits remaining in [cur] *)
+  mutable block : bytes; (* byte buffer refilled in bulk from the backend *)
+  mutable block_pos : int;
+  mutable consumed : int;
+  mutable fixed_pos : int;
+}
+
+let block_size = 64
+
+let make backend =
+  {
+    backend;
+    cur = 0;
+    cur_bits = 0;
+    block = Bytes.create 0;
+    block_pos = 0;
+    consumed = 0;
+    fixed_pos = 0;
+  }
+
+let of_chacha c = make (Chacha c)
+let of_shake x = make (Shake x)
+let of_splitmix s = make (Splitmix s)
+let of_bits bits = make (Fixed bits)
+
+(* Next raw byte from the backend, buffered a block at a time. *)
+let raw_byte t =
+  if t.block_pos >= Bytes.length t.block then begin
+    (match t.backend with
+    | Chacha c -> t.block <- Chacha20.next_bytes c block_size
+    | Shake x -> t.block <- Keccak.squeeze x block_size
+    | Splitmix s ->
+      let b = Bytes.create block_size in
+      for i = 0 to (block_size / 8) - 1 do
+        let v = ref (Splitmix64.next s) in
+        for j = 0 to 7 do
+          Bytes.set b ((8 * i) + j) (Char.chr (Int64.to_int !v land 0xff));
+          v := Int64.shift_right_logical !v 8
+        done
+      done;
+      t.block <- b
+    | Fixed _ -> assert false);
+    t.block_pos <- 0
+  end;
+  let v = Char.code (Bytes.get t.block t.block_pos) in
+  t.block_pos <- t.block_pos + 1;
+  v
+
+(* Top the bit buffer up to at least [want] bits (want <= 54). *)
+let refill t want =
+  match t.backend with
+  | Fixed bits ->
+    while t.cur_bits < want do
+      if t.fixed_pos >= Array.length bits then raise End_of_file;
+      let b = if bits.(t.fixed_pos) then 1 else 0 in
+      t.cur <- t.cur lor (b lsl t.cur_bits);
+      t.fixed_pos <- t.fixed_pos + 1;
+      t.cur_bits <- t.cur_bits + 1
+    done
+  | Chacha _ | Shake _ | Splitmix _ ->
+    while t.cur_bits < want do
+      t.cur <- t.cur lor (raw_byte t lsl t.cur_bits);
+      t.cur_bits <- t.cur_bits + 8
+    done
+
+let next_bit t =
+  if t.cur_bits = 0 then refill t 1;
+  let b = t.cur land 1 in
+  t.cur <- t.cur lsr 1;
+  t.cur_bits <- t.cur_bits - 1;
+  t.consumed <- t.consumed + 1;
+  b
+
+let next_bits t k =
+  if k < 0 || k > 54 then invalid_arg "Bitstream.next_bits";
+  if t.cur_bits < k then refill t k;
+  let v = t.cur land ((1 lsl k) - 1) in
+  t.cur <- t.cur lsr k;
+  t.cur_bits <- t.cur_bits - k;
+  t.consumed <- t.consumed + k;
+  v
+
+(* Hot path of the bitsliced sampler: one 63-bit lane word per variable.
+   Real backends serve whole bytes (the 64th bit is dropped but counted);
+   the Fixed backend keeps exact bit order for the equivalence tests. *)
+let next_word t =
+  match t.backend with
+  | Fixed _ ->
+    let lo = next_bits t 31 in
+    let mid = next_bits t 31 in
+    let hi = next_bit t in
+    lo lor (mid lsl 31) lor (hi lsl 62)
+  | Chacha _ | Shake _ | Splitmix _ ->
+    let acc = ref 0 in
+    for i = 0 to 7 do
+      acc := !acc lor (raw_byte t lsl (8 * i))
+    done;
+    t.consumed <- t.consumed + 64;
+    !acc
+
+let next_byte t = next_bits t 8
+let bits_consumed t = t.consumed
+
+let prng_work t =
+  match t.backend with
+  | Chacha c -> Chacha20.blocks_generated c
+  | Shake x -> Keccak.permutations x
+  | Splitmix _ | Fixed _ -> 0
+
+let next_bytes_into t buf =
+  let n = Bytes.length buf in
+  (match t.backend with
+  | Fixed _ ->
+    for i = 0 to n - 1 do
+      Bytes.set buf i (Char.chr (next_bits t 8))
+    done
+  | Chacha _ | Shake _ | Splitmix _ ->
+    for i = 0 to n - 1 do
+      Bytes.set buf i (Char.chr (raw_byte t))
+    done;
+    t.consumed <- t.consumed + (8 * n))

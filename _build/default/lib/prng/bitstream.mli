@@ -1,0 +1,44 @@
+(** Random-bit supply with exact cost accounting.
+
+    Every sampler in this repo consumes randomness through this interface,
+    so "random bits per sample" and "PRNG work per sample" (the paper's
+    Sec. 7 overhead experiment) are measured, not estimated. *)
+
+type t
+
+val of_chacha : Chacha20.t -> t
+val of_shake : Keccak.xof -> t
+
+val of_splitmix : Splitmix64.t -> t
+(** Tests and statistics only. *)
+
+val of_bits : bool array -> t
+(** Replays a fixed bit string, then raises [End_of_file].  Used by the
+    equivalence tests (compiled sampler vs. the Knuth-Yao reference walk
+    must agree on identical input bits). *)
+
+val next_bit : t -> int
+(** 0 or 1. *)
+
+val next_bits : t -> int -> int
+(** [next_bits t k] packs the next [k <= 54] bits, first bit in the least
+    significant position (consumption order, the paper's [b_0] first). *)
+
+val next_word : t -> int
+(** 63 random bits as a native int bit pattern (one bitslice lane word; the
+    value may be negative when bit 62 is set — only bitwise use is valid).
+    Real PRNG backends draw 64 bits and discard one. *)
+
+val next_byte : t -> int
+
+val bits_consumed : t -> int
+(** Total bits handed out so far. *)
+
+val prng_work : t -> int
+(** Backend work units so far: ChaCha20 blocks, Keccak permutations, or 0
+    for test sources.  Comparable within one backend only. *)
+
+val next_bytes_into : t -> bytes -> unit
+(** Fill a byte buffer from the backend byte stream directly (the fast
+    path of the CDT samplers' uniform draws).  Discards any buffered
+    partial bits first on the Fixed backend. *)

@@ -1,0 +1,107 @@
+(* RFC 7539 ChaCha20 block function on native ints masked to 32 bits. *)
+
+let mask32 = 0xFFFF_FFFF
+
+type t = {
+  state : int array; (* 16 words: constants, key, counter, nonce *)
+  mutable counter : int;
+  mutable buf : bytes;
+  mutable buf_pos : int;
+  mutable blocks : int;
+}
+
+let word_of_le buf off =
+  Char.code (Bytes.get buf off)
+  lor (Char.code (Bytes.get buf (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get buf (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get buf (off + 3)) lsl 24)
+
+let le_of_word buf off w =
+  Bytes.set buf off (Char.chr (w land 0xff));
+  Bytes.set buf (off + 1) (Char.chr ((w lsr 8) land 0xff));
+  Bytes.set buf (off + 2) (Char.chr ((w lsr 16) land 0xff));
+  Bytes.set buf (off + 3) (Char.chr ((w lsr 24) land 0xff))
+
+let create ~key ~nonce =
+  if Bytes.length key <> 32 then invalid_arg "Chacha20.create: key must be 32 bytes";
+  if Bytes.length nonce <> 12 then invalid_arg "Chacha20.create: nonce must be 12 bytes";
+  let state = Array.make 16 0 in
+  state.(0) <- 0x61707865;
+  state.(1) <- 0x3320646e;
+  state.(2) <- 0x79622d32;
+  state.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    state.(4 + i) <- word_of_le key (4 * i)
+  done;
+  (* state.(12) is the counter, patched per block. *)
+  for i = 0 to 2 do
+    state.(13 + i) <- word_of_le nonce (4 * i)
+  done;
+  { state; counter = 0; buf = Bytes.create 0; buf_pos = 0; blocks = 0 }
+
+let of_seed seed =
+  (* Simple deterministic expansion of an arbitrary string into key||nonce;
+     not a KDF, only for reproducible tests and benchmarks. *)
+  let material = Bytes.create 44 in
+  let h = ref 0x1E3779B97F4A7C15 in
+  for i = 0 to 43 do
+    let c =
+      if String.length seed = 0 then 0
+      else Char.code seed.[i mod String.length seed]
+    in
+    h := (!h lxor c) * 0x100000001B3 land max_int;
+    h := !h lxor (!h lsr 29);
+    Bytes.set material i (Char.chr ((!h lsr 13) land 0xff))
+  done;
+  create ~key:(Bytes.sub material 0 32) ~nonce:(Bytes.sub material 32 12)
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let quarter_round st a b c d =
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+let block t counter =
+  let init = Array.copy t.state in
+  init.(12) <- counter land mask32;
+  let st = Array.copy init in
+  for _ = 1 to 10 do
+    quarter_round st 0 4 8 12;
+    quarter_round st 1 5 9 13;
+    quarter_round st 2 6 10 14;
+    quarter_round st 3 7 11 15;
+    quarter_round st 0 5 10 15;
+    quarter_round st 1 6 11 12;
+    quarter_round st 2 7 8 13;
+    quarter_round st 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    le_of_word out (4 * i) ((st.(i) + init.(i)) land mask32)
+  done;
+  t.blocks <- t.blocks + 1;
+  out
+
+let next_bytes t n =
+  let out = Bytes.create n in
+  let pos = ref 0 in
+  while !pos < n do
+    if t.buf_pos >= Bytes.length t.buf then begin
+      t.buf <- block t t.counter;
+      t.counter <- t.counter + 1;
+      t.buf_pos <- 0
+    end;
+    let take = min (n - !pos) (Bytes.length t.buf - t.buf_pos) in
+    Bytes.blit t.buf t.buf_pos out !pos take;
+    t.buf_pos <- t.buf_pos + take;
+    pos := !pos + take
+  done;
+  out
+
+let blocks_generated t = t.blocks

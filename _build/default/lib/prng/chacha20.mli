@@ -1,0 +1,22 @@
+(** ChaCha20 stream cipher (RFC 7539 block function), used as the
+    pseudorandom generator for sampling — the same choice as the Falcon
+    reference implementation and the paper's Sec. 7 discussion. *)
+
+type t
+
+val create : key:bytes -> nonce:bytes -> t
+(** [key] is 32 bytes, [nonce] is 12 bytes; the block counter starts at 0.
+    @raise Invalid_argument on wrong lengths. *)
+
+val of_seed : string -> t
+(** Deterministic instance for tests and benchmarks: the seed string is
+    hashed into key and nonce with a simple expansion. *)
+
+val block : t -> int -> bytes
+(** [block t counter] is the raw 64-byte keystream block. *)
+
+val next_bytes : t -> int -> bytes
+(** Stateful: return the next [n] keystream bytes. *)
+
+val blocks_generated : t -> int
+(** Number of 64-byte blocks produced so far (PRNG cost accounting). *)

@@ -1,0 +1,19 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int t bound =
+  if bound <= 0 then invalid_arg "Splitmix64.next_int: bound <= 0";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let next_float t =
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int v /. 9007199254740992.0

@@ -1,0 +1,12 @@
+(** Splitmix64: fast, seedable, non-cryptographic generator.  Used only for
+    tests and workload generation — never for the samplers under test. *)
+
+type t
+
+val create : int64 -> t
+val next : t -> int64
+val next_int : t -> int -> int
+(** [next_int t bound] is uniform in [[0, bound)]. *)
+
+val next_float : t -> float
+(** Uniform in [[0, 1)]. *)

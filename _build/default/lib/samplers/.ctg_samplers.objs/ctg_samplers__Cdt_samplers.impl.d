@@ -1,0 +1,1 @@
+lib/samplers/cdt_samplers.ml: Bool Cdt_table Sampler_sig

@@ -1,0 +1,1 @@
+lib/samplers/cdt_samplers.mli: Cdt_table Sampler_sig

@@ -1,0 +1,1 @@
+lib/samplers/cdt_table.ml: Array Bytes Char Ctg_bigint Ctg_kyao Ctg_prng

@@ -1,0 +1,1 @@
+lib/samplers/cdt_table.mli: Ctg_kyao Ctg_prng

@@ -1,0 +1,1 @@
+lib/samplers/convolution.ml: Ctg_prng Ctgauss Printf Sampler_sig

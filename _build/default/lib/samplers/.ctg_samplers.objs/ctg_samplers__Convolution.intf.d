@@ -1,0 +1,1 @@
+lib/samplers/convolution.mli: Ctg_prng Ctgauss Sampler_sig

@@ -1,0 +1,1 @@
+lib/samplers/rejection.ml: Array Bytes Cdt_table Char Ctg_bigint Ctg_kyao Ctg_prng Ctg_util Sampler_sig

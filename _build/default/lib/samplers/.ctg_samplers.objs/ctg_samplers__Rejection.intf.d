@@ -1,0 +1,1 @@
+lib/samplers/rejection.mli: Ctg_kyao Sampler_sig

@@ -1,0 +1,1 @@
+lib/samplers/sampler_sig.ml: Ctg_kyao Ctg_prng Ctgauss

@@ -1,0 +1,1 @@
+lib/samplers/sampler_sig.mli: Ctg_kyao Ctg_prng Ctgauss

@@ -1,0 +1,16 @@
+(** The three cumulative-distribution-table samplers the paper benchmarks
+    against in Table 1.  All share one {!Cdt_table} built from the same
+    probability matrix as the bitsliced sampler, so any throughput
+    difference is purely algorithmic. *)
+
+val binary_search : Cdt_table.t -> Sampler_sig.instance
+(** Peikert-style CDT with binary search [26]: non-constant time (the
+    search path and compare costs depend on the draw). *)
+
+val byte_scan : Cdt_table.t -> Sampler_sig.instance
+(** Byte-scanning CDT [13]: linear scan with early-exit byte compares —
+    the fastest non-constant-time sampler in the paper's Table 1. *)
+
+val linear_ct : Cdt_table.t -> Sampler_sig.instance
+(** Linear-search constant-time CDT [7]: every call scans the whole table
+    with branch-free full-width compares. *)

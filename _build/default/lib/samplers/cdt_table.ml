@@ -1,0 +1,81 @@
+module Nat = Ctg_bigint.Nat
+
+type t = {
+  precision : int;
+  width : int;
+  entries : bytes array;
+  draw_buf : bytes; (* reused scratch for uniform draws *)
+}
+
+(* Big-endian fixed-width encoding of an integer < 2^precision. *)
+let encode ~width v =
+  let out = Bytes.make width '\000' in
+  let rec go v pos =
+    if pos >= 0 && not (Nat.is_zero v) then begin
+      let q, r = (Nat.shift_right v 8, Nat.rem v (Nat.of_int 256)) in
+      Bytes.set out pos (Char.chr (Nat.to_int r));
+      go q (pos - 1)
+    end
+  in
+  go v (width - 1);
+  out
+
+let of_matrix (m : Ctg_kyao.Matrix.t) =
+  let precision = m.Ctg_kyao.Matrix.precision in
+  let width = (precision + 7) / 8 in
+  (* Rebuild p_v from the matrix bits (the matrix is the source of truth,
+     so all samplers share exactly the same distribution). *)
+  let prob v =
+    let acc = ref Nat.zero in
+    for col = 0 to precision - 1 do
+      if m.Ctg_kyao.Matrix.bits.(v).(col) then
+        acc := Nat.add !acc (Nat.shift_left Nat.one (precision - 1 - col))
+    done;
+    !acc
+  in
+  let running = ref Nat.zero in
+  let entries =
+    Array.init
+      (m.Ctg_kyao.Matrix.support + 1)
+      (fun v ->
+        running := Nat.add !running (prob v);
+        (* Scale to the byte width: entries live in [0, 2^(8·width)). *)
+        encode ~width (Nat.shift_left !running ((8 * width) - precision)))
+  in
+  { precision; width; entries; draw_buf = Bytes.create width }
+
+let size t = Array.length t.entries
+let entry_bytes t = t.width
+let cdf t v = t.entries.(v)
+
+let draw t rng =
+  (* Entries are scaled to the full byte width, so a full-width uniform
+     draw compares exactly: P(r < cdf·2^excess over 2^(8·width)) =
+     cdf / 2^precision.  The scratch buffer is reused: callers treat the
+     draw as consumed before the next call. *)
+  Ctg_prng.Bitstream.next_bytes_into rng t.draw_buf;
+  t.draw_buf
+
+let lt_early_exit a b =
+  let n = Bytes.length a in
+  let rec go i ops =
+    if i >= n then (false, ops)
+    else begin
+      let x = Char.code (Bytes.get a i) and y = Char.code (Bytes.get b i) in
+      if x < y then (true, ops + 1)
+      else if x > y then (false, ops + 1)
+      else go (i + 1) (ops + 1)
+    end
+  in
+  go 0 0
+
+let lt_ct a b =
+  let n = Bytes.length a in
+  (* borrow propagation: a < b iff subtracting yields a final borrow. *)
+  let borrow = ref 0 in
+  for i = n - 1 downto 0 do
+    let d = Char.code (Bytes.get a i) - Char.code (Bytes.get b i) - !borrow in
+    (* branch-free sign extraction: bit 8 of (d + 256) cleared iff d < 0 *)
+    borrow := 1 - ((d + 256) lsr 8)
+  done;
+  (!borrow = 1, n)

@@ -1,0 +1,26 @@
+(** Cumulative distribution table shared by the three CDT samplers of the
+    paper's Table 1.  Entry [v] is [Σ_{u<=v} p_u] as an n-bit big-endian
+    byte string; a uniform n-bit [r] maps to the smallest [v] with
+    [r < cdf v]. *)
+
+type t
+
+val of_matrix : Ctg_kyao.Matrix.t -> t
+val size : t -> int
+(** Number of entries (support + 1). *)
+
+val entry_bytes : t -> int
+(** ceil(precision / 8): width of every entry and of the random draw. *)
+
+val cdf : t -> int -> bytes
+
+val draw : t -> Ctg_prng.Bitstream.t -> bytes
+(** A fresh uniform value of [entry_bytes] bytes. *)
+
+val lt_early_exit : bytes -> bytes -> bool * int
+(** Big-endian lexicographic [a < b] with byte-level early exit (data-
+    dependent time); also returns the number of byte comparisons. *)
+
+val lt_ct : bytes -> bytes -> bool * int
+(** Same predicate, branch-free over all bytes: the comparison count is a
+    constant equal to the width. *)

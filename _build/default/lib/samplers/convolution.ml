@@ -1,0 +1,40 @@
+type t = { base : Ctgauss.Sampler.t; k : int; levels : int; sigma0 : float }
+
+let create ~base ~k ~levels =
+  if k < 1 || levels < 1 then invalid_arg "Convolution.create";
+  let sigma0 = float_of_string (Ctgauss.Sampler.sigma base) in
+  { base; k; levels; sigma0 }
+
+let sigma_effective t =
+  t.sigma0 *. (sqrt (1.0 +. float_of_int (t.k * t.k)) ** float_of_int t.levels)
+
+(* One signed base draw: magnitude plus an independent sign bit, matching
+   the folded-table convention. *)
+let rec draw t rng level =
+  if level = 0 then begin
+    let m = Ctgauss.Sampler.sample_magnitude t.base rng in
+    (* Always consume the sign bit (constant randomness footprint). *)
+    let s = Ctg_prng.Bitstream.next_bit rng in
+    if m > 0 && s = 1 then -m else m
+  end
+  else begin
+    let z1 = draw t rng (level - 1) in
+    let z2 = draw t rng (level - 1) in
+    z1 + (t.k * z2)
+  end
+
+let sample t rng = draw t rng t.levels
+let base_samples_per_output t = 1 lsl t.levels
+
+let instance t =
+  {
+    Sampler_sig.name =
+      Printf.sprintf "convolution(sigma0=%s,k=%d,levels=%d)"
+        (Ctgauss.Sampler.sigma t.base) t.k t.levels;
+    constant_time = true;
+    sample_magnitude = (fun rng -> abs (sample t rng));
+    sample_traced =
+      (fun rng ->
+        let v = sample t rng in
+        (abs v, base_samples_per_output t));
+  }

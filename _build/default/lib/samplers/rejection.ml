@@ -1,0 +1,63 @@
+module Nat = Ctg_bigint.Nat
+
+(* Per-row thresholds scaled so the most likely row has acceptance close
+   to 1: accept candidate v iff an n-bit uniform r < K_v << s, where s
+   makes max_v (K_v << s) fit just under 2^n. *)
+let thresholds (m : Ctg_kyao.Matrix.t) =
+  let n = m.Ctg_kyao.Matrix.precision in
+  let row_k v =
+    let acc = ref Nat.zero in
+    for col = 0 to n - 1 do
+      if m.Ctg_kyao.Matrix.bits.(v).(col) then
+        acc := Nat.add !acc (Nat.shift_left Nat.one (n - 1 - col))
+    done;
+    !acc
+  in
+  let ks = Array.init (m.Ctg_kyao.Matrix.support + 1) row_k in
+  let max_bits = Array.fold_left (fun a k -> max a (Nat.num_bits k)) 1 ks in
+  let shift = n - max_bits in
+  (Array.map (fun k -> Nat.shift_left k shift) ks, n)
+
+let acceptance_rate (m : Ctg_kyao.Matrix.t) =
+  let ks, n = thresholds m in
+  let total = Array.fold_left Nat.add Nat.zero ks in
+  let mt, et = Nat.to_float_exp total in
+  ldexp mt (et - n) /. float_of_int (Array.length ks)
+
+let create (m : Ctg_kyao.Matrix.t) =
+  let ks, n = thresholds m in
+  let count = Array.length ks in
+  let width = (n + 7) / 8 in
+  let enc =
+    Array.map
+      (fun k ->
+        let b = Bytes.make width '\000' in
+        let rec go v pos =
+          if pos >= 0 && not (Nat.is_zero v) then begin
+            Bytes.set b pos (Char.chr (Nat.to_int (Nat.rem v (Nat.of_int 256))));
+            go (Nat.shift_right v 8) (pos - 1)
+          end
+        in
+        go (Nat.shift_left k ((8 * width) - n)) (width - 1);
+        b)
+      ks
+  in
+  let buf = Bytes.create width in
+  let rec sample rng iters =
+    (* Uniform candidate by rejection on a power-of-two range. *)
+    let bits = Ctg_util.Bits.bits_needed (count - 1) in
+    let rec candidate () =
+      let c = Ctg_prng.Bitstream.next_bits rng bits in
+      if c < count then c else candidate ()
+    in
+    let v = candidate () in
+    Ctg_prng.Bitstream.next_bytes_into rng buf;
+    let accept, _ = Cdt_table.lt_early_exit buf enc.(v) in
+    if accept then (v, iters) else sample rng (iters + 1)
+  in
+  {
+    Sampler_sig.name = "rejection";
+    constant_time = false;
+    sample_magnitude = (fun rng -> fst (sample rng 1));
+    sample_traced = (fun rng -> sample rng 1);
+  }

@@ -1,0 +1,13 @@
+(** Classic rejection sampling from the folded table: draw a uniform
+    candidate magnitude and an n-bit uniform, accept when the uniform
+    falls below the candidate's scaled probability.  The textbook
+    non-constant-time baseline (acceptance rate, and hence running time,
+    depends on the candidate) — included for breadth in the dudect and
+    throughput comparisons. *)
+
+val create : Ctg_kyao.Matrix.t -> Sampler_sig.instance
+(** Shares the probability matrix with every other sampler; the trace
+    counts rejection-loop iterations. *)
+
+val acceptance_rate : Ctg_kyao.Matrix.t -> float
+(** Exact: Σp_v / ((support+1) · max_v p_v). *)

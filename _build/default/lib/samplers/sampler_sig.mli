@@ -1,0 +1,22 @@
+(** Uniform wrapper over every sampler in the repo so the Falcon signer,
+    the benchmarks and the dudect harness can swap them freely (the
+    experiment knob of Table 1). *)
+
+type instance = {
+  name : string;
+  constant_time : bool;  (** By construction; dudect re-checks empirically. *)
+  sample_magnitude : Ctg_prng.Bitstream.t -> int;
+  sample_traced : Ctg_prng.Bitstream.t -> int * int;
+      (** [(value, data-dependent work units)] — byte comparisons for CDT
+          samplers, consumed bits for Knuth-Yao, gates for bitsliced. *)
+}
+
+val sample_signed : instance -> Ctg_prng.Bitstream.t -> int
+(** Magnitude plus a uniform sign bit (folded distribution). *)
+
+val of_bitsliced : Ctgauss.Sampler.t -> instance
+(** Per-sample view of a batch sampler (internal 63-sample buffer); the
+    trace reports the amortized gate count. *)
+
+val knuth_yao_reference : Ctg_kyao.Matrix.t -> instance
+(** The non-constant-time Alg. 1 walk, traced by bits consumed. *)

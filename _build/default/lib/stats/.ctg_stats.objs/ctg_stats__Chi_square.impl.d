@@ -1,0 +1,1 @@
+lib/stats/chi_square.ml: Array List

@@ -1,0 +1,1 @@
+lib/stats/distance.mli: Ctg_kyao

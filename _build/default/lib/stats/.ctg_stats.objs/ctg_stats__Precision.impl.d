@@ -1,0 +1,1 @@
+lib/stats/precision.ml: Array Ctg_bigint Ctg_fixed Format List

@@ -1,0 +1,1 @@
+lib/stats/welch.ml: Moments

@@ -1,0 +1,107 @@
+type result = { statistic : float; dof : int; p_value : float }
+
+let gammln x =
+  (* Lanczos approximation. *)
+  let cof =
+    [| 76.18009172947146; -86.50532032941677; 24.01409824083091;
+       -1.231739572450155; 0.1208650973866179e-2; -0.5395239384953e-5 |]
+  in
+  let y = ref x in
+  let tmp = x +. 5.5 in
+  let tmp = tmp -. ((x +. 0.5) *. log tmp) in
+  let ser = ref 1.000000000190015 in
+  Array.iter
+    (fun c ->
+      y := !y +. 1.0;
+      ser := !ser +. (c /. !y))
+    cof;
+  -.tmp +. log (2.5066282746310005 *. !ser /. x)
+
+(* Series representation of P(a,x), valid for x < a+1. *)
+let gser a x =
+  let itmax = 200 and eps = 3e-9 in
+  if x <= 0.0 then 0.0
+  else begin
+    let ap = ref a in
+    let sum = ref (1.0 /. a) in
+    let del = ref !sum in
+    let rec go i =
+      if i > itmax then !sum
+      else begin
+        ap := !ap +. 1.0;
+        del := !del *. x /. !ap;
+        sum := !sum +. !del;
+        if abs_float !del < abs_float !sum *. eps then !sum else go (i + 1)
+      end
+    in
+    let s = go 1 in
+    s *. exp ((-.x) +. (a *. log x) -. gammln a)
+  end
+
+(* Continued fraction for Q(a,x), valid for x >= a+1. *)
+let gcf a x =
+  let itmax = 200 and eps = 3e-9 and fpmin = 1e-300 in
+  let b = ref (x +. 1.0 -. a) in
+  let c = ref (1.0 /. fpmin) in
+  let d = ref (1.0 /. !b) in
+  let h = ref !d in
+  let rec go i =
+    if i > itmax then ()
+    else begin
+      let an = -.float_of_int i *. (float_of_int i -. a) in
+      b := !b +. 2.0;
+      d := (an *. !d) +. !b;
+      if abs_float !d < fpmin then d := fpmin;
+      c := !b +. (an /. !c);
+      if abs_float !c < fpmin then c := fpmin;
+      d := 1.0 /. !d;
+      let del = !d *. !c in
+      h := !h *. del;
+      if abs_float (del -. 1.0) < eps then () else go (i + 1)
+    end
+  in
+  go 1;
+  exp ((-.x) +. (a *. log x) -. gammln a) *. !h
+
+let gammq a x =
+  if x < 0.0 || a <= 0.0 then invalid_arg "Chi_square.gammq";
+  if x = 0.0 then 1.0
+  else if x < a +. 1.0 then 1.0 -. gser a x
+  else gcf a x
+
+let test ~observed ~expected =
+  if Array.length observed <> Array.length expected then
+    invalid_arg "Chi_square.test: length mismatch";
+  (* Merge low-expectation bins left to right into an accumulator. *)
+  let bins = ref [] in
+  let acc_o = ref 0 and acc_e = ref 0.0 in
+  Array.iteri
+    (fun i o ->
+      acc_o := !acc_o + o;
+      acc_e := !acc_e +. expected.(i);
+      if !acc_e >= 5.0 then begin
+        bins := (!acc_o, !acc_e) :: !bins;
+        acc_o := 0;
+        acc_e := 0.0
+      end)
+    observed;
+  (* Whatever is left joins the last bin. *)
+  let bins =
+    match (!bins, (!acc_o, !acc_e)) with
+    | [], leftover -> [ leftover ]
+    | (o, e) :: rest, (lo, le) when le > 0.0 || lo > 0 ->
+      (o + lo, e +. le) :: rest
+    | l, _ -> l
+  in
+  let stat =
+    List.fold_left
+      (fun s (o, e) ->
+        if e <= 0.0 then s
+        else begin
+          let d = float_of_int o -. e in
+          s +. (d *. d /. e)
+        end)
+      0.0 bins
+  in
+  let dof = max 1 (List.length bins - 1) in
+  { statistic = stat; dof; p_value = gammq (float_of_int dof /. 2.0) (stat /. 2.0) }

@@ -1,0 +1,12 @@
+(** Pearson chi-square goodness-of-fit with a p-value from the regularized
+    upper incomplete gamma function (series + continued fraction, as in
+    standard numerical practice). *)
+
+type result = { statistic : float; dof : int; p_value : float }
+
+val test : observed:int array -> expected:float array -> result
+(** Bins with expected count below 5 are merged into their neighbour, the
+    usual validity rule.  [expected] are counts, not probabilities. *)
+
+val gammq : float -> float -> float
+(** Regularized upper incomplete gamma Q(a, x); exposed for testing. *)

@@ -1,0 +1,58 @@
+let exact_probabilities (m : Ctg_kyao.Matrix.t) =
+  let n = m.Ctg_kyao.Matrix.precision in
+  Array.init
+    (m.Ctg_kyao.Matrix.support + 1)
+    (fun v ->
+      let acc = ref 0.0 in
+      for col = 0 to n - 1 do
+        if m.Ctg_kyao.Matrix.bits.(v).(col) then
+          acc := !acc +. ldexp 1.0 (-(col + 1))
+      done;
+      !acc)
+
+let pad a b =
+  let n = max (Array.length a) (Array.length b) in
+  let get x i = if i < Array.length x then x.(i) else 0.0 in
+  (Array.init n (get a), Array.init n (get b))
+
+let statistical p q =
+  let p, q = pad p q in
+  let acc = ref 0.0 in
+  Array.iteri (fun i pi -> acc := !acc +. abs_float (pi -. q.(i))) p;
+  0.5 *. !acc
+
+let renyi ~alpha p q =
+  if alpha <= 1.0 then invalid_arg "Distance.renyi: alpha must exceed 1";
+  let p, q = pad p q in
+  let acc = ref 0.0 in
+  let infinite = ref false in
+  Array.iteri
+    (fun i pi ->
+      if pi > 0.0 then begin
+        if q.(i) <= 0.0 then infinite := true
+        else acc := !acc +. (pi ** alpha /. (q.(i) ** (alpha -. 1.0)))
+      end)
+    p;
+  if !infinite then infinity else log !acc /. (alpha -. 1.0)
+
+let max_log p q =
+  let p, q = pad p q in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i pi ->
+      let qi = q.(i) in
+      if pi > 0.0 || qi > 0.0 then
+        if pi <= 0.0 || qi <= 0.0 then acc := infinity
+        else acc := max !acc (abs_float (log pi -. log qi)))
+    p;
+  !acc
+
+let empirical samples ~support =
+  let counts = Array.make (support + 1) 0 in
+  let total = Array.length samples in
+  Array.iter
+    (fun s ->
+      let v = abs s in
+      if v <= support then counts.(v) <- counts.(v) + 1)
+    samples;
+  Array.map (fun c -> float_of_int c /. float_of_int total) counts

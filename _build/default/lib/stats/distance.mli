@@ -1,0 +1,20 @@
+(** Distribution distances from the paper's Sec. 3.2 and Sec. 7: the
+    statistical distance that fixes the precision requirement, and the
+    Rényi / max-log relaxations cited as the way to reduce it. *)
+
+val exact_probabilities : Ctg_kyao.Matrix.t -> float array
+(** The folded distribution [p_v] of the matrix, as floats (index =
+    magnitude).  Sums to slightly below 1 (floor rounding). *)
+
+val statistical : float array -> float array -> float
+(** Total variation distance ½·Σ|p−q| over the common support. *)
+
+val renyi : alpha:float -> float array -> float array -> float
+(** Rényi divergence [D_α(P‖Q)] (α > 1); ∞ when [Q] misses mass of [P]. *)
+
+val max_log : float array -> float array -> float
+(** max-log distance: [max |ln p − ln q|] over the support of either. *)
+
+val empirical : int array -> support:int -> float array
+(** Magnitude frequencies of signed samples folded to |·|, up to
+    [support]. *)

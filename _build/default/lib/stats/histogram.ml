@@ -1,0 +1,43 @@
+type t = { min_value : int; counts : int array; total : int }
+
+let of_samples samples =
+  if Array.length samples = 0 then invalid_arg "Histogram.of_samples: empty";
+  let lo = Array.fold_left min max_int samples in
+  let hi = Array.fold_left max min_int samples in
+  let counts = Array.make (hi - lo + 1) 0 in
+  Array.iter (fun s -> counts.(s - lo) <- counts.(s - lo) + 1) samples;
+  { min_value = lo; counts; total = Array.length samples }
+
+let count t v =
+  let i = v - t.min_value in
+  if i < 0 || i >= Array.length t.counts then 0 else t.counts.(i)
+
+let frequency t v = float_of_int (count t v) /. float_of_int t.total
+let range t = (t.min_value, t.min_value + Array.length t.counts - 1)
+
+let mean t =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      acc := !acc +. (float_of_int (t.min_value + i) *. float_of_int c))
+    t.counts;
+  !acc /. float_of_int t.total
+
+let std_dev t =
+  let mu = mean t in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      let d = float_of_int (t.min_value + i) -. mu in
+      acc := !acc +. (d *. d *. float_of_int c))
+    t.counts;
+  sqrt (!acc /. float_of_int t.total)
+
+let pp_bars ?(width = 60) fmt t =
+  let peak = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let bar = c * width / peak in
+      Format.fprintf fmt "%5d | %-*s %d@." (t.min_value + i) width
+        (String.make bar '#') c)
+    t.counts

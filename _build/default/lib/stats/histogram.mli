@@ -1,0 +1,13 @@
+(** Integer histograms, used to regenerate the paper's Fig. 5. *)
+
+type t = private { min_value : int; counts : int array; total : int }
+
+val of_samples : int array -> t
+val count : t -> int -> int
+val frequency : t -> int -> float
+val range : t -> int * int
+val mean : t -> float
+val std_dev : t -> float
+
+val pp_bars : ?width:int -> Format.formatter -> t -> unit
+(** Horizontal ASCII bar chart, one row per value. *)

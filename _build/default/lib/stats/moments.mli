@@ -1,0 +1,14 @@
+(** Streaming mean/variance (Welford) — numerically stable accumulation
+    used by the timing harnesses and distribution checks. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+(** Unbiased sample variance; 0 for fewer than two observations. *)
+
+val std_dev : t -> float
+val of_array : float array -> t

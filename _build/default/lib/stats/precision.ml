@@ -1,0 +1,84 @@
+module Nat = Ctg_bigint.Nat
+module Gt = Ctg_fixed.Gaussian_table
+
+type report = {
+  precision : int;
+  log2_sd : float;
+  log2_max_log : float;
+  bits_per_sample : int;
+}
+
+(* log2 of a Nat scaled by 2^-scale, exact to float precision and immune
+   to double underflow. *)
+let log2_scaled v ~scale =
+  if Nat.is_zero v then neg_infinity
+  else begin
+    let m, e = Nat.to_float_exp v in
+    (log m /. log 2.0) +. float_of_int e -. float_of_int scale
+  end
+
+let abs_diff a b = if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub b a
+
+let compare_tables ~sigma ~tail_cut ~reference n =
+  if n >= reference then invalid_arg "Precision.compare_tables: n >= reference";
+  let ref_t = Gt.create ~sigma ~precision:reference ~tail_cut in
+  let low_t = Gt.create ~sigma ~precision:n ~tail_cut in
+  assert (ref_t.Gt.support = low_t.Gt.support);
+  let lift k = Nat.shift_left k (reference - n) in
+  (* Total variation at scale 2^-reference, residual difference included
+     (the residual behaves as a distinct "restart" outcome). *)
+  let sd_sum = ref Nat.zero in
+  let max_log = ref neg_infinity in
+  for v = 0 to ref_t.Gt.support do
+    let kr = ref_t.Gt.prob.(v) in
+    let kn = lift low_t.Gt.prob.(v) in
+    let d = abs_diff kr kn in
+    sd_sum := Nat.add !sd_sum d;
+    (* |ln(p_n/p_ref)| = |ln(1 + (kn-kr)/kr)| ~ diff/kr for the tiny
+       ratios at play; rows the low table rounds to zero are excluded
+       (their mass is already in the SD term). *)
+    if (not (Nat.is_zero low_t.Gt.prob.(v))) && not (Nat.is_zero kr) then begin
+      let md, ed = Nat.to_float_exp d in
+      let mk, ek = Nat.to_float_exp kr in
+      if md > 0.0 then begin
+        let log2_ratio =
+          (log (md /. mk) /. log 2.0) +. float_of_int (ed - ek)
+        in
+        if log2_ratio > !max_log then max_log := log2_ratio
+      end
+    end
+  done;
+  let res_diff =
+    abs_diff (Gt.residual ref_t) (lift (Gt.residual low_t))
+  in
+  sd_sum := Nat.add !sd_sum res_diff;
+  {
+    precision = n;
+    log2_sd = log2_scaled !sd_sum ~scale:(reference + 1);
+    log2_max_log = !max_log;
+    bits_per_sample = n + 1;
+  }
+
+let sweep ~sigma ~tail_cut ~reference ns =
+  List.map (compare_tables ~sigma ~tail_cut ~reference) ns
+
+let sd_target ~lambda ~log2_total_samples =
+  -.float_of_int (lambda + log2_total_samples)
+
+let max_log_target ~lambda ~log2_total_samples =
+  -.float_of_int (lambda + log2_total_samples) /. 2.0
+
+let minimal_precision reports ~target_log2 ~which =
+  let value r = match which with `Sd -> r.log2_sd | `Max_log -> r.log2_max_log in
+  reports
+  |> List.filter (fun r -> value r <= target_log2)
+  |> List.fold_left
+       (fun best r ->
+         match best with
+         | None -> Some r.precision
+         | Some p -> Some (min p r.precision))
+       None
+
+let pp_report fmt r =
+  Format.fprintf fmt "n=%-4d log2(SD)=%8.1f  log2(max-log)=%8.1f  bits/sample=%d"
+    r.precision r.log2_sd r.log2_max_log r.bits_per_sample

@@ -1,0 +1,46 @@
+(** Precision-requirement analysis — the research direction the paper's
+    Sec. 7 calls out: use Rényi-divergence / max-log arguments (Prest;
+    Micciancio-Walter) instead of statistical distance to justify fewer
+    probability bits, and hence fewer random bits per sample.
+
+    All distances are computed exactly on the bignum probability tables
+    and reported as log2 (a float like [-131.2]); doubles would underflow
+    long before the interesting range. *)
+
+type report = {
+  precision : int;  (** n of the reduced table. *)
+  log2_sd : float;
+      (** log2 of the statistical distance to the reference table,
+          including the never-terminating residual mass difference. *)
+  log2_max_log : float;
+      (** log2 of the max-log distance max_v |ln p_n(v) − ln p_ref(v)|,
+          over the rows the n-bit sampler can actually output; rows
+          rounded to zero at n bits show up in [log2_sd] instead. *)
+  bits_per_sample : int;  (** Random bits per sample: n + sign. *)
+}
+
+val compare_tables :
+  sigma:string -> tail_cut:int -> reference:int -> int -> report
+(** [compare_tables ~sigma ~tail_cut ~reference n] measures the n-bit
+    table against the [reference]-bit one (reference > n). *)
+
+val sweep :
+  sigma:string -> tail_cut:int -> reference:int -> int list -> report list
+
+val sd_target : lambda:int -> log2_total_samples:int -> float
+(** Classic statistical-distance argument: [2^log2_total_samples] samples
+    ever drawn, distinguishing advantage below [2^-lambda], needs per-
+    sample SD below the returned log2 value:
+    [-(lambda + log2_total_samples)]. *)
+
+val max_log_target : lambda:int -> log2_total_samples:int -> float
+(** Max-log / Rényi argument (Prest, ASIACRYPT 2017, simplified): a
+    max-log distance δ over Q samples costs ≈ Q·δ² of advantage, so
+    [log2 δ = -(lambda + log2_total_samples) / 2] suffices — half the
+    bits of the SD argument. *)
+
+val minimal_precision : report list -> target_log2:float -> which:[ `Sd | `Max_log ] -> int option
+(** Smallest swept precision whose measured distance is at or below the
+    target. *)
+
+val pp_report : Format.formatter -> report -> unit

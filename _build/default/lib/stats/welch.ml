@@ -1,0 +1,9 @@
+let t_statistic a b =
+  let na = float_of_int (Moments.count a) and nb = float_of_int (Moments.count b) in
+  if Moments.count a < 2 || Moments.count b < 2 then 0.0
+  else begin
+    let se = sqrt ((Moments.variance a /. na) +. (Moments.variance b /. nb)) in
+    if se = 0.0 then 0.0 else (Moments.mean a -. Moments.mean b) /. se
+  end
+
+let leaky ?(threshold = 4.5) a b = abs_float (t_statistic a b) > threshold

@@ -1,0 +1,8 @@
+(** Welch's t-test for unequal variances — the statistic behind dudect's
+    leakage detection (Reparaz et al., DATE 2017, the paper's Sec. 5.2). *)
+
+val t_statistic : Moments.t -> Moments.t -> float
+(** [t = (μ₁ − μ₂) / sqrt(s₁²/n₁ + s₂²/n₂)]; 0 when degenerate. *)
+
+val leaky : ?threshold:float -> Moments.t -> Moments.t -> bool
+(** dudect's decision rule: [|t| > threshold] (default 4.5). *)

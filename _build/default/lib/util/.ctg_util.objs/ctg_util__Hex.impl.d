@@ -1,0 +1,1 @@
+lib/util/hex.ml: Array Bytes Char Printf Seq String

@@ -1,0 +1,41 @@
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let popcount64 x =
+  let rec go acc x =
+    if Int64.equal x 0L then acc
+    else go (acc + 1) (Int64.logand x (Int64.sub x 1L))
+  in
+  go 0 x
+
+let bits_needed v =
+  assert (v >= 0);
+  let rec go acc v = if v = 0 then acc else go (acc + 1) (v lsr 1) in
+  go 0 v
+
+let get_bit buf i = (Char.code (Bytes.get buf (i lsr 3)) lsr (i land 7)) land 1
+
+let set_bit buf i v =
+  let byte = Char.code (Bytes.get buf (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if v land 1 = 1 then byte lor mask else byte land lnot mask in
+  Bytes.set buf (i lsr 3) (Char.chr byte)
+
+let leading_ones bits =
+  let n = Array.length bits in
+  let rec go i = if i < n && bits.(i) then go (i + 1) else i in
+  go 0
+
+let string_of_bits bits =
+  String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
+
+let bits_of_string s =
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' | 'x' -> false
+      | '1' -> true
+      | c -> invalid_arg (Printf.sprintf "Bits.bits_of_string: %c" c))
+
+let int_of_bits_be bits =
+  Array.fold_left (fun acc b -> (acc lsl 1) lor (if b then 1 else 0)) 0 bits

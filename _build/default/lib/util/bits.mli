@@ -1,0 +1,37 @@
+(** Bit-level helpers shared across the code base.
+
+    Bit-string convention (follows the paper, Sec. 3): a random bit string is
+    stored as a [bool array] where index 0 holds [b_0], the {e first} bit
+    consumed by the Knuth-Yao random walk.  "Trailing ones from the LSB" in
+    the paper therefore means a prefix of ones at the low indices here. *)
+
+val popcount : int -> int
+(** Number of set bits in a native integer (all 63 value bits). *)
+
+val popcount64 : int64 -> int
+(** Number of set bits in an [int64]. *)
+
+val bits_needed : int -> int
+(** [bits_needed v] is the minimal number of bits that can represent
+    [v >= 0]; [bits_needed 0 = 0]. *)
+
+val get_bit : bytes -> int -> int
+(** [get_bit buf i] extracts bit [i] of a byte buffer, bit 0 being the least
+    significant bit of byte 0. *)
+
+val set_bit : bytes -> int -> int -> unit
+(** [set_bit buf i v] sets bit [i] of [buf] to [v land 1]. *)
+
+val leading_ones : bool array -> int
+(** Length of the prefix of [true] values (the paper's [k], counted in
+    consumption order). *)
+
+val string_of_bits : bool array -> string
+(** Render as ['0'/'1'] characters, index 0 first. *)
+
+val bits_of_string : string -> bool array
+(** Inverse of {!string_of_bits}; accepts only ['0'], ['1'] and ['x'] (the
+    latter parsed as [false]). *)
+
+val int_of_bits_be : bool array -> int
+(** Paper's reversed evaluation: index 0 is the most significant bit. *)

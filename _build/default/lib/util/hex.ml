@@ -1,0 +1,21 @@
+let encode buf =
+  let hexdigit v = "0123456789abcdef".[v] in
+  String.init
+    (2 * Bytes.length buf)
+    (fun i ->
+      let byte = Char.code (Bytes.get buf (i / 2)) in
+      if i mod 2 = 0 then hexdigit (byte lsr 4) else hexdigit (byte land 0xf))
+
+let decode s =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg (Printf.sprintf "Hex.decode: %c" c)
+  in
+  let compact = String.to_seq s |> Seq.filter (fun c -> not (c = ' ' || c = '\n' || c = '\t' || c = '\r')) |> Array.of_seq in
+  let n = Array.length compact in
+  if n mod 2 <> 0 then invalid_arg "Hex.decode: odd digit count";
+  Bytes.init (n / 2) (fun i ->
+      Char.chr ((digit compact.(2 * i) lsl 4) lor digit compact.((2 * i) + 1)))

@@ -1,0 +1,8 @@
+(** Hexadecimal encoding/decoding for test vectors and CLI output. *)
+
+val encode : bytes -> string
+(** Lowercase hex, two characters per byte. *)
+
+val decode : string -> bytes
+(** Inverse of {!encode}; ignores ASCII whitespace.
+    @raise Invalid_argument on non-hex characters or odd digit count. *)

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Ctg_bigint Ctg_prng Int64 List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_boolmin.ml: Alcotest Ctg_boolmin Ctg_prng Format Int64 List QCheck QCheck_alcotest Test

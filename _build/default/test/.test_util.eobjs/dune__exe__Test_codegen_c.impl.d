@@ -1,0 +1,1 @@
+test/test_codegen_c.ml: Alcotest Array Ctg_kyao Ctg_prng Ctgauss Filename Int64 List Out_channel Printf Sys Unix

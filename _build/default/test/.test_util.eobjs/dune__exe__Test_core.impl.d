@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Ctg_kyao Ctg_prng Ctg_stats Ctgauss Int64 List Printf QCheck QCheck_alcotest String Test

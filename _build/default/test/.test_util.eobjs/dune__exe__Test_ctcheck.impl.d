@@ -1,0 +1,1 @@
+test/test_ctcheck.ml: Alcotest Array Ctg_ctcheck Ctg_kyao Ctg_prng Ctg_samplers Ctgauss

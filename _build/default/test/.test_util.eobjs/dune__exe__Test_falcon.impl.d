@@ -1,0 +1,1 @@
+test/test_falcon.ml: Alcotest Array Bytes Char Ctg_bigint Ctg_falcon Ctg_prng Ctg_samplers Ctg_stats Ctgauss Float List Printf

@@ -1,0 +1,1 @@
+test/test_fixed.ml: Alcotest Array Ctg_bigint Ctg_fixed List Printf QCheck QCheck_alcotest String Test

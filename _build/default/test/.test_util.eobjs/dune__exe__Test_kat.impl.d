@@ -1,0 +1,1 @@
+test/test_kat.ml: Alcotest Array Bytes Ctg_falcon Ctg_prng Ctg_samplers Ctgauss

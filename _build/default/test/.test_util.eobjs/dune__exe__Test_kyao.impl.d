@@ -1,0 +1,1 @@
+test/test_kyao.ml: Alcotest Array Ctg_bigint Ctg_fixed Ctg_kyao Ctg_prng Ctg_stats Int64 List Printf QCheck QCheck_alcotest Test

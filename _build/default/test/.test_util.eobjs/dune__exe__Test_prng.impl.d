@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Bytes Ctg_prng Ctg_util Int64 List QCheck QCheck_alcotest Test

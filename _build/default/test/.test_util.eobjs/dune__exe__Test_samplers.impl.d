@@ -1,0 +1,1 @@
+test/test_samplers.ml: Alcotest Array Bytes Char Ctg_kyao Ctg_prng Ctg_samplers Ctg_stats Ctgauss Hashtbl List Printf

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Ctg_kyao Ctg_prng Ctg_stats Int64 List Printf QCheck QCheck_alcotest Test

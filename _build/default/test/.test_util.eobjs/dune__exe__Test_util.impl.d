@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Ctg_util Gen List QCheck QCheck_alcotest Test

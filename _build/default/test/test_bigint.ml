@@ -1,0 +1,164 @@
+(* Unit and property tests for the arbitrary-precision integers that
+   everything else (probability tables, NTRUSolve) stands on. *)
+
+module Nat = Ctg_bigint.Nat
+module Z = Ctg_bigint.Zint
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+let zint = Alcotest.testable Z.pp Z.equal
+
+(* Random Nat of up to [bits] bits, derived from a qcheck-provided seed. *)
+let random_nat rng bits =
+  let n = 1 + Ctg_prng.Splitmix64.next_int rng bits in
+  let acc = ref Nat.zero in
+  for _ = 1 to (n + 29) / 30 do
+    acc :=
+      Nat.add
+        (Nat.shift_left !acc 30)
+        (Nat.of_int (Ctg_prng.Splitmix64.next_int rng (1 lsl 30)))
+  done;
+  !acc
+
+let arb_nat bits =
+  QCheck.make
+    ~print:(fun n -> Nat.to_string n)
+    (QCheck.Gen.map
+       (fun seed -> random_nat (Ctg_prng.Splitmix64.create (Int64.of_int seed)) bits)
+       QCheck.Gen.nat)
+
+let arb_zint bits =
+  QCheck.make
+    ~print:(fun z -> Z.to_string z)
+    (QCheck.Gen.map
+       (fun seed ->
+         let rng = Ctg_prng.Splitmix64.create (Int64.of_int (seed + 7919)) in
+         let m = random_nat rng bits in
+         if Ctg_prng.Splitmix64.next_int rng 2 = 0 then Z.of_nat m
+         else Z.neg (Z.of_nat m))
+       QCheck.Gen.nat)
+
+let unit_tests =
+  [
+    Alcotest.test_case "of_int/to_int roundtrip" `Quick (fun () ->
+        List.iter
+          (fun v -> Alcotest.(check int) "roundtrip" v (Nat.to_int (Nat.of_int v)))
+          [ 0; 1; 2; 12289; max_int; max_int - 1; 1 lsl 31; (1 lsl 31) - 1 ]);
+    Alcotest.test_case "decimal strings" `Quick (fun () ->
+        let s = "123456789012345678901234567890123456789" in
+        Alcotest.(check string) "roundtrip" s (Nat.to_string (Nat.of_string s));
+        Alcotest.(check string) "zero" "0" (Nat.to_string Nat.zero));
+    Alcotest.test_case "sub underflow raises" `Quick (fun () ->
+        Alcotest.check_raises "negative" (Invalid_argument "Nat.sub: negative result")
+          (fun () -> ignore (Nat.sub (Nat.of_int 3) (Nat.of_int 5))));
+    Alcotest.test_case "divmod by zero raises" `Quick (fun () ->
+        Alcotest.check_raises "div0" Division_by_zero (fun () ->
+            ignore (Nat.divmod Nat.one Nat.zero)));
+    Alcotest.test_case "pow" `Quick (fun () ->
+        Alcotest.check nat "2^100"
+          (Nat.of_string "1267650600228229401496703205376")
+          (Nat.pow (Nat.of_int 2) 100);
+        Alcotest.check nat "x^0" Nat.one (Nat.pow (Nat.of_int 12345) 0));
+    Alcotest.test_case "num_bits / testbit" `Quick (fun () ->
+        Alcotest.(check int) "bits of 0" 0 (Nat.num_bits Nat.zero);
+        Alcotest.(check int) "bits of 255" 8 (Nat.num_bits (Nat.of_int 255));
+        Alcotest.(check int) "bits of 256" 9 (Nat.num_bits (Nat.of_int 256));
+        Alcotest.(check bool) "bit 8 of 256" true (Nat.testbit (Nat.of_int 256) 8);
+        Alcotest.(check bool) "bit 7 of 256" false (Nat.testbit (Nat.of_int 256) 7));
+    Alcotest.test_case "shift identity" `Quick (fun () ->
+        let v = Nat.of_string "98765432109876543210" in
+        Alcotest.check nat "l/r" v (Nat.shift_right (Nat.shift_left v 137) 137));
+    Alcotest.test_case "to_float_exp" `Quick (fun () ->
+        let v = Nat.pow (Nat.of_int 2) 200 in
+        let m, e = Nat.to_float_exp v in
+        Alcotest.(check (float 1e-12)) "mantissa" 0.5 m;
+        Alcotest.(check int) "exponent" 201 e);
+    Alcotest.test_case "zint ediv_rem signs" `Quick (fun () ->
+        List.iter
+          (fun (a, b) ->
+            let az = Z.of_int a and bz = Z.of_int b in
+            let q, r = Z.ediv_rem az bz in
+            Alcotest.check zint "recompose" az (Z.add (Z.mul q bz) r);
+            Alcotest.(check bool) "0 <= r" true (Z.sign r >= 0);
+            Alcotest.(check bool) "r < |b|" true (Z.compare r (Z.abs bz) < 0))
+          [ (7, 3); (-7, 3); (7, -3); (-7, -3); (6, 3); (-6, 3); (0, 5) ]);
+    Alcotest.test_case "zint fdiv/cdiv/rounded" `Quick (fun () ->
+        let check name f a b expected =
+          Alcotest.check zint name (Z.of_int expected) (f (Z.of_int a) (Z.of_int b))
+        in
+        check "fdiv 7/2" Z.fdiv 7 2 3;
+        check "fdiv -7/2" Z.fdiv (-7) 2 (-4);
+        check "cdiv 7/2" Z.cdiv 7 2 4;
+        check "cdiv -7/2" Z.cdiv (-7) 2 (-3);
+        check "round 7/2" Z.rounded_div 7 2 4;
+        check "round 5/2" Z.rounded_div 5 2 3;
+        check "round -5/2" Z.rounded_div (-5) 2 (-2);
+        check "round -7/3" Z.rounded_div (-7) 3 (-2));
+    Alcotest.test_case "karatsuba threshold crossing" `Quick (fun () ->
+        (* Operands straddling the 32-limb Karatsuba cutoff. *)
+        let a = Nat.pow (Nat.of_int 12345) 150 in
+        let b = Nat.pow (Nat.of_int 98765) 120 in
+        let prod = Nat.mul a b in
+        Alcotest.check nat "commutative" prod (Nat.mul b a);
+        Alcotest.check nat "divides back" a (Nat.div prod b));
+  ]
+
+let prop_tests =
+  let open QCheck in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      Test.make ~name:"nat add commutative" ~count:200
+        (pair (arb_nat 300) (arb_nat 300))
+        (fun (a, b) -> Nat.equal (Nat.add a b) (Nat.add b a));
+      Test.make ~name:"nat mul commutative+assoc" ~count:100
+        (triple (arb_nat 200) (arb_nat 200) (arb_nat 200))
+        (fun (a, b, c) ->
+          Nat.equal (Nat.mul a b) (Nat.mul b a)
+          && Nat.equal (Nat.mul a (Nat.mul b c)) (Nat.mul (Nat.mul a b) c));
+      Test.make ~name:"nat distributive" ~count:200
+        (triple (arb_nat 250) (arb_nat 250) (arb_nat 250))
+        (fun (a, b, c) ->
+          Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)));
+      Test.make ~name:"nat divmod recomposition" ~count:300
+        (pair (arb_nat 400) (arb_nat 150))
+        (fun (a, b) ->
+          QCheck.assume (not (Nat.is_zero b));
+          let q, r = Nat.divmod a b in
+          Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0);
+      Test.make ~name:"nat add/sub inverse" ~count:300
+        (pair (arb_nat 300) (arb_nat 300))
+        (fun (a, b) -> Nat.equal a (Nat.sub (Nat.add a b) b));
+      Test.make ~name:"nat string roundtrip" ~count:100 (arb_nat 300) (fun a ->
+          Nat.equal a (Nat.of_string (Nat.to_string a)));
+      Test.make ~name:"nat shift = mul by power of two" ~count:200
+        (pair (arb_nat 200) small_nat)
+        (fun (a, k) ->
+          let k = k mod 100 in
+          Nat.equal (Nat.shift_left a k) (Nat.mul a (Nat.pow (Nat.of_int 2) k)));
+      Test.make ~name:"zint ring laws" ~count:200
+        (triple (arb_zint 200) (arb_zint 200) (arb_zint 200))
+        (fun (a, b, c) ->
+          Z.equal (Z.mul a (Z.add b c)) (Z.add (Z.mul a b) (Z.mul a c))
+          && Z.equal (Z.add a (Z.neg a)) Z.zero);
+      Test.make ~name:"zint ediv_rem euclidean" ~count:300
+        (pair (arb_zint 300) (arb_zint 120))
+        (fun (a, b) ->
+          QCheck.assume (not (Z.is_zero b));
+          let q, r = Z.ediv_rem a b in
+          Z.equal a (Z.add (Z.mul q b) r)
+          && Z.sign r >= 0
+          && Z.compare r (Z.abs b) < 0);
+      Test.make ~name:"zint string roundtrip" ~count:100 (arb_zint 250) (fun a ->
+          Z.equal a (Z.of_string (Z.to_string a)));
+      Test.make ~name:"zint rounded_div error <= 1/2" ~count:200
+        (pair (arb_zint 100) (arb_zint 40))
+        (fun (a, b) ->
+          QCheck.assume (not (Z.is_zero b));
+          let k = Z.rounded_div a b in
+          (* |a - k·b| <= |b|/2, i.e. 2|a - kb| <= |b| *)
+          let err = Z.abs (Z.sub a (Z.mul k b)) in
+          Z.compare (Z.shift_left err 1) (Z.abs b) <= 0);
+    ]
+
+let () =
+  Alcotest.run "bigint"
+    [ ("unit", unit_tests); ("properties", prop_tests) ]

@@ -1,0 +1,157 @@
+(* Boolean minimization: cubes, Quine-McCluskey primes, Petrick covers —
+   the exactness claims behind the paper's Espresso -Dso -S1 usage. *)
+
+module Cube = Ctg_boolmin.Cube
+module Tt = Ctg_boolmin.Truth_table
+module Qm = Ctg_boolmin.Quine_mccluskey
+module Sop = Ctg_boolmin.Sop
+
+let cube = Alcotest.testable (fun fmt c -> Format.pp_print_string fmt (Cube.to_string ~vars:6 c)) Cube.equal
+
+let random_table rng ~vars ~dc_rate =
+  let tt = Tt.create ~vars ~default:Off in
+  for m = 0 to (1 lsl vars) - 1 do
+    let r = Ctg_prng.Splitmix64.next_int rng 100 in
+    Tt.set tt m (if r < dc_rate then Dc else if r < 50 + (dc_rate / 2) then On else Off)
+  done;
+  tt
+
+let unit_tests =
+  [
+    Alcotest.test_case "cube covers/subsumes" `Quick (fun () ->
+        let c = Cube.make ~mask:0b011 ~value:0b001 in
+        Alcotest.(check bool) "covers 0b101" true (Cube.covers c 0b101);
+        Alcotest.(check bool) "covers 0b001" true (Cube.covers c 0b001);
+        Alcotest.(check bool) "not 0b011" false (Cube.covers c 0b011);
+        let wider = Cube.make ~mask:0b001 ~value:0b001 in
+        Alcotest.(check bool) "subsumes" true (Cube.subsumes wider c);
+        Alcotest.(check bool) "not reverse" false (Cube.subsumes c wider));
+    Alcotest.test_case "cube merge on adjacent minterms" `Quick (fun () ->
+        let a = Cube.of_minterm ~vars:3 0b101 and b = Cube.of_minterm ~vars:3 0b100 in
+        (match Cube.merge a b with
+        | Some m -> Alcotest.check cube "10x" (Cube.make ~mask:0b110 ~value:0b100) m
+        | None -> Alcotest.fail "expected merge");
+        Alcotest.(check bool) "non-adjacent" true
+          (Cube.merge (Cube.of_minterm ~vars:3 0) (Cube.of_minterm ~vars:3 3) = None));
+    Alcotest.test_case "cube minterms enumerates 2^free" `Quick (fun () ->
+        let c = Cube.make ~mask:0b100 ~value:0b100 in
+        let ms = List.sort compare (Cube.minterms ~vars:3 c) in
+        Alcotest.(check (list int)) "4..7" [ 4; 5; 6; 7 ] ms);
+    Alcotest.test_case "value bits outside mask are cleared" `Quick (fun () ->
+        let c = Cube.make ~mask:0b010 ~value:0b111 in
+        Alcotest.(check int) "normalized" 0b010 c.Cube.value);
+    Alcotest.test_case "QM on XOR finds all 2-var primes" `Quick (fun () ->
+        (* XOR has no merging: primes are exactly the two minterms. *)
+        let tt = Tt.create ~vars:2 ~default:Off in
+        Tt.set tt 0b01 On;
+        Tt.set tt 0b10 On;
+        let primes = List.sort Cube.compare (Qm.primes tt) in
+        Alcotest.(check int) "two primes" 2 (List.length primes));
+    Alcotest.test_case "QM merges a full square" `Quick (fun () ->
+        (* f = x2' (minterms 0..3 of 3 vars): one prime of 1 literal. *)
+        let tt = Tt.create ~vars:3 ~default:Off in
+        List.iter (fun m -> Tt.set tt m On) [ 0; 1; 2; 3 ];
+        let sop = Sop.minimize tt in
+        Alcotest.(check int) "single term" 1 (List.length sop);
+        Alcotest.(check int) "one literal" 1 (Sop.num_literals sop));
+    Alcotest.test_case "don't-cares enable wider primes" `Quick (fun () ->
+        (* ones {0,1}, dc {2,3}: minimal cover is the 1-literal cube x2'. *)
+        let tt = Tt.create ~vars:2 ~default:Off in
+        Tt.set tt 0 On;
+        Tt.set tt 1 On;
+        Tt.set tt 2 Dc;
+        Tt.set tt 3 Dc;
+        let sop = Sop.minimize tt in
+        Alcotest.(check int) "terms" 1 (List.length sop);
+        Alcotest.(check int) "literals" 0 (Sop.num_literals sop));
+    Alcotest.test_case "classic textbook example" `Quick (fun () ->
+        (* f(w,x,y,z) = Σm(4,8,10,11,12,15) + d(9,14): minimal cover has 3
+           terms (a standard QM exercise). *)
+        let tt = Tt.create ~vars:4 ~default:Off in
+        List.iter (fun m -> Tt.set tt m On) [ 4; 8; 10; 11; 12; 15 ];
+        List.iter (fun m -> Tt.set tt m Dc) [ 9; 14 ];
+        let sop = Sop.minimize tt in
+        Alcotest.(check int) "3 terms" 3 (List.length sop));
+    Alcotest.test_case "constant functions" `Quick (fun () ->
+        let empty = Tt.create ~vars:3 ~default:Off in
+        Alcotest.(check int) "false" 0 (List.length (Sop.minimize empty));
+        let full = Tt.create ~vars:3 ~default:On in
+        let sop = Sop.minimize full in
+        Alcotest.(check int) "true = 1 term" 1 (List.length sop);
+        Alcotest.(check int) "true = 0 literals" 0 (Sop.num_literals sop));
+    Alcotest.test_case "gate_cost counts structure" `Quick (fun () ->
+        (* x0 & ~x1 | x2: 1 AND + 1 NOT + 1 OR = 3 gates. *)
+        let sop =
+          [ Cube.make ~mask:0b011 ~value:0b001; Cube.make ~mask:0b100 ~value:0b100 ]
+        in
+        Alcotest.(check int) "3 gates" 3 (Sop.gate_cost sop));
+  ]
+
+let implements_table tt sop =
+  Tt.implements tt (fun m -> Sop.eval sop m)
+
+let prop_tests =
+  let open QCheck in
+  let arb_table vars dc_rate =
+    QCheck.make
+      ~print:(fun _ -> "<table>")
+      (QCheck.Gen.map
+         (fun seed ->
+           random_table (Ctg_prng.Splitmix64.create (Int64.of_int seed)) ~vars ~dc_rate)
+         QCheck.Gen.nat)
+  in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      Test.make ~name:"minimize implements the table (4 vars)" ~count:150
+        (arb_table 4 20)
+        (fun tt -> implements_table tt (Sop.minimize tt));
+      Test.make ~name:"minimize implements the table (6 vars)" ~count:30
+        (arb_table 6 30)
+        (fun tt -> implements_table tt (Sop.minimize tt));
+      Test.make ~name:"greedy fallback also implements (8 vars)" ~count:6
+        (arb_table 8 30)
+        (fun tt -> implements_table tt (Sop.minimize ~exact_vars_limit:0 tt));
+      Test.make ~name:"exact never beats itself re-run (determinism)" ~count:50
+        (arb_table 5 25)
+        (fun tt ->
+          let a = Sop.minimize tt and b = Sop.minimize tt in
+          List.length a = List.length b && Sop.num_literals a = Sop.num_literals b);
+      Test.make ~name:"exact cover <= greedy cover size" ~count:50
+        (arb_table 5 25)
+        (fun tt ->
+          let exact = Sop.minimize tt in
+          let greedy = Sop.minimize ~exact_vars_limit:0 tt in
+          List.length exact <= List.length greedy);
+      Test.make ~name:"primes cover every on-minterm" ~count:50
+        (arb_table 5 20)
+        (fun tt ->
+          let primes = Qm.primes tt in
+          List.for_all
+            (fun m -> List.exists (fun c -> Cube.covers c m) primes)
+            (Tt.ones tt));
+      Test.make ~name:"primes are prime (no single-literal widening)" ~count:40
+        (arb_table 4 20)
+        (fun tt ->
+          let primes = Qm.primes tt in
+          let ok_cell m =
+            match Tt.get tt m with Tt.On | Tt.Dc -> true | Tt.Off -> false
+          in
+          List.for_all
+            (fun (c : Cube.t) ->
+              (* Dropping any one literal must cover some off-minterm. *)
+              let literals =
+                List.filter (fun i -> c.Cube.mask land (1 lsl i) <> 0) [ 0; 1; 2; 3 ]
+              in
+              List.for_all
+                (fun i ->
+                  let widened =
+                    Cube.make ~mask:(c.Cube.mask land lnot (1 lsl i)) ~value:c.Cube.value
+                  in
+                  not
+                    (List.for_all ok_cell (Cube.minterms ~vars:4 widened)))
+                literals)
+            primes);
+    ]
+
+let () =
+  Alcotest.run "boolmin" [ ("unit", unit_tests); ("properties", prop_tests) ]

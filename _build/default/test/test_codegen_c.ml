@@ -1,0 +1,125 @@
+(* Cross-language validation of the emitted C (the paper's tool output):
+   compile the generated sampler with the system C compiler, drive it on
+   random bitsliced inputs, and require bit-identical outputs with the
+   OCaml evaluator.  Skipped cleanly when no C compiler is present. *)
+
+let cc_available () = Sys.command "command -v cc >/dev/null 2>&1" = 0
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc -> output_string oc contents)
+
+(* A C main() that reads input words on stdin (one hex per line), runs the
+   generated sampler once per batch of num_vars words, and prints the
+   output words. *)
+let harness ~num_vars ~num_outputs =
+  Printf.sprintf
+    {|
+#include <stdio.h>
+#include <stdint.h>
+#include <inttypes.h>
+
+void ct_gauss_sample(const uint64_t *b, uint64_t *out);
+
+int main(void)
+{
+  uint64_t b[%d], out[%d];
+  for (;;) {
+    for (int i = 0; i < %d; i++)
+      if (scanf("%%" SCNx64, &b[i]) != 1) return 0;
+    ct_gauss_sample(b, out);
+    for (int i = 0; i < %d; i++)
+      printf("%%" PRIx64 "\n", out[i]);
+    fflush(stdout);
+  }
+}
+|}
+    num_vars num_outputs num_vars num_outputs
+
+let mask63 = Int64.of_string "0x7FFFFFFFFFFFFFFF"
+
+let run_c_sampler exe inputs_batches ~num_outputs =
+  let cmd_in, cmd_out = Unix.open_process exe in
+  List.iter
+    (fun inputs ->
+      Array.iter
+        (fun w -> Printf.fprintf cmd_out "%Lx\n" (Int64.of_int w))
+        inputs)
+    inputs_batches;
+  close_out cmd_out;
+  let outputs = ref [] in
+  (try
+     while true do
+       let line = input_line cmd_in in
+       outputs := Int64.of_string ("0x" ^ line) :: !outputs
+     done
+   with End_of_file -> ());
+  ignore (Unix.close_process (cmd_in, cmd_out));
+  let arr = Array.of_list (List.rev !outputs) in
+  List.mapi
+    (fun i _ -> Array.sub arr (i * num_outputs) num_outputs)
+    inputs_batches
+
+let test_roundtrip () =
+  if not (cc_available ()) then
+    Alcotest.skip ()
+  else begin
+    let enum =
+      Ctg_kyao.Leaf_enum.enumerate
+        (Ctg_kyao.Matrix.create ~sigma:"2" ~precision:24 ~tail_cut:13)
+    in
+    let program = Ctgauss.Compile.compile (Ctgauss.Sublist.build enum) in
+    let num_vars = program.Ctgauss.Gate.num_vars in
+    let num_outputs =
+      Array.length program.Ctgauss.Gate.outputs
+      + (match program.Ctgauss.Gate.valid with Some _ -> 1 | None -> 0)
+    in
+    let dir = Filename.temp_file "ctgauss" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    let c_file = Filename.concat dir "sampler.c" in
+    let main_file = Filename.concat dir "main.c" in
+    let exe = Filename.concat dir "sampler" in
+    write_file c_file (Ctgauss.Codegen.to_c ~name:"ct_gauss_sample" program);
+    write_file main_file (harness ~num_vars ~num_outputs);
+    let cmd = Printf.sprintf "cc -O1 -o %s %s %s 2>/dev/null" exe c_file main_file in
+    Alcotest.(check int) "cc exit code" 0 (Sys.command cmd);
+    (* Random batches through both implementations. *)
+    let rng = Ctg_prng.Splitmix64.create 77L in
+    let batches =
+      List.init 20 (fun _ ->
+          Array.init num_vars (fun _ ->
+              Int64.to_int (Ctg_prng.Splitmix64.next rng) land max_int))
+    in
+    let c_results = run_c_sampler exe batches ~num_outputs in
+    let scratch = Ctgauss.Bitslice.scratch program in
+    List.iter2
+      (fun inputs c_out ->
+        Ctgauss.Bitslice.eval program scratch ~inputs;
+        Array.iteri
+          (fun i reg ->
+            let ours = Int64.logand (Int64.of_int (Ctgauss.Bitslice.output program scratch i)) mask63 in
+            ignore reg;
+            let theirs = Int64.logand c_out.(i) mask63 in
+            Alcotest.(check int64) (Printf.sprintf "output %d" i) ours theirs)
+          program.Ctgauss.Gate.outputs;
+        (match program.Ctgauss.Gate.valid with
+        | Some _ ->
+          let ours =
+            Int64.logand
+              (Int64.of_int (Ctgauss.Bitslice.valid_word program scratch))
+              mask63
+          in
+          let theirs =
+            Int64.logand c_out.(Array.length program.Ctgauss.Gate.outputs) mask63
+          in
+          Alcotest.(check int64) "valid word" ours theirs
+        | None -> ()))
+      batches c_results
+  end
+
+let () =
+  Alcotest.run "codegen-c"
+    [
+      ( "cross-validation",
+        [ Alcotest.test_case "generated C = OCaml evaluator" `Slow test_roundtrip ] );
+    ]

@@ -1,0 +1,80 @@
+(* dudect harness: it must flag a deliberately leaky function and pass a
+   constant-cost one — the paper's Sec. 5.2 validation, on op counts. *)
+
+module Dudect = Ctg_ctcheck.Dudect
+
+let config = { Dudect.default_config with measurements = 8_000 }
+
+let tests =
+  [
+    Alcotest.test_case "constant function is not flagged" `Quick (fun () ->
+        let r = Dudect.test_ops ~config (fun _ -> 42) in
+        Alcotest.(check bool) "no leak" false r.Dudect.leaky;
+        Alcotest.(check bool) "t small" true (abs_float r.Dudect.t_statistic < 4.5));
+    Alcotest.test_case "class-dependent cost is flagged" `Quick (fun () ->
+        let rng = Ctg_prng.Splitmix64.create 7L in
+        let f = function
+          | Dudect.Fix -> 100 + Ctg_prng.Splitmix64.next_int rng 5
+          | Dudect.Random -> 103 + Ctg_prng.Splitmix64.next_int rng 5
+        in
+        let r = Dudect.test_ops ~config f in
+        Alcotest.(check bool) "leak" true r.Dudect.leaky);
+    Alcotest.test_case "noisy but identical cost passes" `Quick (fun () ->
+        let rng = Ctg_prng.Splitmix64.create 8L in
+        let f _ = Ctg_prng.Splitmix64.next_int rng 1000 in
+        let r = Dudect.test_ops ~config f in
+        Alcotest.(check bool) "no leak" false r.Dudect.leaky);
+    Alcotest.test_case "report fields are populated" `Quick (fun () ->
+        let r = Dudect.test_ops ~config (fun _ -> 5) in
+        Alcotest.(check bool) "samples" true (r.Dudect.samples_per_class > 1000);
+        Alcotest.(check (float 1e-9)) "mean fix" 5.0 r.Dudect.mean_fix;
+        Alcotest.(check (float 1e-9)) "mean random" 5.0 r.Dudect.mean_random);
+    Alcotest.test_case "bitsliced sampler op-trace is constant" `Quick
+      (fun () ->
+        (* The real deal: fix class = all-zero input bits, random class =
+           fresh random bits; the compiled program's work is the same. *)
+        let s = Ctgauss.Sampler.create ~sigma:"2" ~precision:24 ~tail_cut:13 () in
+        let p = Ctgauss.Sampler.program s in
+        let rng = Ctg_prng.Splitmix64.create 9L in
+        let gates = Ctgauss.Gate.gate_count p in
+        let f clazz =
+          let bits =
+            match clazz with
+            | Dudect.Fix -> Array.make 24 false
+            | Dudect.Random ->
+              Array.init 24 (fun _ -> Ctg_prng.Splitmix64.next_int rng 2 = 1)
+          in
+          ignore (Ctgauss.Sampler.eval_bits s bits);
+          gates (* every call executes every gate *)
+        in
+        let r = Dudect.test_ops ~config:{ config with measurements = 2_000 } f in
+        Alcotest.(check bool) "constant" false r.Dudect.leaky);
+    Alcotest.test_case "byte-scan CDT op-trace leaks" `Quick (fun () ->
+        let m = Ctg_kyao.Matrix.create ~sigma:"2" ~precision:24 ~tail_cut:13 in
+        let table = Ctg_samplers.Cdt_table.of_matrix m in
+        let inst = Ctg_samplers.Cdt_samplers.byte_scan table in
+        (* Fix class: PRNG rigged to emit zero bytes => draw 0 => one
+           compare; random class: true uniform draws. *)
+        let zero = Ctg_prng.Bitstream.of_bits (Array.make 2_000_000 false) in
+        let rnd = Ctg_prng.Bitstream.of_chacha (Ctg_prng.Chacha20.of_seed "leak") in
+        let f clazz =
+          let bs = match clazz with Dudect.Fix -> zero | Dudect.Random -> rnd in
+          snd (inst.Ctg_samplers.Sampler_sig.sample_traced bs)
+        in
+        let r = Dudect.test_ops ~config:{ config with measurements = 2_000 } f in
+        Alcotest.(check bool) "leaky" true r.Dudect.leaky);
+    Alcotest.test_case "linear CT CDT op-trace does not leak" `Quick (fun () ->
+        let m = Ctg_kyao.Matrix.create ~sigma:"2" ~precision:24 ~tail_cut:13 in
+        let table = Ctg_samplers.Cdt_table.of_matrix m in
+        let inst = Ctg_samplers.Cdt_samplers.linear_ct table in
+        let zero = Ctg_prng.Bitstream.of_bits (Array.make 2_000_000 false) in
+        let rnd = Ctg_prng.Bitstream.of_chacha (Ctg_prng.Chacha20.of_seed "ct") in
+        let f clazz =
+          let bs = match clazz with Dudect.Fix -> zero | Dudect.Random -> rnd in
+          snd (inst.Ctg_samplers.Sampler_sig.sample_traced bs)
+        in
+        let r = Dudect.test_ops ~config:{ config with measurements = 2_000 } f in
+        Alcotest.(check bool) "constant" false r.Dudect.leaky);
+  ]
+
+let () = Alcotest.run "ctcheck" [ ("dudect", tests) ]

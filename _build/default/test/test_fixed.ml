@@ -1,0 +1,125 @@
+(* Fixed-point arithmetic, high-precision exp, and the Gaussian
+   probability table (including the paper's Fig. 1 instance, verified
+   bit for bit). *)
+
+module Nat = Ctg_bigint.Nat
+module Fixed = Ctg_fixed.Fixed
+module Exp = Ctg_fixed.Exp
+module Gt = Ctg_fixed.Gaussian_table
+
+let frac_bits = 160
+
+let fx_float x =
+  (* Build a Fixed from a small positive float via a decimal string. *)
+  Fixed.of_decimal_string ~frac_bits (Printf.sprintf "%.10f" x)
+
+let unit_tests =
+  [
+    Alcotest.test_case "decimal parse exact halves" `Quick (fun () ->
+        let x = Fixed.of_decimal_string ~frac_bits "2.5" in
+        Alcotest.(check (float 1e-12)) "2.5" 2.5 (Fixed.to_float x));
+    Alcotest.test_case "decimal parse sigma of the paper" `Quick (fun () ->
+        let x = Fixed.of_decimal_string ~frac_bits "6.15543" in
+        Alcotest.(check (float 1e-9)) "6.15543" 6.15543 (Fixed.to_float x));
+    Alcotest.test_case "add/sub/mul/div consistency" `Quick (fun () ->
+        let a = fx_float 3.25 and b = fx_float 1.5 in
+        Alcotest.(check (float 1e-9)) "add" 4.75 (Fixed.to_float (Fixed.add a b));
+        Alcotest.(check (float 1e-9)) "sub" 1.75 (Fixed.to_float (Fixed.sub a b));
+        Alcotest.(check (float 1e-9)) "mul" 4.875 (Fixed.to_float (Fixed.mul a b));
+        Alcotest.(check (float 1e-9))
+          "div" (3.25 /. 1.5)
+          (Fixed.to_float (Fixed.div a b)));
+    Alcotest.test_case "exp matches float exp on small args" `Quick (fun () ->
+        List.iter
+          (fun x ->
+            let fx = Exp.exp_neg (fx_float x) in
+            Alcotest.(check (float 1e-9))
+              (Printf.sprintf "e^-%g" x)
+              (exp (-.x)) (Fixed.to_float fx))
+          [ 0.0; 0.125; 0.5; 1.0; 2.0; 5.0; 10.5; 30.0 ]);
+    Alcotest.test_case "exp multiplicative: e^-a · e^-b = e^-(a+b)" `Quick
+      (fun () ->
+        let a = fx_float 1.75 and b = fx_float 2.5 in
+        let lhs = Fixed.mul (Exp.exp_neg a) (Exp.exp_neg b) in
+        let rhs = Exp.exp_neg (Fixed.add a b) in
+        let diff = Fixed.to_float (if Fixed.compare lhs rhs > 0 then Fixed.sub lhs rhs else Fixed.sub rhs lhs) in
+        Alcotest.(check bool) "close" true (diff < 1e-30));
+    Alcotest.test_case "exp deep tail stays positive and tiny" `Quick (fun () ->
+        (* e^-84.5 ~ 2^-121.9: must be nonzero at 128+96 fraction bits. *)
+        let v = Exp.exp_neg (fx_float 84.5) in
+        Alcotest.(check bool) "nonzero" false (Fixed.is_zero v);
+        Alcotest.(check bool) "tiny" true (Fixed.to_float v < 1e-36));
+    Alcotest.test_case "paper Fig. 1 matrix (sigma=2, n=6)" `Quick (fun () ->
+        let t = Gt.create ~sigma:"2" ~precision:6 ~tail_cut:13 in
+        let expected =
+          [ "001100"; "010110"; "001111"; "001000"; "000011"; "000001" ]
+        in
+        List.iteri
+          (fun row want ->
+            let got =
+              String.init 6 (fun col ->
+                  if Gt.row_bit t ~row ~col = 1 then '1' else '0')
+            in
+            Alcotest.(check string) (Printf.sprintf "P%d" row) want got)
+          expected);
+    Alcotest.test_case "probabilities sum to just under 1" `Quick (fun () ->
+        let t = Gt.create ~sigma:"2" ~precision:64 ~tail_cut:13 in
+        let res = Gt.residual t in
+        Alcotest.(check bool) "positive" true (Nat.compare res Nat.zero > 0);
+        Alcotest.(check bool) "bounded by support+1" true
+          (Nat.compare res (Nat.of_int (t.Gt.support + 1)) <= 0));
+    Alcotest.test_case "support = floor(tau sigma)" `Quick (fun () ->
+        let t = Gt.create ~sigma:"2" ~precision:32 ~tail_cut:13 in
+        Alcotest.(check int) "26" 26 t.Gt.support;
+        let t = Gt.create ~sigma:"6.15543" ~precision:32 ~tail_cut:13 in
+        Alcotest.(check int) "80" 80 t.Gt.support);
+    Alcotest.test_case "column weights match paper Fig. 1" `Quick (fun () ->
+        let t = Gt.create ~sigma:"2" ~precision:6 ~tail_cut:13 in
+        Alcotest.(check (list int)) "h" [ 0; 1; 3; 3; 3; 3 ]
+          (List.init 6 (Gt.column_weight t)));
+    Alcotest.test_case "rejects bad input" `Quick (fun () ->
+        Alcotest.check_raises "sigma 0"
+          (Invalid_argument "Gaussian_table.create: sigma = 0") (fun () ->
+            ignore (Gt.create ~sigma:"0" ~precision:16 ~tail_cut:13));
+        Alcotest.check_raises "precision"
+          (Invalid_argument "Gaussian_table.create: precision < 4") (fun () ->
+            ignore (Gt.create ~sigma:"2" ~precision:2 ~tail_cut:13)));
+    Alcotest.test_case "table probabilities monotone beyond the mode" `Quick
+      (fun () ->
+        (* p_1 >= p_2 >= ... (p_0 is halved by folding so excluded). *)
+        let t = Gt.create ~sigma:"6.15543" ~precision:96 ~tail_cut:13 in
+        let ok = ref true in
+        for v = 1 to t.Gt.support - 1 do
+          if Nat.compare t.Gt.prob.(v) t.Gt.prob.(v + 1) < 0 then ok := false
+        done;
+        Alcotest.(check bool) "monotone" true !ok);
+  ]
+
+let prop_tests =
+  let open QCheck in
+  let arb_small_float lo hi =
+    QCheck.map (fun u -> lo +. ((hi -. lo) *. u)) (QCheck.float_bound_inclusive 1.0)
+  in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      Test.make ~name:"exp monotone decreasing" ~count:60
+        (pair (arb_small_float 0.0 40.0) (arb_small_float 0.01 5.0))
+        (fun (x, d) ->
+          let a = Exp.exp_neg (fx_float x) in
+          let b = Exp.exp_neg (fx_float (x +. d)) in
+          Fixed.compare a b >= 0);
+      Test.make ~name:"exp within float accuracy" ~count:60
+        (arb_small_float 0.0 60.0) (fun x ->
+          let v = Fixed.to_float (Exp.exp_neg (fx_float x)) in
+          abs_float (v -. exp (-.x)) <= 1e-7 *. exp (-.x) +. 1e-300);
+      Test.make ~name:"fraction_bits is floor(x·2^n)" ~count:60
+        (arb_small_float 0.0 0.999) (fun x ->
+          let fx = fx_float x in
+          let got = Nat.to_int (Fixed.fraction_bits fx 20) in
+          let expect = int_of_float (Fixed.to_float fx *. 1048576.0) in
+          abs (got - expect) <= 1);
+    ]
+
+let () =
+  Alcotest.run "fixedpoint"
+    [ ("unit", unit_tests); ("properties", prop_tests) ]

@@ -1,0 +1,157 @@
+(* PRNG substrate: official test vectors for ChaCha20 (RFC 7539) and
+   SHAKE128/256 (NIST FIPS 202 examples), plus Bitstream accounting. *)
+
+module Hex = Ctg_util.Hex
+module Chacha = Ctg_prng.Chacha20
+module Keccak = Ctg_prng.Keccak
+module Bs = Ctg_prng.Bitstream
+
+let hex = Alcotest.(check string)
+
+let chacha_tests =
+  [
+    Alcotest.test_case "RFC 7539 block function vector" `Quick (fun () ->
+        let key =
+          Hex.decode
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+        in
+        let nonce = Hex.decode "000000090000004a00000000" in
+        let c = Chacha.create ~key ~nonce in
+        hex "block 1"
+          ("10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+         ^ "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e")
+          (Hex.encode (Chacha.block c 1)));
+    Alcotest.test_case "RFC 7539 keystream (encryption vector)" `Quick
+      (fun () ->
+        (* Section 2.4.2: key 00..1f, nonce 000000000000004a00000000,
+           counter starts at 1. *)
+        let key =
+          Hex.decode
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+        in
+        let nonce = Hex.decode "000000000000004a00000000" in
+        let c = Chacha.create ~key ~nonce in
+        let ks1 = Chacha.block c 1 in
+        (* First bytes of the counter-1 keystream from the RFC's
+           intermediate values. *)
+        hex "keystream head" "224f51f3401bd9e12fde276fb8631ded"
+          (Hex.encode (Bytes.sub ks1 0 16)));
+    Alcotest.test_case "bad key/nonce lengths rejected" `Quick (fun () ->
+        Alcotest.check_raises "key" (Invalid_argument "Chacha20.create: key must be 32 bytes")
+          (fun () -> ignore (Chacha.create ~key:(Bytes.create 31) ~nonce:(Bytes.create 12)));
+        Alcotest.check_raises "nonce" (Invalid_argument "Chacha20.create: nonce must be 12 bytes")
+          (fun () -> ignore (Chacha.create ~key:(Bytes.create 32) ~nonce:(Bytes.create 11))));
+    Alcotest.test_case "next_bytes = concatenated blocks" `Quick (fun () ->
+        let mk () = Chacha.of_seed "stream-test" in
+        let c1 = mk () and c2 = mk () in
+        let a = Chacha.next_bytes c1 100 in
+        let b1 = Chacha.next_bytes c2 37 in
+        let b2 = Chacha.next_bytes c2 63 in
+        let b = Bytes.cat b1 b2 in
+        hex "split agnostic" (Hex.encode a) (Hex.encode b));
+    Alcotest.test_case "block accounting" `Quick (fun () ->
+        let c = Chacha.of_seed "count" in
+        ignore (Chacha.next_bytes c 129);
+        Alcotest.(check int) "3 blocks for 129 bytes" 3 (Chacha.blocks_generated c));
+  ]
+
+let keccak_tests =
+  [
+    Alcotest.test_case "SHAKE128(empty) first 32 bytes" `Quick (fun () ->
+        hex "digest"
+          "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26"
+          (Hex.encode (Keccak.shake128_digest (Bytes.create 0) 32)));
+    Alcotest.test_case "SHAKE256(empty) first 32 bytes" `Quick (fun () ->
+        hex "digest"
+          "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f"
+          (Hex.encode (Keccak.shake256_digest (Bytes.create 0) 32)));
+    Alcotest.test_case "SHAKE128(\"abc\")" `Quick (fun () ->
+        hex "digest" "5881092dd818bf5cf8a3ddb793fbcba74097d5c526a6d35f97b83351940f2cc8"
+          (Hex.encode (Keccak.shake128_digest (Bytes.of_string "abc") 32)));
+    Alcotest.test_case "incremental squeeze = one-shot" `Quick (fun () ->
+        let msg = Bytes.of_string "incremental squeezing" in
+        let x = Keccak.shake128 msg in
+        let p1 = Keccak.squeeze x 7 in
+        let p2 = Keccak.squeeze x 170 in
+        let p3 = Keccak.squeeze x 23 in
+        let parts = Bytes.concat Bytes.empty [ p1; p2; p3 ] in
+        hex "equal" (Hex.encode (Keccak.shake128_digest msg 200)) (Hex.encode parts));
+    Alcotest.test_case "long input crosses the rate boundary" `Quick (fun () ->
+        (* 200 bytes > rate 168: exercises multi-block absorption. *)
+        let msg = Bytes.make 200 '\x5a' in
+        let d = Keccak.shake128_digest msg 16 in
+        Alcotest.(check int) "16 bytes" 16 (Bytes.length d);
+        (* Deterministic: same input, same output. *)
+        hex "stable" (Hex.encode d) (Hex.encode (Keccak.shake128_digest msg 16)));
+  ]
+
+let bitstream_tests =
+  [
+    Alcotest.test_case "of_bits replay and End_of_file" `Quick (fun () ->
+        let bs = Bs.of_bits [| true; false; true; true |] in
+        Alcotest.(check int) "b0" 1 (Bs.next_bit bs);
+        Alcotest.(check int) "b1" 0 (Bs.next_bit bs);
+        Alcotest.(check int) "b2" 1 (Bs.next_bit bs);
+        Alcotest.(check int) "b3" 1 (Bs.next_bit bs);
+        Alcotest.check_raises "exhausted" End_of_file (fun () ->
+            ignore (Bs.next_bit bs)));
+    Alcotest.test_case "next_bits packs LSB-first" `Quick (fun () ->
+        let bs = Bs.of_bits [| true; false; true; true; false |] in
+        Alcotest.(check int) "11012 reversed" 0b1101 (Bs.next_bits bs 4));
+    Alcotest.test_case "bits_consumed accounting" `Quick (fun () ->
+        let bs = Bs.of_chacha (Chacha.of_seed "acct") in
+        ignore (Bs.next_bits bs 13);
+        ignore (Bs.next_bit bs);
+        ignore (Bs.next_word bs);
+        Alcotest.(check int) "13+1+64" 78 (Bs.bits_consumed bs));
+    Alcotest.test_case "chacha bitstream deterministic per seed" `Quick
+      (fun () ->
+        let a = Bs.of_chacha (Chacha.of_seed "det") in
+        let b = Bs.of_chacha (Chacha.of_seed "det") in
+        for _ = 1 to 100 do
+          Alcotest.(check int) "same" (Bs.next_bits a 11) (Bs.next_bits b 11)
+        done);
+    Alcotest.test_case "prng_work reports backend blocks" `Quick (fun () ->
+        let bs = Bs.of_chacha (Chacha.of_seed "work") in
+        ignore (Bs.next_bits bs 8);
+        Alcotest.(check bool) "some work" true (Bs.prng_work bs >= 1));
+  ]
+
+let prop_tests =
+  let open QCheck in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      Test.make ~name:"next_bits value fits in k bits" ~count:200
+        (pair small_nat (int_bound 54))
+        (fun (seed, k) ->
+          let bs = Bs.of_splitmix (Ctg_prng.Splitmix64.create (Int64.of_int seed)) in
+          let v = Bs.next_bits bs k in
+          v >= 0 && (k = 0 || v < 1 lsl k || k >= 54));
+      Test.make ~name:"splitmix bounded draws in range" ~count:200
+        (pair small_nat (int_range 1 1000))
+        (fun (seed, bound) ->
+          let rng = Ctg_prng.Splitmix64.create (Int64.of_int seed) in
+          let v = Ctg_prng.Splitmix64.next_int rng bound in
+          v >= 0 && v < bound);
+      Test.make ~name:"fixed bitstream word matches bit order" ~count:50
+        small_nat
+        (fun seed ->
+          let rng = Ctg_prng.Splitmix64.create (Int64.of_int seed) in
+          let bits = Array.init 63 (fun _ -> Ctg_prng.Splitmix64.next_int rng 2 = 1) in
+          let bs = Bs.of_bits bits in
+          let w = Bs.next_word bs in
+          let ok = ref true in
+          for i = 0 to 62 do
+            if (w lsr i) land 1 = 1 <> bits.(i) then ok := false
+          done;
+          !ok);
+    ]
+
+let () =
+  Alcotest.run "prng"
+    [
+      ("chacha20", chacha_tests);
+      ("keccak", keccak_tests);
+      ("bitstream", bitstream_tests);
+      ("properties", prop_tests);
+    ]

@@ -1,0 +1,234 @@
+(* Statistics substrate: moments, histograms, chi-square (including the
+   incomplete gamma), Welch's t, and the distribution distances. *)
+
+module Moments = Ctg_stats.Moments
+module Histogram = Ctg_stats.Histogram
+module Chi = Ctg_stats.Chi_square
+module Welch = Ctg_stats.Welch
+module Distance = Ctg_stats.Distance
+
+let feq = Alcotest.(check (float 1e-9))
+
+let moments_tests =
+  [
+    Alcotest.test_case "known mean and variance" `Quick (fun () ->
+        let m = Moments.of_array [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+        feq "mean" 5.0 (Moments.mean m);
+        feq "variance" (32.0 /. 7.0) (Moments.variance m));
+    Alcotest.test_case "degenerate cases" `Quick (fun () ->
+        let m = Moments.create () in
+        feq "empty variance" 0.0 (Moments.variance m);
+        Moments.add m 3.0;
+        feq "single variance" 0.0 (Moments.variance m);
+        feq "single mean" 3.0 (Moments.mean m));
+    Alcotest.test_case "streaming equals batch" `Quick (fun () ->
+        let rng = Ctg_prng.Splitmix64.create 1L in
+        let xs = Array.init 1000 (fun _ -> Ctg_prng.Splitmix64.next_float rng) in
+        let stream = Moments.create () in
+        Array.iter (Moments.add stream) xs;
+        let batch = Moments.of_array xs in
+        feq "mean" (Moments.mean batch) (Moments.mean stream);
+        feq "var" (Moments.variance batch) (Moments.variance stream));
+  ]
+
+let histogram_tests =
+  [
+    Alcotest.test_case "counts and range" `Quick (fun () ->
+        let h = Histogram.of_samples [| -2; 0; 0; 1; 3; 3; 3 |] in
+        Alcotest.(check (pair int int)) "range" (-2, 3) (Histogram.range h);
+        Alcotest.(check int) "count 0" 2 (Histogram.count h 0);
+        Alcotest.(check int) "count 3" 3 (Histogram.count h 3);
+        Alcotest.(check int) "count outside" 0 (Histogram.count h 10);
+        feq "freq" (2.0 /. 7.0) (Histogram.frequency h 0));
+    Alcotest.test_case "mean/std of a symmetric histogram" `Quick (fun () ->
+        let h = Histogram.of_samples [| -1; 1; -1; 1 |] in
+        feq "mean" 0.0 (Histogram.mean h);
+        feq "std" 1.0 (Histogram.std_dev h));
+    Alcotest.test_case "empty input rejected" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Histogram.of_samples: empty")
+          (fun () -> ignore (Histogram.of_samples [||])));
+  ]
+
+let chi_tests =
+  [
+    Alcotest.test_case "gammq endpoints" `Quick (fun () ->
+        feq "Q(a,0)=1" 1.0 (Chi.gammq 2.0 0.0);
+        Alcotest.(check bool) "Q(1,20) tiny" true (Chi.gammq 1.0 20.0 < 1e-8));
+    Alcotest.test_case "gammq known value: Q(1/2, x) = erfc(sqrt x)" `Quick
+      (fun () ->
+        (* erfc(1) = 0.157299... *)
+        Alcotest.(check (float 1e-4)) "erfc(1)" 0.15730 (Chi.gammq 0.5 1.0));
+    Alcotest.test_case "chi2 of a perfect fit is tiny" `Quick (fun () ->
+        let r =
+          Chi.test
+            ~observed:[| 100; 200; 300 |]
+            ~expected:[| 100.0; 200.0; 300.0 |]
+        in
+        feq "stat" 0.0 r.Chi.statistic;
+        Alcotest.(check bool) "p=1" true (r.Chi.p_value > 0.999));
+    Alcotest.test_case "chi2 flags a gross mismatch" `Quick (fun () ->
+        let r =
+          Chi.test ~observed:[| 500; 100 |] ~expected:[| 300.0; 300.0 |]
+        in
+        Alcotest.(check bool) "p tiny" true (r.Chi.p_value < 1e-6));
+    Alcotest.test_case "low-expectation bins are merged" `Quick (fun () ->
+        let r =
+          Chi.test
+            ~observed:[| 100; 1; 0; 1 |]
+            ~expected:[| 100.0; 0.5; 0.3; 1.2 |]
+        in
+        (* 3 tail bins merge into one: dof = 2 - 1. *)
+        Alcotest.(check int) "dof" 1 r.Chi.dof);
+  ]
+
+let welch_tests =
+  [
+    Alcotest.test_case "identical distributions: small t" `Quick (fun () ->
+        let rng = Ctg_prng.Splitmix64.create 2L in
+        let a = Moments.create () and b = Moments.create () in
+        for _ = 1 to 20_000 do
+          Moments.add a (Ctg_prng.Splitmix64.next_float rng);
+          Moments.add b (Ctg_prng.Splitmix64.next_float rng)
+        done;
+        Alcotest.(check bool) "no leak" false (Welch.leaky a b));
+    Alcotest.test_case "shifted distributions: large t" `Quick (fun () ->
+        let rng = Ctg_prng.Splitmix64.create 3L in
+        let a = Moments.create () and b = Moments.create () in
+        for _ = 1 to 5_000 do
+          Moments.add a (Ctg_prng.Splitmix64.next_float rng);
+          Moments.add b (0.1 +. Ctg_prng.Splitmix64.next_float rng)
+        done;
+        Alcotest.(check bool) "leak" true (Welch.leaky a b));
+    Alcotest.test_case "degenerate inputs give t=0" `Quick (fun () ->
+        let a = Moments.of_array [| 1.0 |] and b = Moments.of_array [| 2.0 |] in
+        feq "t" 0.0 (Welch.t_statistic a b));
+  ]
+
+let distance_tests =
+  [
+    Alcotest.test_case "statistical distance basics" `Quick (fun () ->
+        feq "identical" 0.0 (Distance.statistical [| 0.5; 0.5 |] [| 0.5; 0.5 |]);
+        feq "disjoint" 1.0 (Distance.statistical [| 1.0; 0.0 |] [| 0.0; 1.0 |]);
+        feq "padding" 0.5 (Distance.statistical [| 1.0 |] [| 0.5; 0.5 |]));
+    Alcotest.test_case "renyi divergence" `Quick (fun () ->
+        feq "identical" 0.0 (Distance.renyi ~alpha:2.0 [| 0.5; 0.5 |] [| 0.5; 0.5 |]);
+        Alcotest.(check bool) "missing mass infinite" true
+          (Distance.renyi ~alpha:2.0 [| 0.5; 0.5 |] [| 1.0; 0.0 |] = infinity);
+        Alcotest.check_raises "alpha <= 1"
+          (Invalid_argument "Distance.renyi: alpha must exceed 1") (fun () ->
+            ignore (Distance.renyi ~alpha:1.0 [| 1.0 |] [| 1.0 |])));
+    Alcotest.test_case "max_log distance" `Quick (fun () ->
+        feq "identical" 0.0 (Distance.max_log [| 0.25; 0.75 |] [| 0.25; 0.75 |]);
+        Alcotest.(check (float 1e-9)) "factor 2" (log 2.0)
+          (Distance.max_log [| 0.5; 0.5 |] [| 0.25; 0.75 |]));
+    Alcotest.test_case "exact_probabilities sums below one" `Quick (fun () ->
+        let m = Ctg_kyao.Matrix.create ~sigma:"2" ~precision:24 ~tail_cut:13 in
+        let p = Distance.exact_probabilities m in
+        let sum = Array.fold_left ( +. ) 0.0 p in
+        Alcotest.(check bool) "sum" true (sum <= 1.0 && sum > 0.9999));
+    Alcotest.test_case "empirical folds signs" `Quick (fun () ->
+        let e = Distance.empirical [| -1; 1; 2; 0 |] ~support:2 in
+        feq "p0" 0.25 e.(0);
+        feq "p1" 0.5 e.(1);
+        feq "p2" 0.25 e.(2));
+  ]
+
+let precision_tests =
+  let reports =
+    Ctg_stats.Precision.sweep ~sigma:"2" ~tail_cut:13 ~reference:160
+      [ 16; 32; 64; 96; 128 ]
+  in
+  [
+    Alcotest.test_case "SD shrinks roughly one bit per precision bit" `Quick
+      (fun () ->
+        List.iter
+          (fun (r : Ctg_stats.Precision.report) ->
+            let slack = r.Ctg_stats.Precision.log2_sd +. float_of_int r.Ctg_stats.Precision.precision in
+            Alcotest.(check bool)
+              (Printf.sprintf "n=%d log2sd=%.1f" r.Ctg_stats.Precision.precision
+                 r.Ctg_stats.Precision.log2_sd)
+              true
+              (slack > -2.0 && slack < 8.0))
+          reports);
+    Alcotest.test_case "SD is monotone in precision" `Quick (fun () ->
+        let rec go = function
+          | (a : Ctg_stats.Precision.report) :: (b :: _ as rest) ->
+            Alcotest.(check bool) "decreasing" true
+              (a.Ctg_stats.Precision.log2_sd >= b.Ctg_stats.Precision.log2_sd);
+            go rest
+          | _ -> ()
+        in
+        go reports);
+    Alcotest.test_case "max-log is pinned by the smallest retained row" `Quick
+      (fun () ->
+        (* With floor rounding, log2(max-log) ~ -(n - log2(1/p_min));
+           p_min ~ 2^-123 for sigma=2, tau=13 — so the n=128 table cannot
+           do better than ~2^-5 (the Sec. 7 finding of EXPERIMENTS.md). *)
+        let r128 = List.nth reports 4 in
+        Alcotest.(check bool) "poor at n=128" true
+          (r128.Ctg_stats.Precision.log2_max_log > -20.0));
+    Alcotest.test_case "targets: max-log needs half the bits of SD" `Quick
+      (fun () ->
+        let sd = Ctg_stats.Precision.sd_target ~lambda:128 ~log2_total_samples:64 in
+        let ml = Ctg_stats.Precision.max_log_target ~lambda:128 ~log2_total_samples:64 in
+        Alcotest.(check (float 1e-9)) "half" (sd /. 2.0) ml);
+    Alcotest.test_case "minimal_precision selects correctly" `Quick (fun () ->
+        Alcotest.(check (option int)) "n=96 reaches 2^-80" (Some 96)
+          (Ctg_stats.Precision.minimal_precision reports ~target_log2:(-80.0)
+             ~which:`Sd);
+        Alcotest.(check (option int)) "nothing reaches 2^-300" None
+          (Ctg_stats.Precision.minimal_precision reports ~target_log2:(-300.0)
+             ~which:`Sd));
+    Alcotest.test_case "rejects n >= reference" `Quick (fun () ->
+        Alcotest.check_raises "bad"
+          (Invalid_argument "Precision.compare_tables: n >= reference")
+          (fun () ->
+            ignore
+              (Ctg_stats.Precision.compare_tables ~sigma:"2" ~tail_cut:13
+                 ~reference:64 64)));
+  ]
+
+let prop_tests =
+  let open QCheck in
+  let arb_dist =
+    QCheck.make
+      ~print:(fun _ -> "<dist>")
+      (QCheck.Gen.map
+         (fun seed ->
+           let rng = Ctg_prng.Splitmix64.create (Int64.of_int (seed + 3)) in
+           let raw = Array.init 8 (fun _ -> Ctg_prng.Splitmix64.next_float rng +. 0.01) in
+           let total = Array.fold_left ( +. ) 0.0 raw in
+           Array.map (fun x -> x /. total) raw)
+         QCheck.Gen.nat)
+  in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      Test.make ~name:"statistical distance is a metric (symmetry, bounds)"
+        ~count:200 (pair arb_dist arb_dist) (fun (p, q) ->
+          let d = Distance.statistical p q in
+          d >= 0.0 && d <= 1.0
+          && abs_float (d -. Distance.statistical q p) < 1e-12);
+      Test.make ~name:"renyi divergence is non-negative" ~count:200
+        (pair arb_dist arb_dist) (fun (p, q) ->
+          Distance.renyi ~alpha:2.0 p q >= -1e-9);
+      Test.make ~name:"chi2 p-value in [0,1]" ~count:100
+        (pair arb_dist small_nat) (fun (p, seed) ->
+          let rng = Ctg_prng.Splitmix64.create (Int64.of_int seed) in
+          let trials = 5000 in
+          let obs = Array.map (fun pi -> int_of_float (pi *. float_of_int trials) + Ctg_prng.Splitmix64.next_int rng 5) p in
+          let exp_counts = Array.map (fun pi -> pi *. float_of_int trials) p in
+          let r = Chi.test ~observed:obs ~expected:exp_counts in
+          r.Chi.p_value >= 0.0 && r.Chi.p_value <= 1.0);
+    ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ("moments", moments_tests);
+      ("histogram", histogram_tests);
+      ("chi-square", chi_tests);
+      ("welch", welch_tests);
+      ("distance", distance_tests);
+      ("precision", precision_tests);
+      ("properties", prop_tests);
+    ]

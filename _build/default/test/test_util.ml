@@ -1,0 +1,92 @@
+(* Bit and hex helpers — small, but everything above them trusts these. *)
+
+module Bits = Ctg_util.Bits
+module Hex = Ctg_util.Hex
+
+let bits_tests =
+  [
+    Alcotest.test_case "popcount" `Quick (fun () ->
+        Alcotest.(check int) "0" 0 (Bits.popcount 0);
+        Alcotest.(check int) "0xff" 8 (Bits.popcount 0xff);
+        Alcotest.(check int) "max_int" 62 (Bits.popcount max_int);
+        Alcotest.(check int) "single high bit" 1 (Bits.popcount (1 lsl 61)));
+    Alcotest.test_case "popcount64" `Quick (fun () ->
+        Alcotest.(check int) "0" 0 (Bits.popcount64 0L);
+        Alcotest.(check int) "-1" 64 (Bits.popcount64 (-1L));
+        Alcotest.(check int) "pattern" 32 (Bits.popcount64 0x5555_5555_5555_5555L));
+    Alcotest.test_case "bits_needed" `Quick (fun () ->
+        Alcotest.(check int) "0" 0 (Bits.bits_needed 0);
+        Alcotest.(check int) "1" 1 (Bits.bits_needed 1);
+        Alcotest.(check int) "255" 8 (Bits.bits_needed 255);
+        Alcotest.(check int) "256" 9 (Bits.bits_needed 256));
+    Alcotest.test_case "get/set bit roundtrip" `Quick (fun () ->
+        let buf = Bytes.make 4 '\000' in
+        Bits.set_bit buf 0 1;
+        Bits.set_bit buf 7 1;
+        Bits.set_bit buf 17 1;
+        Alcotest.(check int) "bit 0" 1 (Bits.get_bit buf 0);
+        Alcotest.(check int) "bit 7" 1 (Bits.get_bit buf 7);
+        Alcotest.(check int) "bit 8" 0 (Bits.get_bit buf 8);
+        Alcotest.(check int) "bit 17" 1 (Bits.get_bit buf 17);
+        Bits.set_bit buf 7 0;
+        Alcotest.(check int) "cleared" 0 (Bits.get_bit buf 7);
+        Alcotest.(check int) "neighbour intact" 1 (Bits.get_bit buf 0));
+    Alcotest.test_case "leading_ones" `Quick (fun () ->
+        Alcotest.(check int) "empty" 0 (Bits.leading_ones [||]);
+        Alcotest.(check int) "no ones" 0 (Bits.leading_ones [| false; true |]);
+        Alcotest.(check int) "two" 2 (Bits.leading_ones [| true; true; false; true |]);
+        Alcotest.(check int) "all" 3 (Bits.leading_ones [| true; true; true |]));
+    Alcotest.test_case "string round trips" `Quick (fun () ->
+        let bits = [| true; false; false; true; true |] in
+        Alcotest.(check string) "render" "10011" (Bits.string_of_bits bits);
+        Alcotest.(check bool) "parse" true
+          (Bits.bits_of_string "10011" = bits);
+        Alcotest.(check bool) "x parses as 0" true
+          (Bits.bits_of_string "1x" = [| true; false |]));
+    Alcotest.test_case "int_of_bits_be" `Quick (fun () ->
+        (* The paper's reversed evaluation: index 0 is the MSB. *)
+        Alcotest.(check int) "101" 0b101 (Bits.int_of_bits_be [| true; false; true |]);
+        Alcotest.(check int) "empty" 0 (Bits.int_of_bits_be [||]));
+  ]
+
+let hex_tests =
+  [
+    Alcotest.test_case "encode" `Quick (fun () ->
+        Alcotest.(check string) "deadbeef" "deadbeef"
+          (Hex.encode (Bytes.of_string "\xde\xad\xbe\xef"));
+        Alcotest.(check string) "empty" "" (Hex.encode Bytes.empty));
+    Alcotest.test_case "decode" `Quick (fun () ->
+        Alcotest.(check bytes) "roundtrip" (Bytes.of_string "\x00\xff\x10")
+          (Hex.decode "00ff10");
+        Alcotest.(check bytes) "uppercase" (Bytes.of_string "\xab") (Hex.decode "AB");
+        Alcotest.(check bytes) "whitespace ignored" (Bytes.of_string "\x12\x34")
+          (Hex.decode "12 34\n"));
+    Alcotest.test_case "decode rejects bad input" `Quick (fun () ->
+        Alcotest.check_raises "odd" (Invalid_argument "Hex.decode: odd digit count")
+          (fun () -> ignore (Hex.decode "abc"));
+        Alcotest.check_raises "non-hex" (Invalid_argument "Hex.decode: g")
+          (fun () -> ignore (Hex.decode "ag")));
+  ]
+
+let prop_tests =
+  let open QCheck in
+  List.map QCheck_alcotest.to_alcotest
+    [
+      Test.make ~name:"hex roundtrip" ~count:200 (string_of_size (Gen.int_bound 64))
+        (fun s ->
+          let b = Bytes.of_string s in
+          Bytes.equal b (Hex.decode (Hex.encode b)));
+      Test.make ~name:"bits string roundtrip" ~count:200
+        (list_of_size (Gen.int_bound 64) bool)
+        (fun l ->
+          let bits = Array.of_list l in
+          Bits.bits_of_string (Bits.string_of_bits bits) = bits);
+      Test.make ~name:"popcount via string" ~count:200 (int_bound max_int)
+        (fun v ->
+          let rec count acc v = if v = 0 then acc else count (acc + (v land 1)) (v lsr 1) in
+          Bits.popcount v = count 0 v);
+    ]
+
+let () =
+  Alcotest.run "util"
+    [ ("bits", bits_tests); ("hex", hex_tests); ("properties", prop_tests) ]
