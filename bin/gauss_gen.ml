@@ -6,6 +6,7 @@
      gauss_gen emit --sigma 6.15543 --lang c -o sampler.c
      gauss_gen sample --sigma 2 -n 100
      gauss_gen table --sigma 2 --precision 16        # probability matrix
+     gauss_gen throughput --sigma 2 --domains 4 -n 1000000
 *)
 
 open Cmdliner
@@ -146,9 +147,92 @@ let table_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let throughput sigma precision tail_cut count domains seed backend_name
+    chunk_batches =
+  let backend =
+    match backend_name with
+    | "chacha" -> Ctg_engine.Stream_fork.Chacha
+    | "shake" -> Ctg_engine.Stream_fork.Shake
+    | other -> failwith (Printf.sprintf "unknown backend %S" other)
+  in
+  let t0 = Unix.gettimeofday () in
+  let sampler =
+    Ctg_engine.Registry.lookup Ctg_engine.Registry.global ~sigma ~precision
+      ~tail_cut ()
+  in
+  let t_compile = Unix.gettimeofday () -. t0 in
+  Format.printf "sampler: sigma=%s n=%d gates=%d (compiled in %.2fs)@." sigma
+    precision
+    (Ctgauss.Sampler.gate_count sampler)
+    t_compile;
+  let pool =
+    Ctg_engine.Pool.create ~domains ~backend ~chunk_batches ~seed sampler
+  in
+  (* Warm up workers and code paths outside the timed window. *)
+  ignore (Ctg_engine.Pool.batch_parallel pool ~n:(63 * domains));
+  Ctg_engine.Metrics.reset (Ctg_engine.Pool.metrics pool);
+  let t1 = Unix.gettimeofday () in
+  let samples = Ctg_engine.Pool.batch_parallel pool ~n:count in
+  let dt = Unix.gettimeofday () -. t1 in
+  let m = Ctg_engine.Metrics.snapshot (Ctg_engine.Pool.metrics pool) in
+  Ctg_engine.Pool.shutdown pool;
+  let mean, var =
+    let s = ref 0.0 and s2 = ref 0.0 in
+    Array.iter
+      (fun v ->
+        let f = float_of_int v in
+        s := !s +. f;
+        s2 := !s2 +. (f *. f))
+      samples;
+    let n = float_of_int (Array.length samples) in
+    (!s /. n, (!s2 /. n) -. (!s /. n *. (!s /. n)))
+  in
+  Format.printf "domains=%d backend=%s chunk=%d samples@." domains backend_name
+    (Ctg_engine.Pool.chunk_samples pool);
+  Format.printf "%d samples in %.3fs -> %.0f samples/sec@." count dt
+    (float_of_int count /. dt);
+  Format.printf "sample mean %+.4f, std %.4f (target sigma %s)@." mean
+    (sqrt var) sigma;
+  Format.printf "--- metrics ---@.%a" Ctg_engine.Metrics.pp m
+
+let throughput_cmd =
+  let count =
+    Arg.(value & opt int 1_000_000 & info [ "count"; "n" ] ~docv:"COUNT"
+           ~doc:"Number of samples to draw in the timed run.")
+  in
+  let domains =
+    Arg.(value & opt int (Domain.recommended_domain_count ())
+         & info [ "domains"; "d" ] ~docv:"P"
+             ~doc:"Worker domains (defaults to the recommended count).")
+  in
+  let seed =
+    Arg.(value & opt string "gauss_gen" & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Master seed; forked deterministically per chunk lane.")
+  in
+  let backend =
+    Arg.(value & opt string "chacha" & info [ "backend" ] ~docv:"PRNG"
+           ~doc:"PRNG backend: chacha or shake.")
+  in
+  let chunk_batches =
+    Arg.(value & opt int 16 & info [ "chunk-batches" ] ~docv:"B"
+           ~doc:"63-sample program runs per work chunk.")
+  in
+  let doc =
+    "Measure multicore batch-sampling throughput (samples/sec + metrics)."
+  in
+  Cmd.v
+    (Cmd.info "throughput" ~doc)
+    Term.(const throughput $ sigma_arg $ precision_arg $ tail_cut_arg $ count
+          $ domains $ seed $ backend $ chunk_batches)
+
+(* ------------------------------------------------------------------ *)
+
 let () =
   let doc =
     "constant-time discrete Gaussian sampler generator (DAC 2019 reproduction)"
   in
   let info = Cmd.info "gauss_gen" ~version:"1.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ analyze_cmd; emit_cmd; sample_cmd; table_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_cmd; emit_cmd; sample_cmd; table_cmd; throughput_cmd ]))

@@ -39,6 +39,17 @@ let of_enum ?(method_ = Split_minimized) ?options (enum : Ctg_kyao.Leaf_enum.t) 
     buffer_mag_pos = 0;
   }
 
+let clone t =
+  {
+    t with
+    scratch = Bitslice.scratch t.program;
+    inputs = Array.make t.program.Gate.num_vars 0;
+    buffer = [||];
+    buffer_pos = 0;
+    buffer_mag = [||];
+    buffer_mag_pos = 0;
+  }
+
 let create ?method_ ?options ~sigma ~precision ~tail_cut () =
   let matrix = Ctg_kyao.Matrix.create ~sigma ~precision ~tail_cut in
   of_enum ?method_ ?options (Ctg_kyao.Leaf_enum.enumerate matrix)

@@ -31,6 +31,14 @@ val of_enum : ?method_:method_ -> ?options:Compile.options -> Ctg_kyao.Leaf_enum
 (** Reuse an existing leaf enumeration (saves the table rebuild when
     comparing compilers on the same σ). *)
 
+val clone : t -> t
+(** A cheap copy sharing the compiled program, matrix and enumeration but
+    with private scratch registers and sample buffers.  The mutable state
+    of [t] is per-instance, so each domain of a parallel engine clones the
+    registry's master sampler instead of re-running the compile pipeline;
+    clones of the same master produce identical output on identical bit
+    streams. *)
+
 val batch_magnitude : t -> Ctg_prng.Bitstream.t -> int array
 (** 63 magnitudes from one bitsliced program evaluation.  Lanes whose walk
     did not terminate within the precision (probability < 2^-117 at Falcon

@@ -1,0 +1,76 @@
+type t = {
+  samples : int Atomic.t;
+  batches : int Atomic.t;
+  bits_consumed : int Atomic.t;
+  prng_work : int Atomic.t;
+  gate_evals : int Atomic.t;
+  per_domain : int Atomic.t array;
+}
+
+type snapshot = {
+  samples : int;
+  batches : int;
+  bits_consumed : int;
+  prng_work : int;
+  gate_evals : int;
+  per_domain_samples : int array;
+}
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Metrics.create: domains must be >= 1";
+  {
+    samples = Atomic.make 0;
+    batches = Atomic.make 0;
+    bits_consumed = Atomic.make 0;
+    prng_work = Atomic.make 0;
+    gate_evals = Atomic.make 0;
+    per_domain = Array.init domains (fun _ -> Atomic.make 0);
+  }
+
+let add c n = ignore (Atomic.fetch_and_add c n)
+
+let record (t : t) ~domain ~samples ~batches ~bits ~work ~gates =
+  add t.samples samples;
+  add t.batches batches;
+  add t.bits_consumed bits;
+  add t.prng_work work;
+  add t.gate_evals gates;
+  add t.per_domain.(domain) samples
+
+let snapshot (t : t) =
+  {
+    samples = Atomic.get t.samples;
+    batches = Atomic.get t.batches;
+    bits_consumed = Atomic.get t.bits_consumed;
+    prng_work = Atomic.get t.prng_work;
+    gate_evals = Atomic.get t.gate_evals;
+    per_domain_samples = Array.map Atomic.get t.per_domain;
+  }
+
+let reset (t : t) =
+  Atomic.set t.samples 0;
+  Atomic.set t.batches 0;
+  Atomic.set t.bits_consumed 0;
+  Atomic.set t.prng_work 0;
+  Atomic.set t.gate_evals 0;
+  Array.iter (fun c -> Atomic.set c 0) t.per_domain
+
+let pp fmt s =
+  Format.fprintf fmt "samples        %d@." s.samples;
+  Format.fprintf fmt "batches        %d@." s.batches;
+  Format.fprintf fmt "bits consumed  %d" s.bits_consumed;
+  if s.samples > 0 then
+    Format.fprintf fmt "  (%.1f bits/sample)"
+      (float_of_int s.bits_consumed /. float_of_int s.samples);
+  Format.fprintf fmt "@.";
+  Format.fprintf fmt "prng work      %d@." s.prng_work;
+  Format.fprintf fmt "gate evals     %d" s.gate_evals;
+  if s.samples > 0 then
+    Format.fprintf fmt "  (%.0f gates/sample)"
+      (float_of_int s.gate_evals /. float_of_int s.samples);
+  Format.fprintf fmt "@.";
+  Format.fprintf fmt "per-domain     ";
+  Array.iteri
+    (fun i n -> Format.fprintf fmt "%s%d:%d" (if i = 0 then "" else " ") i n)
+    s.per_domain_samples;
+  Format.fprintf fmt "@."

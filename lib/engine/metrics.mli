@@ -1,0 +1,38 @@
+(** Engine observability: lock-free throughput counters.
+
+    Every counter is an [Atomic.t] updated once per chunk (not per sample),
+    so the accounting adds nothing measurable to the hot path while still
+    reporting the paper's cost model exactly: samples, batches (63-lane
+    program runs), random bits consumed, PRNG work units (ChaCha20 blocks /
+    Keccak permutations) and total gate evaluations. *)
+
+type t
+
+type snapshot = {
+  samples : int;  (** Signed samples delivered. *)
+  batches : int;  (** Bitsliced program evaluations (63 lanes each). *)
+  bits_consumed : int;  (** Random bits drawn across all lanes. *)
+  prng_work : int;  (** Backend work units (blocks / permutations). *)
+  gate_evals : int;  (** Boolean gates executed: batches × gate count. *)
+  per_domain_samples : int array;
+      (** Samples produced by each worker domain — the load-balance view. *)
+}
+
+val create : domains:int -> t
+
+val record :
+  t ->
+  domain:int ->
+  samples:int ->
+  batches:int ->
+  bits:int ->
+  work:int ->
+  gates:int ->
+  unit
+(** One bulk update per completed chunk, attributed to worker [domain]. *)
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val pp : Format.formatter -> snapshot -> unit
+(** Multi-line human dump (the [gauss_gen throughput] metrics block). *)

@@ -1,0 +1,294 @@
+module Bs = Ctg_prng.Bitstream
+
+(* A bounded chunk queue for the streaming consumer.  Workers push
+   completed chunks and block when [capacity] are in flight; the consumer
+   pops, reorders to chunk-index order and hands them to the callback.
+   The reorder buffer stays small by construction: chunks are claimed in
+   increasing order, so at most [domains] chunks can be finished out of
+   order at any moment. *)
+type chunk_queue = {
+  q_mutex : Mutex.t;
+  q_cond : Condition.t;
+  items : (int * int array) Queue.t;
+  capacity : int;
+}
+
+let queue_push q item =
+  Mutex.lock q.q_mutex;
+  while Queue.length q.items >= q.capacity do
+    Condition.wait q.q_cond q.q_mutex
+  done;
+  Queue.add item q.items;
+  Condition.broadcast q.q_cond;
+  Mutex.unlock q.q_mutex
+
+let queue_pop q =
+  Mutex.lock q.q_mutex;
+  while Queue.is_empty q.items do
+    Condition.wait q.q_cond q.q_mutex
+  done;
+  let item = Queue.take q.items in
+  Condition.broadcast q.q_cond;
+  Mutex.unlock q.q_mutex;
+  item
+
+type sink = Array_sink of int array | Queue_sink of chunk_queue
+
+type job = {
+  epoch : int;
+  total_chunks : int;
+  n : int;  (* total samples requested *)
+  lane_base : int;  (* chunk c draws from Stream_fork lane lane_base + c *)
+  next_chunk : int Atomic.t;  (* work cursor *)
+  chunks_done : int Atomic.t;
+  sink : sink;
+}
+
+type t = {
+  sampler : Ctgauss.Sampler.t;  (* master; workers use private clones *)
+  gate_count : int;
+  seed : string;
+  backend : Stream_fork.backend;
+  chunk_samples : int;
+  queue_capacity : int;
+  ndomains : int;
+  metrics : Metrics.t;
+  mutex : Mutex.t;
+  cond : Condition.t;  (* workers wait for jobs; callers wait for done *)
+  mutable job : job option;
+  mutable epoch : int;
+  mutable next_lane : int;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let domains t = t.ndomains
+let metrics t = t.metrics
+let chunk_samples t = t.chunk_samples
+
+(* Fill [count] samples of chunk [c] from the chunk's own forked lane.
+   Everything here depends only on (seed, lane, sampler program, count):
+   no worker or domain-count input, which is the determinism guarantee. *)
+let run_chunk t clone ~worker (j : job) c =
+  let lane = j.lane_base + c in
+  let rng = Stream_fork.bitstream ~backend:t.backend ~seed:t.seed ~lane () in
+  let offset = c * t.chunk_samples in
+  let count = min t.chunk_samples (j.n - offset) in
+  let out, out_pos =
+    match j.sink with
+    | Array_sink a -> (a, offset)
+    | Queue_sink _ -> (Array.make count 0, 0)
+  in
+  let filled = ref 0 in
+  let batches = ref 0 in
+  while !filled < count do
+    let batch = Ctgauss.Sampler.batch_signed clone rng in
+    incr batches;
+    let take = min (Array.length batch) (count - !filled) in
+    Array.blit batch 0 out (out_pos + !filled) take;
+    filled := !filled + take
+  done;
+  Metrics.record t.metrics ~domain:worker ~samples:count ~batches:!batches
+    ~bits:(Bs.bits_consumed rng) ~work:(Bs.prng_work rng)
+    ~gates:(!batches * t.gate_count);
+  (match j.sink with
+  | Array_sink _ -> ()
+  | Queue_sink q -> queue_push q (c, out));
+  (* The finisher of the last chunk wakes the submitting caller. *)
+  if Atomic.fetch_and_add j.chunks_done 1 + 1 = j.total_chunks then begin
+    Mutex.lock t.mutex;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+  end
+
+let worker_loop t worker =
+  let clone = Ctgauss.Sampler.clone t.sampler in
+  let last_epoch = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while
+      (not t.stopped)
+      && (match t.job with None -> true | Some j -> j.epoch = !last_epoch)
+    do
+      Condition.wait t.cond t.mutex
+    done;
+    if t.stopped then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      let j = Option.get t.job in
+      last_epoch := j.epoch;
+      Mutex.unlock t.mutex;
+      let continue = ref true in
+      while !continue do
+        let c = Atomic.fetch_and_add j.next_chunk 1 in
+        if c >= j.total_chunks then continue := false
+        else run_chunk t clone ~worker j c
+      done
+    end
+  done
+
+let create ?domains ?(backend = Stream_fork.Chacha) ?(chunk_batches = 16)
+    ?queue_capacity ~seed sampler =
+  let ndomains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Pool.create: domains must be >= 1";
+      d
+    | None -> Domain.recommended_domain_count ()
+  in
+  if chunk_batches < 1 then
+    invalid_arg "Pool.create: chunk_batches must be >= 1";
+  let queue_capacity =
+    match queue_capacity with
+    | Some c ->
+      if c < 1 then invalid_arg "Pool.create: queue_capacity must be >= 1";
+      c
+    | None -> 2 * ndomains
+  in
+  let t =
+    {
+      sampler;
+      gate_count = Ctgauss.Sampler.gate_count sampler;
+      seed;
+      backend;
+      chunk_samples = chunk_batches * Ctgauss.Bitslice.lanes;
+      queue_capacity;
+      ndomains;
+      metrics = Metrics.create ~domains:ndomains;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      job = None;
+      epoch = 0;
+      next_lane = 0;
+      stopped = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init ndomains (fun w -> Domain.spawn (fun () -> worker_loop t w));
+  t
+
+(* Publish a job to the workers; returns it with the lane range claimed. *)
+let submit t ~n ~make_sink =
+  if n < 0 then invalid_arg "Pool: n must be >= 0";
+  Mutex.lock t.mutex;
+  if t.stopped then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: shut down"
+  end;
+  if t.job <> None then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool: a job is already running (pools are single-consumer)"
+  end;
+  let total_chunks = (n + t.chunk_samples - 1) / t.chunk_samples in
+  t.epoch <- t.epoch + 1;
+  let j =
+    {
+      epoch = t.epoch;
+      total_chunks;
+      n;
+      lane_base = t.next_lane;
+      next_chunk = Atomic.make 0;
+      chunks_done = Atomic.make 0;
+      sink = make_sink ~total_chunks;
+    }
+  in
+  (* Lanes are consumed per call, so successive jobs draw fresh
+     randomness while staying reproducible as a sequence. *)
+  t.next_lane <- t.next_lane + total_chunks;
+  t.job <- Some j;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  j
+
+let finish_job t (j : job) =
+  Mutex.lock t.mutex;
+  while Atomic.get j.chunks_done < j.total_chunks do
+    Condition.wait t.cond t.mutex
+  done;
+  t.job <- None;
+  Mutex.unlock t.mutex
+
+let batch_parallel t ~n =
+  let out = ref [||] in
+  let j =
+    submit t ~n ~make_sink:(fun ~total_chunks:_ ->
+        let a = Array.make n 0 in
+        out := a;
+        Array_sink a)
+  in
+  finish_job t j;
+  !out
+
+let iter_batches t ~n f =
+  let queue = ref None in
+  let j =
+    submit t ~n ~make_sink:(fun ~total_chunks:_ ->
+        let q =
+          {
+            q_mutex = Mutex.create ();
+            q_cond = Condition.create ();
+            items = Queue.create ();
+            capacity = t.queue_capacity;
+          }
+        in
+        queue := Some q;
+        Queue_sink q)
+  in
+  (match !queue with
+  | None -> assert false
+  | Some q ->
+    (* Deliver in chunk order so the consumed stream equals the
+       batch_parallel array; the pending table holds early finishers. *)
+    let pending = Hashtbl.create 16 in
+    let next = ref 0 in
+    while !next < j.total_chunks do
+      (match Hashtbl.find_opt pending !next with
+      | Some chunk ->
+        Hashtbl.remove pending !next;
+        incr next;
+        f chunk
+      | None ->
+        let c, chunk = queue_pop q in
+        if c = !next then begin
+          incr next;
+          f chunk
+        end
+        else Hashtbl.replace pending c chunk)
+    done);
+  finish_job t j
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if not t.stopped then begin
+    t.stopped <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+  else Mutex.unlock t.mutex
+
+let parallel_for ?domains ~n f =
+  let d =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Pool.parallel_for: domains must be >= 1";
+      d
+    | None -> Domain.recommended_domain_count ()
+  in
+  if n < 0 then invalid_arg "Pool.parallel_for: n must be >= 0";
+  let cursor = Atomic.make 0 in
+  let run () =
+    let continue = ref true in
+    while !continue do
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i >= n then continue := false else f i
+    done
+  in
+  let helpers = List.init (min d n - 1 |> max 0) (fun _ -> Domain.spawn run) in
+  run ();
+  List.iter Domain.join helpers

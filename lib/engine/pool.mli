@@ -1,0 +1,62 @@
+(** Domain-parallel batch sampling over one compiled sampler.
+
+    The software analogue of a hardware design's parallel SamplerZ array:
+    [P] persistent worker domains share the registry's compiled program
+    (each holds a private {!Ctgauss.Sampler.clone}) and race for fixed-size
+    {e chunks} of a batch job through an atomic cursor.
+
+    {b Determinism.}  Chunk [c] of the [j]-th job always draws its
+    randomness from {!Stream_fork} lane [lane_base_j + c] and lands at
+    offset [c × chunk size] of the output, so the result is a pure function
+    of [(seed, sampler, call sequence)] — the same [int array] for 1, 2 or
+    8 domains.  Scheduling decides only {e who} computes a chunk, never
+    {e what} it contains.
+
+    {b Backpressure.}  {!iter_batches} streams chunks through a bounded
+    queue: workers block once [queue_capacity] chunks are finished but not
+    yet consumed, so a slow consumer caps the engine's memory at
+    [(capacity + domains) × chunk] samples instead of buffering the whole
+    job. *)
+
+type t
+
+val create :
+  ?domains:int ->
+  ?backend:Stream_fork.backend ->
+  ?chunk_batches:int ->
+  ?queue_capacity:int ->
+  seed:string ->
+  Ctgauss.Sampler.t ->
+  t
+(** Spawn the worker domains.  [domains] defaults to
+    [Domain.recommended_domain_count ()]; [chunk_batches] is the number of
+    63-sample program runs per chunk (default 16, i.e. 1008 samples — big
+    enough to amortize queue traffic, small enough to balance load);
+    [queue_capacity] bounds the {!iter_batches} in-flight chunks (default
+    [2 × domains]).  The caller keeps ownership of the sampler; workers
+    only ever touch private clones. *)
+
+val domains : t -> int
+val metrics : t -> Metrics.t
+val chunk_samples : t -> int
+(** Samples per full chunk ([chunk_batches × 63]). *)
+
+val batch_parallel : t -> n:int -> int array
+(** [n] signed samples, produced in parallel, deterministic in the master
+    seed and the sequence of calls (each call consumes fresh lanes).
+    @raise Invalid_argument when [n < 0] or the pool is shut down. *)
+
+val iter_batches : t -> n:int -> (int array -> unit) -> unit
+(** Stream the same deterministic output as {!batch_parallel} to [f] chunk
+    by chunk, in order, while workers keep producing ahead under the
+    bounded-queue backpressure.  [f] runs in the calling domain. *)
+
+val shutdown : t -> unit
+(** Join the workers.  Idempotent; subsequent jobs raise. *)
+
+val parallel_for : ?domains:int -> n:int -> (int -> unit) -> unit
+(** Standalone work-stealing fan-out (an atomic cursor over [0..n-1]): run
+    [f i] for every [i < n] across [domains] domains, caller participating;
+    [domains = 1] is purely sequential.  [f] must be safe to run
+    concurrently for distinct [i].  Used by [Ctg_falcon.Sign.sign_many] to
+    spread independent signatures over cores. *)

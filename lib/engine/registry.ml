@@ -1,0 +1,80 @@
+type key = {
+  sigma : string;
+  precision : int;
+  tail_cut : int;
+  method_ : Ctgauss.Sampler.method_;
+}
+
+(* [Building] marks an in-flight compile: the key is claimed but the
+   sampler is not ready.  Waiters sleep on [cond] and re-check. *)
+type entry = Ready of Ctgauss.Sampler.t | Building
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  table : (key, entry) Hashtbl.t;
+  mutable compiles : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    table = Hashtbl.create 8;
+    compiles = 0;
+  }
+
+let global = create ()
+
+let lookup t ?(method_ = Ctgauss.Sampler.Split_minimized) ~sigma ~precision
+    ~tail_cut () =
+  let key = { sigma; precision; tail_cut; method_ } in
+  Mutex.lock t.mutex;
+  let rec claim () =
+    match Hashtbl.find_opt t.table key with
+    | Some (Ready s) ->
+      Mutex.unlock t.mutex;
+      `Done s
+    | Some Building ->
+      Condition.wait t.cond t.mutex;
+      claim ()
+    | None ->
+      Hashtbl.replace t.table key Building;
+      Mutex.unlock t.mutex;
+      `Compile
+  in
+  match claim () with
+  | `Done s -> s
+  | `Compile -> (
+    (* Compile outside the lock so unrelated keys stay responsive. *)
+    match Ctgauss.Sampler.create ~method_ ~sigma ~precision ~tail_cut () with
+    | s ->
+      Mutex.lock t.mutex;
+      t.compiles <- t.compiles + 1;
+      Hashtbl.replace t.table key (Ready s);
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      s
+    | exception e ->
+      (* Release the claim so a later lookup can retry. *)
+      Mutex.lock t.mutex;
+      Hashtbl.remove t.table key;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      raise e)
+
+let size t =
+  Mutex.lock t.mutex;
+  let n =
+    Hashtbl.fold
+      (fun _ entry acc -> match entry with Ready _ -> acc + 1 | Building -> acc)
+      t.table 0
+  in
+  Mutex.unlock t.mutex;
+  n
+
+let compiles t =
+  Mutex.lock t.mutex;
+  let n = t.compiles in
+  Mutex.unlock t.mutex;
+  n

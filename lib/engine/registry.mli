@@ -1,0 +1,44 @@
+(** Thread-safe cache of compiled samplers.
+
+    `Sampler.create` re-runs the whole Fig. 4 pipeline — Knuth–Yao table,
+    leaf enumeration, sublist split, Quine–McCluskey/Petrick minimization —
+    which costs seconds at Falcon parameters.  Under a parallel engine that
+    cost must be paid once per parameter set, not once per domain or per
+    request, so lookups are memoized behind a [Mutex] with single-flight
+    semantics: concurrent lookups of the same key block until the one
+    in-flight compile finishes and then all receive the {e same} sampler
+    (physical equality).  Callers that need private mutable state (every
+    pool worker does) take {!Ctgauss.Sampler.clone}s of the shared master. *)
+
+type key = {
+  sigma : string;
+  precision : int;
+  tail_cut : int;
+  method_ : Ctgauss.Sampler.method_;
+}
+
+type t
+
+val create : unit -> t
+
+val global : t
+(** Process-wide registry shared by the CLI and the benches. *)
+
+val lookup :
+  t ->
+  ?method_:Ctgauss.Sampler.method_ ->
+  sigma:string ->
+  precision:int ->
+  tail_cut:int ->
+  unit ->
+  Ctgauss.Sampler.t
+(** The cached sampler for the key, compiling it on first use (default
+    method [Split_minimized], the paper's).  Repeated lookups return the
+    physically equal master instance. *)
+
+val size : t -> int
+(** Distinct parameter sets currently cached. *)
+
+val compiles : t -> int
+(** Pipeline runs actually performed — with single-flight this equals
+    {!size} no matter how many concurrent lookups raced. *)

@@ -1,0 +1,35 @@
+type backend = Chacha | Shake
+
+let lane_nonce lane =
+  let nonce = Bytes.make 12 '\000' in
+  for i = 0 to 7 do
+    Bytes.set nonce i (Char.chr ((lane lsr (8 * i)) land 0xff))
+  done;
+  nonce
+
+(* SHAKE domain separation: the 0x00 byte ends the variable-length seed
+   unambiguously (seeds cannot contain a shorter seed as a prefix of the
+   same absorbed string), the tag separates this use from every other
+   SHAKE call in the repo, and the lane is fixed-width. *)
+let shake_input seed lane =
+  let tag = "ctg-stream-fork" in
+  let buf = Bytes.create (String.length seed + 1 + String.length tag + 8) in
+  Bytes.blit_string seed 0 buf 0 (String.length seed);
+  Bytes.set buf (String.length seed) '\000';
+  Bytes.blit_string tag 0 buf (String.length seed + 1) (String.length tag);
+  let off = String.length seed + 1 + String.length tag in
+  for i = 0 to 7 do
+    Bytes.set buf (off + i) (Char.chr ((lane lsr (8 * i)) land 0xff))
+  done;
+  buf
+
+let bitstream ?(backend = Chacha) ~seed ~lane () =
+  if lane < 0 then invalid_arg "Stream_fork.bitstream: lane must be >= 0";
+  match backend with
+  | Chacha ->
+    let key = Ctg_prng.Chacha20.key_of_seed seed in
+    Ctg_prng.Bitstream.of_chacha
+      (Ctg_prng.Chacha20.create ~key ~nonce:(lane_nonce lane))
+  | Shake ->
+    Ctg_prng.Bitstream.of_shake
+      (Ctg_prng.Keccak.shake256 (shake_input seed lane))

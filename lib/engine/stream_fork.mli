@@ -1,0 +1,24 @@
+(** Deterministic per-lane randomness: one master seed forks into any
+    number of independent {!Ctg_prng.Bitstream} lanes.
+
+    The fork is a pure function of [(seed, lane)], never of the domain
+    count or scheduling, which is what makes the engine's output
+    reproducible: chunk [c] of a job always draws from lane [c], whether
+    one domain processes every chunk or eight domains race for them.
+
+    Backends mirror the paper's two PRNG choices (Sec. 7):
+    - [Chacha]: the master seed expands to one 32-byte key (shared by all
+      lanes) and the lane index becomes the 12-byte nonce — disjoint
+      keystreams by the cipher's design.
+    - [Shake]: SHAKE256 over [seed || 0x00 || "ctg-stream-fork" || lane]
+      (fixed-width little-endian lane), the XOF domain-separation idiom. *)
+
+type backend = Chacha | Shake
+
+val bitstream : ?backend:backend -> seed:string -> lane:int -> unit -> Ctg_prng.Bitstream.t
+(** Lane [lane] of the family keyed by [seed].  Default backend [Chacha].
+    @raise Invalid_argument when [lane < 0]. *)
+
+val lane_nonce : int -> bytes
+(** The 12-byte ChaCha20 nonce encoding a lane index (little-endian in the
+    first 8 bytes).  Exposed for tests. *)

@@ -59,3 +59,16 @@ let sign kp base rng ~msg =
     else attempt (k + 1)
   in
   attempt 1
+
+let sign_many ?domains ?backend kp ~make_base ~seed ~msgs =
+  let n = Array.length msgs in
+  let out = Array.make n None in
+  (* One lane and one fresh base sampler per message: the signature of
+     message i is independent of scheduling and of the domain count. *)
+  Ctg_engine.Pool.parallel_for ?domains ~n (fun i ->
+      let rng = Ctg_engine.Stream_fork.bitstream ?backend ~seed ~lane:i () in
+      let base = make_base () in
+      out.(i) <- Some (sign kp base rng ~msg:msgs.(i)));
+  Array.map
+    (function Some s -> s | None -> failwith "Sign.sign_many: missing result")
+    out

@@ -25,5 +25,23 @@ val sign :
   msg:bytes ->
   signature
 
+val sign_many :
+  ?domains:int ->
+  ?backend:Ctg_engine.Stream_fork.backend ->
+  Keygen.keypair ->
+  make_base:(unit -> Base_sampler.t) ->
+  seed:string ->
+  msgs:bytes array ->
+  signature array
+(** Sign independent messages across domains (the Table 1 workload at
+    service scale).  Message [i] always draws its salt and ffSampling
+    randomness from {!Ctg_engine.Stream_fork} lane [i] of [seed] and from a
+    fresh [make_base ()] instance, so the result array is identical for any
+    [domains] (default [Domain.recommended_domain_count ()]).  [make_base]
+    must return a fresh, unshared sampler on every call — pass e.g.
+    [fun () -> Base_sampler.of_instance
+       (Ctg_samplers.Sampler_sig.of_bitsliced (Ctgauss.Sampler.clone master))]
+    to amortize one compiled program over every message and domain. *)
+
 val signature_norm_sq : int array -> int array -> float
 (** ‖(s1, s2)‖² with integer coefficients taken as given. *)

@@ -39,9 +39,9 @@ let create ~key ~nonce =
   done;
   { state; counter = 0; buf = Bytes.create 0; buf_pos = 0; blocks = 0 }
 
-let of_seed seed =
-  (* Simple deterministic expansion of an arbitrary string into key||nonce;
-     not a KDF, only for reproducible tests and benchmarks. *)
+(* Simple deterministic expansion of an arbitrary string into key||nonce;
+   not a KDF, only for reproducible tests and benchmarks. *)
+let material_of_seed seed =
   let material = Bytes.create 44 in
   let h = ref 0x1E3779B97F4A7C15 in
   for i = 0 to 43 do
@@ -53,7 +53,13 @@ let of_seed seed =
     h := !h lxor (!h lsr 29);
     Bytes.set material i (Char.chr ((!h lsr 13) land 0xff))
   done;
+  material
+
+let of_seed seed =
+  let material = material_of_seed seed in
   create ~key:(Bytes.sub material 0 32) ~nonce:(Bytes.sub material 32 12)
+
+let key_of_seed seed = Bytes.sub (material_of_seed seed) 0 32
 
 let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
 

@@ -12,6 +12,11 @@ val of_seed : string -> t
 (** Deterministic instance for tests and benchmarks: the seed string is
     hashed into key and nonce with a simple expansion. *)
 
+val key_of_seed : string -> bytes
+(** The 32-byte key [of_seed] would use, without the nonce.  Lets callers
+    (the engine's stream forking) pair one master key with per-worker
+    nonces so that parallel lanes draw disjoint keystreams. *)
+
 val block : t -> int -> bytes
 (** [block t counter] is the raw 64-byte keystream block. *)
 

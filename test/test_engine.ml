@@ -1,0 +1,277 @@
+(* The parallel engine: deterministic stream forking, the single-flight
+   registry, pool determinism across domain counts, distribution quality of
+   pooled output, metrics accounting, and parallel Falcon signing.  Small
+   precisions keep the compiles fast; determinism claims are exact. *)
+
+module E = Ctg_engine
+module Bs = Ctg_prng.Bitstream
+module F = Ctg_falcon
+
+let sampler_16 =
+  lazy (Ctgauss.Sampler.create ~sigma:"2" ~precision:16 ~tail_cut:13 ())
+
+let take_bits rng n = Array.init n (fun _ -> Bs.next_bits rng 16)
+
+let stream_fork_tests =
+  [
+    Alcotest.test_case "same (seed, lane) replays identically" `Quick (fun () ->
+        List.iter
+          (fun backend ->
+            let mk () = E.Stream_fork.bitstream ~backend ~seed:"fork" ~lane:3 () in
+            Alcotest.(check (array int))
+              "identical" (take_bits (mk ()) 64) (take_bits (mk ()) 64))
+          [ E.Stream_fork.Chacha; E.Stream_fork.Shake ]);
+    Alcotest.test_case "distinct lanes and seeds give distinct streams" `Quick
+      (fun () ->
+        List.iter
+          (fun backend ->
+            let stream ~seed ~lane =
+              take_bits (E.Stream_fork.bitstream ~backend ~seed ~lane ()) 32
+            in
+            let base = stream ~seed:"fork" ~lane:0 in
+            Alcotest.(check bool) "lane 1 differs" true
+              (stream ~seed:"fork" ~lane:1 <> base);
+            Alcotest.(check bool) "lane 63 differs" true
+              (stream ~seed:"fork" ~lane:63 <> base);
+            Alcotest.(check bool) "other seed differs" true
+              (stream ~seed:"fork2" ~lane:0 <> base))
+          [ E.Stream_fork.Chacha; E.Stream_fork.Shake ]);
+    Alcotest.test_case "chacha fork = master key + lane nonce" `Quick (fun () ->
+        (* The fork must be the documented construction, not an ad-hoc one:
+           lane k's stream equals ChaCha20(key_of_seed seed, nonce(k)). *)
+        let seed = "construction" in
+        let direct =
+          Bs.of_chacha
+            (Ctg_prng.Chacha20.create
+               ~key:(Ctg_prng.Chacha20.key_of_seed seed)
+               ~nonce:(E.Stream_fork.lane_nonce 7))
+        in
+        let forked = E.Stream_fork.bitstream ~seed ~lane:7 () in
+        Alcotest.(check (array int))
+          "equal" (take_bits direct 64) (take_bits forked 64));
+    Alcotest.test_case "negative lane rejected" `Quick (fun () ->
+        Alcotest.check_raises "lane -1"
+          (Invalid_argument "Stream_fork.bitstream: lane must be >= 0")
+          (fun () ->
+            ignore (E.Stream_fork.bitstream ~seed:"x" ~lane:(-1) ())));
+  ]
+
+let registry_tests =
+  [
+    Alcotest.test_case "repeated lookups are physically equal" `Quick (fun () ->
+        let r = E.Registry.create () in
+        let get () =
+          E.Registry.lookup r ~sigma:"2" ~precision:16 ~tail_cut:13 ()
+        in
+        let a = get () in
+        let b = get () in
+        Alcotest.(check bool) "physical equality" true (a == b);
+        Alcotest.(check int) "one compile" 1 (E.Registry.compiles r);
+        Alcotest.(check int) "one entry" 1 (E.Registry.size r));
+    Alcotest.test_case "distinct keys compile separately" `Quick (fun () ->
+        let r = E.Registry.create () in
+        let a = E.Registry.lookup r ~sigma:"2" ~precision:16 ~tail_cut:13 () in
+        let b = E.Registry.lookup r ~sigma:"2" ~precision:12 ~tail_cut:13 () in
+        let c =
+          E.Registry.lookup r ~method_:Ctgauss.Sampler.Simple ~sigma:"2"
+            ~precision:16 ~tail_cut:13 ()
+        in
+        Alcotest.(check bool) "different programs" true (a != b && a != c);
+        Alcotest.(check int) "three compiles" 3 (E.Registry.compiles r));
+    Alcotest.test_case "single flight under concurrent lookups" `Quick
+      (fun () ->
+        let r = E.Registry.create () in
+        let results = Array.make 4 None in
+        let doms =
+          List.init 4 (fun i ->
+              Domain.spawn (fun () ->
+                  results.(i) <-
+                    Some
+                      (E.Registry.lookup r ~sigma:"1.5" ~precision:16
+                         ~tail_cut:13 ())))
+        in
+        List.iter Domain.join doms;
+        let first =
+          match results.(0) with Some s -> s | None -> Alcotest.fail "missing"
+        in
+        Array.iter
+          (function
+            | Some s ->
+              Alcotest.(check bool) "same master" true (s == first)
+            | None -> Alcotest.fail "missing result")
+          results;
+        Alcotest.(check int) "compiled exactly once" 1 (E.Registry.compiles r));
+  ]
+
+(* A pool over the shared precision-16 sampler; every test shuts it down. *)
+let with_pool ?(domains = 1) ?(seed = "engine-tests") ?chunk_batches f =
+  let pool =
+    E.Pool.create ~domains ?chunk_batches ~seed (Lazy.force sampler_16)
+  in
+  Fun.protect ~finally:(fun () -> E.Pool.shutdown pool) (fun () -> f pool)
+
+let pool_tests =
+  [
+    Alcotest.test_case "same seed, same samples for 1/2/4 domains" `Quick
+      (fun () ->
+        (* A non-multiple of the chunk size exercises the partial tail. *)
+        let n = (63 * 40) + 17 in
+        let run domains =
+          with_pool ~domains ~chunk_batches:4 (fun p ->
+              E.Pool.batch_parallel p ~n)
+        in
+        let one = run 1 in
+        Alcotest.(check int) "length" n (Array.length one);
+        Alcotest.(check (array int)) "2 domains" one (run 2);
+        Alcotest.(check (array int)) "4 domains" one (run 4));
+    Alcotest.test_case "clone of master matches sequential sampler" `Quick
+      (fun () ->
+        (* Chunk 0 of the first job must equal plain batch_signed on the
+           same forked lane: the pool adds scheduling, not semantics. *)
+        let n = 63 * 2 in
+        let pooled =
+          with_pool ~domains:2 ~chunk_batches:4 (fun p ->
+              E.Pool.batch_parallel p ~n)
+        in
+        let rng =
+          E.Stream_fork.bitstream ~seed:"engine-tests" ~lane:0 ()
+        in
+        let clone = Ctgauss.Sampler.clone (Lazy.force sampler_16) in
+        let first = Ctgauss.Sampler.batch_signed clone rng in
+        let second = Ctgauss.Sampler.batch_signed clone rng in
+        let direct = Array.concat [ first; second ] in
+        Alcotest.(check (array int)) "equal" direct pooled);
+    Alcotest.test_case "successive jobs draw fresh lanes" `Quick (fun () ->
+        with_pool ~domains:2 (fun p ->
+            let a = E.Pool.batch_parallel p ~n:256 in
+            let b = E.Pool.batch_parallel p ~n:256 in
+            Alcotest.(check bool) "different randomness" true (a <> b)));
+    Alcotest.test_case "iter_batches streams the batch_parallel output" `Quick
+      (fun () ->
+        (* Two fresh pools with the same seed start from lane 0, so the
+           streamed chunks must concatenate to the batch_parallel array. *)
+        let n = (63 * 24) + 5 in
+        let whole =
+          with_pool ~domains:3 ~chunk_batches:2 (fun p ->
+              E.Pool.batch_parallel p ~n)
+        in
+        let streamed =
+          with_pool ~domains:3 ~chunk_batches:2 (fun p ->
+              let acc = ref [] in
+              E.Pool.iter_batches p ~n (fun chunk -> acc := chunk :: !acc);
+              Array.concat (List.rev !acc))
+        in
+        Alcotest.(check (array int)) "identical stream" whole streamed);
+    Alcotest.test_case "n = 0 and invalid arguments" `Quick (fun () ->
+        with_pool ~domains:2 (fun p ->
+            Alcotest.(check (array int)) "empty" [||]
+              (E.Pool.batch_parallel p ~n:0);
+            Alcotest.check_raises "negative n"
+              (Invalid_argument "Pool: n must be >= 0") (fun () ->
+                ignore (E.Pool.batch_parallel p ~n:(-1)))));
+    Alcotest.test_case "shutdown is idempotent and final" `Quick (fun () ->
+        let p = E.Pool.create ~domains:2 ~seed:"bye" (Lazy.force sampler_16) in
+        ignore (E.Pool.batch_parallel p ~n:100);
+        E.Pool.shutdown p;
+        E.Pool.shutdown p;
+        Alcotest.check_raises "jobs after shutdown"
+          (Invalid_argument "Pool: shut down") (fun () ->
+            ignore (E.Pool.batch_parallel p ~n:1)));
+    Alcotest.test_case "pooled parallel output fits the exact distribution"
+      `Quick (fun () ->
+        let total = 63 * 1200 in
+        let samples =
+          with_pool ~domains:4 (fun p -> E.Pool.batch_parallel p ~n:total)
+        in
+        let m = Ctgauss.Sampler.matrix (Lazy.force sampler_16) in
+        let exact = Ctg_stats.Distance.exact_probabilities m in
+        let support = m.Ctg_kyao.Matrix.support in
+        let observed = Array.make (support + 1) 0 in
+        Array.iter
+          (fun v ->
+            let a = abs v in
+            if a <= support then observed.(a) <- observed.(a) + 1)
+          samples;
+        let expected =
+          Array.map (fun p -> p *. float_of_int total) exact
+        in
+        let r = Ctg_stats.Chi_square.test ~observed ~expected in
+        Alcotest.(check bool)
+          (Printf.sprintf "p=%.4f above 0.001" r.Ctg_stats.Chi_square.p_value)
+          true
+          (r.Ctg_stats.Chi_square.p_value > 0.001));
+    Alcotest.test_case "metrics account for every sample and batch" `Quick
+      (fun () ->
+        let n = (63 * 32) + 40 in
+        with_pool ~domains:2 ~chunk_batches:4 (fun p ->
+            let s0 = E.Metrics.snapshot (E.Pool.metrics p) in
+            Alcotest.(check int) "starts empty" 0 s0.E.Metrics.samples;
+            ignore (E.Pool.batch_parallel p ~n);
+            let s = E.Metrics.snapshot (E.Pool.metrics p) in
+            Alcotest.(check int) "samples" n s.E.Metrics.samples;
+            (* ceil(n / 63) program runs, counted chunk by chunk. *)
+            Alcotest.(check int) "batches" ((n + 62) / 63) s.E.Metrics.batches;
+            let gc = Ctgauss.Sampler.gate_count (Lazy.force sampler_16) in
+            Alcotest.(check int) "gate evals" (s.E.Metrics.batches * gc)
+              s.E.Metrics.gate_evals;
+            Alcotest.(check bool) "bits flowed" true (s.E.Metrics.bits_consumed > 0);
+            Alcotest.(check bool) "prng worked" true (s.E.Metrics.prng_work > 0);
+            Alcotest.(check int) "per-domain sums to total" n
+              (Array.fold_left ( + ) 0 s.E.Metrics.per_domain_samples);
+            E.Metrics.reset (E.Pool.metrics p);
+            let z = E.Metrics.snapshot (E.Pool.metrics p) in
+            Alcotest.(check int) "reset" 0 z.E.Metrics.samples));
+  ]
+
+let sign_many_tests =
+  [
+    Alcotest.test_case "identical signatures for 1 and 3 domains" `Quick
+      (fun () ->
+        let params = F.Params.custom ~n:16 in
+        let kp =
+          F.Keygen.generate params
+            (Bs.of_chacha (Ctg_prng.Chacha20.of_seed "sign-many-key"))
+        in
+        let master = Lazy.force sampler_16 in
+        let make_base () =
+          F.Base_sampler.of_instance
+            (Ctg_samplers.Sampler_sig.of_bitsliced (Ctgauss.Sampler.clone master))
+        in
+        let msgs =
+          Array.init 6 (fun i -> Bytes.of_string (Printf.sprintf "msg %d" i))
+        in
+        let run domains =
+          F.Sign.sign_many ~domains kp ~make_base ~seed:"sign-many" ~msgs
+        in
+        let one = run 1 in
+        let three = run 3 in
+        Array.iteri
+          (fun i (s : F.Sign.signature) ->
+            Alcotest.(check (array int))
+              (Printf.sprintf "s2 of message %d" i)
+              s.F.Sign.s2 three.(i).F.Sign.s2;
+            Alcotest.(check string)
+              (Printf.sprintf "salt of message %d" i)
+              (Bytes.to_string s.F.Sign.salt)
+              (Bytes.to_string three.(i).F.Sign.salt))
+          one;
+        (* And they verify. *)
+        let bound = F.Sign.norm_bound_sq params in
+        Array.iteri
+          (fun i (s : F.Sign.signature) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "message %d verifies" i)
+              true
+              (F.Verify.verify ~params ~h:kp.F.Keygen.h ~bound_sq:bound
+                 ~msg:msgs.(i) ~salt:s.F.Sign.salt ~s2:s.F.Sign.s2))
+          one);
+  ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ("stream_fork", stream_fork_tests);
+      ("registry", registry_tests);
+      ("pool", pool_tests);
+      ("sign_many", sign_many_tests);
+    ]

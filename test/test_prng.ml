@@ -117,6 +117,94 @@ let bitstream_tests =
         Alcotest.(check bool) "some work" true (Bs.prng_work bs >= 1));
   ]
 
+(* Cost accounting is a measured quantity in the paper's Sec. 7 experiment,
+   so it gets its own contract tests: identical draw sequences must report
+   identical bits_consumed on every backend, and the bit-packing edge cases
+   must hold exactly. *)
+let accounting_tests =
+  let backends () =
+    [
+      ("chacha", Bs.of_chacha (Chacha.of_seed "acct-x"));
+      ("shake", Bs.of_shake (Keccak.shake128 (Bytes.of_string "acct-x")));
+      ("splitmix", Bs.of_splitmix (Ctg_prng.Splitmix64.create 99L));
+      ("fixed", Bs.of_bits (Array.make 4096 true));
+    ]
+  in
+  [
+    Alcotest.test_case "bits_consumed agrees across backends" `Quick (fun () ->
+        (* One mixed draw sequence; the accounted total is backend-free
+           even though byte-oriented backends round refills up. *)
+        let draw bs =
+          ignore (Bs.next_bit bs);
+          ignore (Bs.next_bits bs 13);
+          ignore (Bs.next_byte bs);
+          ignore (Bs.next_bits bs 54);
+          ignore (Bs.next_bits bs 0);
+          Bs.next_bytes_into bs (Bytes.create 5);
+          Bs.bits_consumed bs
+        in
+        let totals = List.map (fun (name, bs) -> (name, draw bs)) (backends ()) in
+        let expected = 1 + 13 + 8 + 54 + 0 + 40 in
+        List.iter
+          (fun (name, total) -> Alcotest.(check int) name expected total)
+          totals);
+    Alcotest.test_case "next_word accounting per backend" `Quick (fun () ->
+        (* Real backends draw a whole 64-bit pattern and discard one bit;
+           the Fixed backend replays exactly 63 — both are documented, and
+           both must be what bits_consumed reports. *)
+        List.iter
+          (fun (name, bs) ->
+            ignore (Bs.next_word bs);
+            let expected = if name = "fixed" then 63 else 64 in
+            Alcotest.(check int) name expected (Bs.bits_consumed bs))
+          (backends ()));
+    Alcotest.test_case "next_bits k = 0 consumes nothing" `Quick (fun () ->
+        List.iter
+          (fun (name, bs) ->
+            Alcotest.(check int) (name ^ " value") 0 (Bs.next_bits bs 0);
+            Alcotest.(check int) (name ^ " consumed") 0 (Bs.bits_consumed bs))
+          (backends ()));
+    Alcotest.test_case "next_bits k = 54 boundary" `Quick (fun () ->
+        (* All-ones fixed stream: the maximal legal draw is exact. *)
+        let bs = Bs.of_bits (Array.make 54 true) in
+        Alcotest.(check int) "full word" ((1 lsl 54) - 1) (Bs.next_bits bs 54);
+        Alcotest.(check int) "consumed" 54 (Bs.bits_consumed bs));
+    Alcotest.test_case "next_bits out-of-range k raises" `Quick (fun () ->
+        List.iter
+          (fun k ->
+            List.iter
+              (fun (name, bs) ->
+                Alcotest.check_raises
+                  (Printf.sprintf "%s k=%d" name k)
+                  (Invalid_argument "Bitstream.next_bits")
+                  (fun () -> ignore (Bs.next_bits bs k)))
+              (backends ()))
+          [ -1; 55; 63 ]);
+    Alcotest.test_case "of_bits end-of-stream behaviour" `Quick (fun () ->
+        (* A partial refill must not strand the position: after End_of_file
+           the remaining bits are still gone (the draw was attempted). *)
+        let bs = Bs.of_bits [| true; false; true |] in
+        Alcotest.(check int) "first two" 0b01 (Bs.next_bits bs 2);
+        Alcotest.check_raises "3 bits left of 1" End_of_file (fun () ->
+            ignore (Bs.next_bits bs 2));
+        let bs2 = Bs.of_bits [| true; true |] in
+        Alcotest.(check int) "exact drain" 0b11 (Bs.next_bits bs2 2);
+        Alcotest.check_raises "then empty" End_of_file (fun () ->
+            ignore (Bs.next_bit bs2));
+        let bs3 = Bs.of_bits (Array.make 10 true) in
+        Alcotest.check_raises "word needs 63" End_of_file (fun () ->
+            ignore (Bs.next_word bs3)));
+    Alcotest.test_case "prng_work matches backend block sizes" `Quick (fun () ->
+        (* 100 bytes = 2 ChaCha blocks (64 B) but only 1 SHAKE128 squeeze
+           block (168 B rate): the unit really is backend-specific. *)
+        let chacha = Bs.of_chacha (Chacha.of_seed "work-cmp") in
+        let shake = Bs.of_shake (Keccak.shake128 (Bytes.of_string "work-cmp")) in
+        Bs.next_bytes_into chacha (Bytes.create 100);
+        Bs.next_bytes_into shake (Bytes.create 100);
+        Alcotest.(check int) "chacha blocks" 2 (Bs.prng_work chacha);
+        Alcotest.(check int) "keccak permutations" 1 (Bs.prng_work shake));
+  ]
+
 let prop_tests =
   let open QCheck in
   List.map QCheck_alcotest.to_alcotest
@@ -153,5 +241,6 @@ let () =
       ("chacha20", chacha_tests);
       ("keccak", keccak_tests);
       ("bitstream", bitstream_tests);
+      ("accounting", accounting_tests);
       ("properties", prop_tests);
     ]
