@@ -625,6 +625,28 @@ let cmd_engine ?(json_path = "BENCH_engine.json") () =
   printf "wrote %s@." json_path
 
 (* -------------------------------------------------------------------- *)
+(* Gates: static gate/depth budgets (and BENCH_gates.json)               *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_gates ?(json_path = "BENCH_gates.json") () =
+  section "Gates: compiled program budgets per Table-2 sigma (ctg_lint baseline)";
+  printf "%-10s %6s %8s %8s %14s@." "sigma" "n" "gates" "depth" "simple gates";
+  let entries =
+    List.map
+      (fun (t : Ctg_analysis.Analyze.target) ->
+        let e, dt = time_once (fun () -> Ctg_analysis.Analyze.measure t) in
+        printf "%-10s %6d %8d %8d %14d   (%.1fs)@." e.Ctg_analysis.Budget.sigma
+          e.Ctg_analysis.Budget.precision e.Ctg_analysis.Budget.gates
+          e.Ctg_analysis.Budget.depth e.Ctg_analysis.Budget.simple_gates dt;
+        e)
+      Ctg_analysis.Analyze.default_targets
+  in
+  Ctg_analysis.Budget.save json_path { Ctg_analysis.Budget.entries };
+  printf "@.wrote %s — ctg_lint fails CI when a compiler change regresses@."
+    json_path;
+  printf "these budgets (gate count is the paper's cost proxy)@."
+
+(* -------------------------------------------------------------------- *)
 (* Engine: parallel Falcon signing (Table 1 at service scale)            *)
 (* -------------------------------------------------------------------- *)
 
@@ -746,7 +768,7 @@ let usage () =
     "usage: main.exe [all|table1|table2|fig1|fig2|fig3|fig4|fig5|delta|@.";
   printf "                 prng-overhead|dudect|ablation-min|ablation-chain|@.";
   printf "                 precision|large-sigma|sampler-quality|engine|@.";
-  printf "                 sign-many|micro]@.";
+  printf "                 gates|sign-many|micro]@.";
   printf "        [--full]   (fig5 at the paper's 64x10^7 samples)@."
 
 let () =
@@ -771,6 +793,7 @@ let () =
   | "large-sigma" -> cmd_large_sigma ()
   | "sampler-quality" -> cmd_sampler_quality ()
   | "engine" -> cmd_engine ()
+  | "gates" -> cmd_gates ()
   | "sign-many" -> cmd_sign_many ()
   | "micro" -> cmd_micro ()
   | "all" ->
@@ -787,6 +810,7 @@ let () =
     cmd_ablation_chain ();
     cmd_precision ();
     cmd_large_sigma ();
+    cmd_gates ();
     cmd_engine ();
     cmd_table1 ();
     cmd_sampler_quality ();

@@ -1,0 +1,126 @@
+module Gate = Ctgauss.Gate
+
+type verdict = {
+  valid_equal : bool;
+  outputs_equal_on_valid : bool;
+  outputs_equal_everywhere : bool;
+  counterexample : bool array option;
+  detail : string;
+}
+
+let program_bdds man (p : Gate.t) =
+  let nv = p.Gate.num_vars in
+  if nv > Bdd.num_vars man then
+    invalid_arg
+      (Printf.sprintf "Equiv.program_bdds: program has %d vars, manager %d" nv
+         (Bdd.num_vars man));
+  let n = Array.length p.Gate.instrs in
+  let regs = Array.make (nv + n) Bdd.zero in
+  for v = 0 to nv - 1 do
+    regs.(v) <- Bdd.var man v
+  done;
+  Array.iteri
+    (fun i instr ->
+      regs.(nv + i) <-
+        (match instr with
+        | Gate.And (x, y) -> Bdd.band man regs.(x) regs.(y)
+        | Gate.Or (x, y) -> Bdd.bor man regs.(x) regs.(y)
+        | Gate.Xor (x, y) -> Bdd.bxor man regs.(x) regs.(y)
+        | Gate.Not x -> Bdd.bnot man regs.(x)
+        | Gate.Const true -> Bdd.one
+        | Gate.Const false -> Bdd.zero))
+    p.Gate.instrs;
+  let outputs = Array.map (fun r -> regs.(r)) p.Gate.outputs in
+  let valid = Option.map (fun r -> regs.(r)) p.Gate.valid in
+  (outputs, valid)
+
+let string_of_assignment bits =
+  String.init (Array.length bits) (fun i -> if bits.(i) then '1' else '0')
+
+let equivalent man (a : Gate.t) (b : Gate.t) =
+  if Array.length a.Gate.outputs <> Array.length b.Gate.outputs then
+    {
+      valid_equal = false;
+      outputs_equal_on_valid = false;
+      outputs_equal_everywhere = false;
+      counterexample = None;
+      detail =
+        Printf.sprintf "output arity mismatch: %d vs %d"
+          (Array.length a.Gate.outputs)
+          (Array.length b.Gate.outputs);
+    }
+  else begin
+    let outs_a, valid_a = program_bdds man a in
+    let outs_b, valid_b = program_bdds man b in
+    let v_a = Option.value valid_a ~default:Bdd.one in
+    let v_b = Option.value valid_b ~default:Bdd.one in
+    let valid_diff = Bdd.bxor man v_a v_b in
+    (* One BDD accumulating every way the programs can disagree where it
+       matters: valid flags differing, or an output bit differing under
+       valid. *)
+    let disagree = ref valid_diff in
+    let everywhere = ref Bdd.zero in
+    Array.iteri
+      (fun i oa ->
+        let d = Bdd.bxor man oa outs_b.(i) in
+        everywhere := Bdd.bor man !everywhere d;
+        disagree := Bdd.bor man !disagree (Bdd.band man v_a d))
+      outs_a;
+    let counterexample = Bdd.any_sat man !disagree in
+    {
+      valid_equal = Bdd.is_zero valid_diff;
+      outputs_equal_on_valid = Bdd.is_zero (Bdd.band man v_a !everywhere);
+      outputs_equal_everywhere = Bdd.is_zero !everywhere;
+      counterexample;
+      detail =
+        (match counterexample with
+        | None ->
+          Printf.sprintf
+            "all %g terminating strings agree on %d output bits (2^%d inputs checked symbolically)"
+            (Bdd.sat_count man v_a)
+            (Array.length a.Gate.outputs)
+            (Bdd.num_vars man)
+        | Some bits ->
+          Printf.sprintf "programs disagree on input %s (b_0 first)"
+            (string_of_assignment bits));
+    }
+  end
+
+type selector_verdict = {
+  one_hot : bool;
+  exhaustive_on_valid : bool;
+  sel_detail : string;
+}
+
+let selectors_one_hot man ~num_entries ~valid =
+  (* c_k = b_0 & ... & b_{k-1} & ~b_k, rebuilt from the definition. *)
+  let selectors = Array.make num_entries Bdd.zero in
+  let prefix = ref Bdd.one in
+  for k = 0 to num_entries - 1 do
+    selectors.(k) <- Bdd.band man !prefix (Bdd.bnot man (Bdd.var man k));
+    prefix := Bdd.band man !prefix (Bdd.var man k)
+  done;
+  let one_hot = ref true in
+  for i = 0 to num_entries - 1 do
+    for j = i + 1 to num_entries - 1 do
+      if not (Bdd.is_zero (Bdd.band man selectors.(i) selectors.(j))) then
+        one_hot := false
+    done
+  done;
+  let any = Array.fold_left (Bdd.bor man) Bdd.zero selectors in
+  let uncovered = Bdd.band man valid (Bdd.bnot man any) in
+  {
+    one_hot = !one_hot;
+    exhaustive_on_valid = Bdd.is_zero uncovered;
+    sel_detail =
+      (if (not !one_hot) || not (Bdd.is_zero uncovered) then
+         match Bdd.any_sat man uncovered with
+         | Some bits ->
+           Printf.sprintf "terminating string %s claimed by no selector"
+             (string_of_assignment bits)
+         | None -> "selector pair overlaps"
+       else
+         Printf.sprintf
+           "%d selectors pairwise disjoint; every terminating string claimed"
+           num_entries);
+  }

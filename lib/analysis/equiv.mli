@@ -1,0 +1,47 @@
+(** BDD-based equivalence proofs between compiled sampler programs.
+
+    The repo's dynamic tests sample random strings; this module proves the
+    same statements for {e all} [2^n] inputs by symbolic evaluation: each
+    register of a {!Ctgauss.Gate} program becomes a BDD, and hash-consing
+    makes functional equality a handle comparison.
+
+    Equivalence between the optimized compiler and the naive reference is
+    {e conditional}: on non-terminating strings the minimizer is free to
+    fill don't-cares, so the provable statement (and what distribution
+    exactness needs) is (1) the valid flags agree everywhere and (2) on
+    every string where valid holds, all output bits agree. *)
+
+type verdict = {
+  valid_equal : bool;  (** Valid flags agree on all inputs. *)
+  outputs_equal_on_valid : bool;
+      (** Every output bit agrees wherever valid holds. *)
+  outputs_equal_everywhere : bool;
+      (** Informational: unconditional agreement (don't-care fills may
+          legitimately break this without breaking correctness). *)
+  counterexample : bool array option;
+      (** An input refuting (1) or (2), when one exists. *)
+  detail : string;
+}
+
+val program_bdds : Bdd.man -> Ctgauss.Gate.t -> Bdd.t array * Bdd.t option
+(** Symbolic evaluation: one BDD per output bit, plus the valid flag. *)
+
+val equivalent : Bdd.man -> Ctgauss.Gate.t -> Ctgauss.Gate.t -> verdict
+(** Both programs must have [num_vars <= num_vars man].  Programs without
+    a valid flag are treated as valid everywhere. *)
+
+type selector_verdict = {
+  one_hot : bool;  (** The selectors are pairwise disjoint everywhere. *)
+  exhaustive_on_valid : bool;
+      (** Every terminating string is claimed by some selector. *)
+  sel_detail : string;
+}
+
+val selectors_one_hot :
+  Bdd.man -> num_entries:int -> valid:Bdd.t -> selector_verdict
+(** Rebuilds the Eqn. 2 selectors [c_k = b_0 & ... & b_{k-1} & ~b_k]
+    symbolically from their definition and proves (a) pairwise
+    disjointness on all inputs and (b) [valid => OR_k c_k] — the two facts
+    that make the flattened-OR recombination equal to the paper's nested
+    if-elseif chain.  [valid] should be a program's valid BDD from
+    {!program_bdds}. *)

@@ -1,0 +1,89 @@
+module Gate = Ctgauss.Gate
+
+let summarize_ints ?(max_shown = 8) is =
+  let shown = List.filteri (fun i _ -> i < max_shown) is in
+  let s = String.concat ", " (List.map string_of_int shown) in
+  if List.length is > max_shown then s ^ ", ..." else s
+
+let lint ~name (p : Gate.t) =
+  let t = Taint.analyze p in
+  let findings = ref [] in
+  let add sev rule detail =
+    findings := Report.finding sev ~rule ~where:name detail :: !findings
+  in
+  (match Taint.verified t with
+  | Ok () -> ()
+  | Error e -> add Report.Error "well-formed" e);
+  let live = Taint.live t in
+  (* dead-gate *)
+  (match Taint.dead_instrs t with
+  | [] -> ()
+  | dead ->
+    add Report.Warning "dead-gate"
+      (Printf.sprintf "%d instruction(s) unreachable from outputs/valid: %s"
+         (List.length dead) (summarize_ints dead)));
+  (* duplicate-gate: commutativity-normalized structural hash over live
+     instructions. *)
+  let norm instr =
+    match instr with
+    | Gate.And (x, y) when x > y -> Gate.And (y, x)
+    | Gate.Or (x, y) when x > y -> Gate.Or (y, x)
+    | Gate.Xor (x, y) when x > y -> Gate.Xor (y, x)
+    | i -> i
+  in
+  let seen : (Gate.instr, int) Hashtbl.t = Hashtbl.create 256 in
+  let dups = ref [] in
+  Array.iteri
+    (fun i instr ->
+      if live.(i) then begin
+        let key = norm instr in
+        match Hashtbl.find_opt seen key with
+        | Some first -> dups := (first, i) :: !dups
+        | None -> Hashtbl.add seen key i
+      end)
+    p.Gate.instrs;
+  (match List.rev !dups with
+  | [] -> ()
+  | dups ->
+    add Report.Warning "duplicate-gate"
+      (Printf.sprintf "%d structurally duplicate live instruction(s): %s"
+         (List.length dups)
+         (summarize_ints (List.map snd dups))));
+  (* const-fold: a live gate reading a Const-defined register. *)
+  let nv = p.Gate.num_vars in
+  let const_reg = Array.make (nv + Array.length p.Gate.instrs) false in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Gate.Const _ -> const_reg.(nv + i) <- true
+      | _ -> ())
+    p.Gate.instrs;
+  let foldable = ref [] in
+  Array.iteri
+    (fun i instr ->
+      if live.(i) then begin
+        let reads_const =
+          match instr with
+          | Gate.And (x, y) | Gate.Or (x, y) | Gate.Xor (x, y) ->
+            const_reg.(x) || const_reg.(y)
+          | Gate.Not x -> const_reg.(x)
+          | Gate.Const _ -> false
+        in
+        if reads_const then foldable := i :: !foldable
+      end)
+    p.Gate.instrs;
+  (match List.rev !foldable with
+  | [] -> ()
+  | fs ->
+    add Report.Warning "const-fold"
+      (Printf.sprintf "%d live gate(s) read a constant register: %s"
+         (List.length fs) (summarize_ints fs)));
+  (* unused-input (informational) *)
+  (match Taint.unused_inputs t with
+  | [] -> ()
+  | unused ->
+    add Report.Info "unused-input"
+      (Printf.sprintf
+         "%d of %d input bits unused (expected at full precision): %s"
+         (List.length unused) nv (summarize_ints unused)));
+  List.rev !findings

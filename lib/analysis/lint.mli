@@ -1,0 +1,18 @@
+(** Lint rules over compiled gate programs.  Rules that fire on a healthy
+    compiler output are bugs in the compiler, so the default pipeline is
+    expected to be lint-clean and CI fails on any [Warning]/[Error]:
+
+    - ["well-formed"] ([Error]) — {!Ctgauss.Gate.validate} failed.
+    - ["dead-gate"] ([Warning]) — instructions whose result cannot reach
+      an output or the valid flag (the compilers prune, so any survivor
+      is a regression).
+    - ["duplicate-gate"] ([Warning]) — structurally identical live
+      instructions (commutativity-normalized): missed CSE.
+    - ["const-fold"] ([Warning]) — a live gate reads a register defined
+      by [Const]: the builder should have folded it.
+    - ["unused-input"] ([Info]) — input bits no output depends on;
+      expected at full precision (strings longer than the deepest leaf
+      decide nothing), reported for visibility only. *)
+
+val lint : name:string -> Ctgauss.Gate.t -> Report.finding list
+(** Runs every structural rule; [name] tags the findings' [where]. *)

@@ -1,15 +1,26 @@
-let max_products = ref 20_000
+let max_products = ref 4_000
 
 (* Products of the POS expansion are bitmasks over prime indices; the
-   method is only attempted when there are at most 62 candidate primes. *)
+   method is only attempted when there are at most 62 candidate primes.
+   Absorption is quadratic, so the expansion loop bails out on a
+   too-large product list *before* calling this — and the budget default
+   is sized so one absorb pass stays in the millions of subset tests
+   (sigma=215 windows used to spend minutes here at the old 20k). *)
 let absorb products =
   let arr = Array.of_list products in
+  (* An absorber is a subset of what it absorbs, so it has no more set
+     bits: after sorting by popcount only the j > i direction can be
+     absorbed, halving the scan. sort_uniq upstream guarantees no equal
+     masks. *)
+  Array.sort
+    (fun a b -> compare (Ctg_util.Bits.popcount a) (Ctg_util.Bits.popcount b))
+    arr;
   let n = Array.length arr in
   let dead = Array.make n false in
   for i = 0 to n - 1 do
     if not dead.(i) then
-      for j = 0 to n - 1 do
-        if i <> j && (not dead.(j)) && arr.(i) land arr.(j) = arr.(i) then
+      for j = i + 1 to n - 1 do
+        if (not dead.(j)) && arr.(i) land arr.(j) = arr.(i) then
           (* arr.(i) subset of arr.(j): j is absorbed. *)
           dead.(j) <- true
       done
@@ -81,14 +92,18 @@ let cover ~ones ~primes =
             (fun p -> List.map (fun i -> p lor (1 lsl i)) sum)
             products
         in
-        absorb (List.sort_uniq Stdlib.compare next)
+        let next = List.sort_uniq Stdlib.compare next in
+        (* Give up before the quadratic absorption, not after. *)
+        if List.length next > !max_products then None else Some (absorb next)
       in
       let rec go products = function
         | [] -> Some products
-        | sum :: rest ->
-          let products = expand products sum in
-          if List.length products > !max_products then None
-          else go products rest
+        | sum :: rest -> (
+          match expand products sum with
+          | None -> None
+          | Some products ->
+            if List.length products > !max_products then None
+            else go products rest)
       in
       match go [ 0 ] sums with
       | None -> chosen @ Greedy_cover.cover ~ones:remaining ~primes:useful

@@ -9,4 +9,4 @@ val cover : ones:int list -> primes:Cube.t list -> Cube.t list
 
 val max_products : int ref
 (** Expansion budget before falling back to the greedy cover (default
-    20_000 partial products). *)
+    4_000 partial products, checked before the quadratic absorption pass). *)

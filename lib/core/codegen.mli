@@ -14,4 +14,7 @@ val to_ocaml : ?name:string -> Gate.t -> string
     contract, 63 lanes per word. *)
 
 val to_dot : ?name:string -> Gate.t -> string
-(** Graphviz rendering of the gate DAG (small programs only). *)
+(** Graphviz rendering of the gate DAG (small programs only).  Output is
+    deterministic — node declarations then edges, both in register order —
+    and the graph name and labels are escaped, so generated files can be
+    diffed as CI artifacts. *)

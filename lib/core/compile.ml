@@ -100,7 +100,10 @@ let compile ?(options = default_options) (s : Sublist.t) =
       end
     end
   in
-  Gate.finish b ~outputs ~valid
+  (* Constant folding can orphan selector gates of empty sublists (their
+     payload SOPs collapse to false); prune so the gate count reported to
+     Table 2 and checked by ctg_lint counts only reachable work. *)
+  Gate.prune (Gate.finish b ~outputs ~valid)
 
 let sop_report ?(options = default_options) (s : Sublist.t) =
   Array.map

@@ -95,4 +95,4 @@ let compile ?(with_valid = true) ?(merge_adjacent = true) (enum : Le.t) =
         function_of (fun leaf -> Le.sample_bit leaf bit))
   in
   let valid = if with_valid then Some (function_of (fun _ -> true)) else None in
-  Gate.finish b ~outputs ~valid
+  Gate.prune (Gate.finish b ~outputs ~valid)

@@ -114,12 +114,113 @@ let bor_list b = function
   | [] -> const b false
   | r :: rest -> List.fold_left (bor b) r rest
 
+let validate (t : t) =
+  if t.num_vars < 0 then Error "negative num_vars"
+  else begin
+    let n = Array.length t.instrs in
+    let err = ref None in
+    let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+    (* Operands of instruction i may only name registers defined before it:
+       inputs [0, num_vars) and results of instructions [0, i). *)
+    let operand i r =
+      if r < 0 then fail "instr %d: negative operand r%d" i r
+      else if r >= t.num_vars + i then
+        fail "instr %d: forward/self reference to r%d (defined registers: %d)"
+          i r (t.num_vars + i)
+    in
+    Array.iteri
+      (fun i instr ->
+        match instr with
+        | And (x, y) | Or (x, y) | Xor (x, y) ->
+          operand i x;
+          operand i y
+        | Not x -> operand i x
+        | Const _ -> ())
+      t.instrs;
+    let sink what r =
+      if r < 0 || r >= t.num_vars + n then
+        fail "%s register r%d out of range (registers: %d)" what r
+          (t.num_vars + n)
+    in
+    Array.iteri (fun i r -> sink (Printf.sprintf "output %d" i) r) t.outputs;
+    (match t.valid with Some r -> sink "valid" r | None -> ());
+    match !err with None -> Ok () | Some e -> Error e
+  end
+
+let make ~num_vars ~instrs ~outputs ~valid =
+  let t = { num_vars; instrs; outputs; valid } in
+  match validate t with Ok () -> Ok t | Error e -> Error e
+
 let finish b ~outputs ~valid =
+  let t =
+    {
+      num_vars = b.num_vars;
+      instrs = Array.of_list (List.rev b.rev_instrs);
+      outputs;
+      valid;
+    }
+  in
+  match validate t with
+  | Ok () -> t
+  | Error e -> invalid_arg ("Gate.finish: " ^ e)
+
+let prune (t : t) =
+  let n = Array.length t.instrs in
+  let nv = t.num_vars in
+  let live = Array.make n false in
+  let stack = ref [] in
+  let touch r =
+    if r >= nv then begin
+      let i = r - nv in
+      if not live.(i) then begin
+        live.(i) <- true;
+        stack := i :: !stack
+      end
+    end
+  in
+  Array.iter touch t.outputs;
+  (match t.valid with Some r -> touch r | None -> ());
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | i :: rest ->
+      stack := rest;
+      (match t.instrs.(i) with
+      | And (x, y) | Or (x, y) | Xor (x, y) ->
+        touch x;
+        touch y
+      | Not x -> touch x
+      | Const _ -> ());
+      drain ()
+  in
+  drain ();
+  let map = Array.make (nv + n) (-1) in
+  for v = 0 to nv - 1 do
+    map.(v) <- v
+  done;
+  let rev = ref [] in
+  let next = ref nv in
+  for i = 0 to n - 1 do
+    if live.(i) then begin
+      let f r = map.(r) in
+      let instr =
+        match t.instrs.(i) with
+        | And (x, y) -> And (f x, f y)
+        | Or (x, y) -> Or (f x, f y)
+        | Xor (x, y) -> Xor (f x, f y)
+        | Not x -> Not (f x)
+        | Const v -> Const v
+      in
+      map.(nv + i) <- !next;
+      incr next;
+      rev := instr :: !rev
+    end
+  done;
   {
-    num_vars = b.num_vars;
-    instrs = Array.of_list (List.rev b.rev_instrs);
-    outputs;
-    valid;
+    t with
+    instrs = Array.of_list (List.rev !rev);
+    outputs = Array.map (fun r -> map.(r)) t.outputs;
+    valid = Option.map (fun r -> map.(r)) t.valid;
   }
 
 let gate_count (t : t) =

@@ -45,6 +45,34 @@ val band_list : builder -> reg list -> reg
 val bor_list : builder -> reg list -> reg
 
 val finish : builder -> outputs:reg array -> valid:reg option -> t
+(** Also validates the assembled program (see {!validate}) and raises
+    [Invalid_argument] on a structural error — builder output is correct
+    by construction, so a failure here is a builder bug. *)
+
+val validate : t -> (unit, string) result
+(** Structural well-formedness: every operand of instruction [i] names a
+    register defined before it (an input or instruction [< i] — no forward
+    or self references), and outputs/valid are in range.  A program that
+    passes is straight-line AND/OR/XOR/NOT over the input bits, hence
+    branch-free and secret-independent to evaluate.  Intended for
+    deserializers and any external program loader; [finish] calls it on
+    every built program. *)
+
+val make :
+  num_vars:int ->
+  instrs:instr array ->
+  outputs:reg array ->
+  valid:reg option ->
+  (t, string) result
+(** Assemble a program from raw parts, validating first — the entry point
+    for loaders (and for tests that need deliberately mutated programs:
+    mutate the parts, then [make] re-checks structure). *)
+
+val prune : t -> t
+(** Dead-code elimination: drop every instruction whose result cannot reach
+    an output or the valid flag, renumbering the survivors.  Semantics are
+    preserved register-for-register on outputs/valid. *)
+
 val gate_count : t -> int
 (** Number of non-constant instructions (the paper's cost proxy). *)
 

@@ -37,8 +37,8 @@ let tests =
         Alcotest.(check (array int)) "batch" kat_sigma6
           (Ctgauss.Sampler.batch_signed s rng));
     Alcotest.test_case "gate counts of the default compiler" `Quick (fun () ->
-        Alcotest.(check int) "sigma 2" 3709 (Ctgauss.Sampler.gate_count (sampler "2"));
-        Alcotest.(check int) "sigma 6.15543" 10798
+        Alcotest.(check int) "sigma 2" 3706 (Ctgauss.Sampler.gate_count (sampler "2"));
+        Alcotest.(check int) "sigma 6.15543" 10793
           (Ctgauss.Sampler.gate_count (sampler "6.15543")));
     Alcotest.test_case "falcon keygen + signature, seed kat-falcon" `Quick
       (fun () ->
