@@ -95,7 +95,8 @@ let keygen_cmd =
     (Cmd.info "keygen" ~doc:"Generate a Falcon key pair (exact NTRUSolve).")
     Term.(const keygen $ n_arg $ out $ seed_arg)
 
-let sign key message out sampler seed =
+let sign key message out sampler seed trace =
+  (match trace with None -> () | Some _ -> Ctg_obs.Trace.enable ());
   let kp = read_key key in
   let msg = In_channel.with_open_bin message In_channel.input_all in
   let base = make_base sampler in
@@ -108,16 +109,27 @@ let sign key message out sampler seed =
     "signed with %s in %.1f ms: |s|=%.0f, %d attempt(s), %d bytes -> %s\n"
     (F.Base_sampler.name base)
     ((Unix.gettimeofday () -. t0) *. 1e3)
-    (sqrt s.F.Sign.norm_sq) s.F.Sign.attempts (Bytes.length blob) out
+    (sqrt s.F.Sign.norm_sq) s.F.Sign.attempts (Bytes.length blob) out;
+  match trace with
+  | None -> ()
+  | Some path ->
+    Ctg_obs.Trace.disable ();
+    Ctg_obs.Trace.write path;
+    Printf.printf "wrote trace to %s\n" path
 
 let sign_cmd =
   let out =
     Arg.(value & opt string "message.sig" & info [ "out"; "o" ] ~docv:"FILE"
            ~doc:"Output signature file.")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record the sign stages (hash-to-point, ffSampling, NTT, \
+                 encode) as a Chrome trace_event JSON file.")
+  in
   Cmd.v
     (Cmd.info "sign" ~doc:"Sign a message file.")
-    Term.(const sign $ key_arg $ message_arg $ out $ sampler_arg $ seed_arg)
+    Term.(const sign $ key_arg $ message_arg $ out $ sampler_arg $ seed_arg $ trace)
 
 let verify key message signature =
   let kp = read_key key in

@@ -27,6 +27,26 @@ let build_enum sigma precision tail_cut =
   Ctg_kyao.Leaf_enum.enumerate
     (Ctg_kyao.Matrix.create ~sigma ~precision ~tail_cut)
 
+let trace_arg =
+  let doc =
+    "Record spans (compile pipeline, engine chunks) and write a Chrome \
+     trace_event JSON file on exit; open it in chrome://tracing or Perfetto."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Ctg_obs.Trace.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Ctg_obs.Trace.disable ();
+        Ctg_obs.Trace.write path;
+        Format.printf "wrote trace to %s (%d dropped)@." path
+          (Ctg_obs.Trace.dropped ()))
+      f
+
 (* ------------------------------------------------------------------ *)
 
 let analyze sigma precision tail_cut =
@@ -93,7 +113,8 @@ let emit_cmd =
 
 (* ------------------------------------------------------------------ *)
 
-let sample sigma precision tail_cut count seed histogram =
+let sample sigma precision tail_cut count seed histogram trace =
+  with_trace trace @@ fun () ->
   let enum = build_enum sigma precision tail_cut in
   let s = Ctgauss.Sampler.of_enum enum in
   let rng = Ctg_prng.Bitstream.of_chacha (Ctg_prng.Chacha20.of_seed seed) in
@@ -128,7 +149,8 @@ let sample_cmd =
   let doc = "Draw signed samples from the compiled sampler." in
   Cmd.v
     (Cmd.info "sample" ~doc)
-    Term.(const sample $ sigma_arg $ precision_arg $ tail_cut_arg $ count $ seed $ histogram)
+    Term.(const sample $ sigma_arg $ precision_arg $ tail_cut_arg $ count $ seed
+          $ histogram $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -148,7 +170,8 @@ let table_cmd =
 (* ------------------------------------------------------------------ *)
 
 let throughput sigma precision tail_cut count domains seed backend_name
-    chunk_batches =
+    chunk_batches trace interval =
+  with_trace trace @@ fun () ->
   let backend =
     match backend_name with
     | "chacha" -> Ctg_engine.Stream_fork.Chacha
@@ -171,9 +194,36 @@ let throughput sigma precision tail_cut count domains seed backend_name
   (* Warm up workers and code paths outside the timed window. *)
   ignore (Ctg_engine.Pool.batch_parallel pool ~n:(63 * domains));
   Ctg_engine.Metrics.reset (Ctg_engine.Pool.metrics pool);
+  (* Periodic progress: a ticker domain snapshots the registry-backed
+     metrics and prints the rate since its previous tick. *)
+  let ticking = Atomic.make (interval > 0.0) in
+  let ticker =
+    if interval <= 0.0 then None
+    else
+      Some
+        (Domain.spawn (fun () ->
+             let last = ref 0 in
+             let t_start = Unix.gettimeofday () in
+             while Atomic.get ticking do
+               Unix.sleepf interval;
+               if Atomic.get ticking then begin
+                 let s =
+                   Ctg_engine.Metrics.snapshot (Ctg_engine.Pool.metrics pool)
+                 in
+                 let total = s.Ctg_engine.Metrics.samples in
+                 Format.printf "  [%6.1fs] %d samples (+%.0f/s)@."
+                   (Unix.gettimeofday () -. t_start)
+                   total
+                   (float_of_int (total - !last) /. interval);
+                 last := total
+               end
+             done))
+  in
   let t1 = Unix.gettimeofday () in
   let samples = Ctg_engine.Pool.batch_parallel pool ~n:count in
   let dt = Unix.gettimeofday () -. t1 in
+  Atomic.set ticking false;
+  Option.iter Domain.join ticker;
   let m = Ctg_engine.Metrics.snapshot (Ctg_engine.Pool.metrics pool) in
   Ctg_engine.Pool.shutdown pool;
   let mean, var =
@@ -217,13 +267,18 @@ let throughput_cmd =
     Arg.(value & opt int 16 & info [ "chunk-batches" ] ~docv:"B"
            ~doc:"63-sample program runs per work chunk.")
   in
+  let interval =
+    Arg.(value & opt float 0.0 & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Print a periodic snapshot line (samples so far and the \
+                 rate since the previous tick) every $(docv); 0 disables.")
+  in
   let doc =
     "Measure multicore batch-sampling throughput (samples/sec + metrics)."
   in
   Cmd.v
     (Cmd.info "throughput" ~doc)
     Term.(const throughput $ sigma_arg $ precision_arg $ tail_cut_arg $ count
-          $ domains $ seed $ backend $ chunk_batches)
+          $ domains $ seed $ backend $ chunk_batches $ trace_arg $ interval)
 
 (* ------------------------------------------------------------------ *)
 

@@ -1,8 +1,9 @@
-(** Minimal JSON, enough for the analyzer's machine-readable findings and
-    the committed gate-budget baseline — the repo deliberately has no
-    external JSON dependency (same policy as [lib/bigint] vs zarith). *)
+(** Re-export of {!Ctg_obs.Jsonx} (the module moved to [lib/obs] when the
+    observability layer started writing JSON below the analyzer in the
+    dependency order).  The type equation keeps [Ctg_analysis.Jsonx.t] and
+    [Ctg_obs.Jsonx.t] interchangeable for existing users. *)
 
-type t =
+type t = Ctg_obs.Jsonx.t =
   | Null
   | Bool of bool
   | Num of float
@@ -11,19 +12,9 @@ type t =
   | Obj of (string * t) list
 
 val parse : string -> (t, string) result
-(** Strict-enough recursive-descent parser for the subset this repo
-    writes: objects, arrays, strings (with the standard escapes), numbers,
-    booleans, null.  Errors carry the byte offset. *)
-
 val to_string : t -> string
-(** Compact rendering (no whitespace), integral floats printed as ints. *)
-
 val pretty : t -> string
-(** Two-space indented rendering, for committed baseline files. *)
-
 val member : string -> t -> t option
-(** Object field lookup ([None] on missing field or non-object). *)
-
 val to_int : t -> int option
 val to_float : t -> float option
 val to_str : t -> string option

@@ -3,14 +3,22 @@ type t = Cube.t list
 let eval sop m = List.exists (fun c -> Cube.covers c m) sop
 
 let minimize ?(exact_vars_limit = 12) tt =
+  let module Trace = Ctg_obs.Trace in
+  let vars_arg () = [ ("vars", string_of_int (Truth_table.vars tt)) ] in
   let ones = Truth_table.ones tt in
   if ones = [] then []
   else begin
-    let primes = Quine_mccluskey.primes tt in
+    let primes =
+      Trace.with_span "qm_primes" ~cat:"boolmin" ~args:vars_arg (fun () ->
+          Quine_mccluskey.primes tt)
+    in
     let sop =
       if Truth_table.vars tt <= exact_vars_limit then
-        Petrick.cover ~ones ~primes
-      else Greedy_cover.cover ~ones ~primes
+        Trace.with_span "petrick_cover" ~cat:"boolmin" ~args:vars_arg (fun () ->
+            Petrick.cover ~ones ~primes)
+      else
+        Trace.with_span "greedy_cover" ~cat:"boolmin" ~args:vars_arg (fun () ->
+            Greedy_cover.cover ~ones ~primes)
     in
     assert (Truth_table.implements tt (fun m -> eval sop m));
     sop

@@ -1,5 +1,6 @@
 module Sop = Ctg_boolmin.Sop
 module Cube = Ctg_boolmin.Cube
+module Trace = Ctg_obs.Trace
 
 type options = {
   with_valid : bool;
@@ -56,7 +57,11 @@ let compile ?(options = default_options) (s : Sublist.t) =
   (* share_selectors=false is the A2 ablation: no incremental prefix chain
      and no structural hashing to silently rebuild it. *)
   let b = Gate.builder ~cse:options.share_selectors ~num_vars:n () in
-  let selectors = selector_chain b ~options ~num_entries in
+  let selectors =
+    Trace.with_span "selector_assembly" ~cat:"compile"
+      ~args:(fun () -> [ ("entries", string_of_int num_entries) ])
+      (fun () -> selector_chain b ~options ~num_entries)
+  in
   let payload_reg kappa tt =
     emit_sop b ~base:(kappa + 1) (minimize ~options tt)
   in
@@ -81,8 +86,11 @@ let compile ?(options = default_options) (s : Sublist.t) =
     if options.flatten_onehot then chain_flat per_entry else chain_nested per_entry
   in
   let outputs =
-    Array.init s.Sublist.sample_bits (fun bit ->
-        chain (fun k -> payload_reg k entries.(k).Sublist.bit_tables.(bit)))
+    Trace.with_span "emit_outputs" ~cat:"compile"
+      ~args:(fun () -> [ ("bits", string_of_int s.Sublist.sample_bits) ])
+      (fun () ->
+        Array.init s.Sublist.sample_bits (fun bit ->
+            chain (fun k -> payload_reg k entries.(k).Sublist.bit_tables.(bit))))
   in
   let valid =
     if not options.with_valid then None
@@ -103,7 +111,8 @@ let compile ?(options = default_options) (s : Sublist.t) =
   (* Constant folding can orphan selector gates of empty sublists (their
      payload SOPs collapse to false); prune so the gate count reported to
      Table 2 and checked by ctg_lint counts only reachable work. *)
-  Gate.prune (Gate.finish b ~outputs ~valid)
+  Trace.with_span "prune" ~cat:"compile" (fun () ->
+      Gate.prune (Gate.finish b ~outputs ~valid))
 
 let sop_report ?(options = default_options) (s : Sublist.t) =
   Array.map

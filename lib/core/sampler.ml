@@ -1,4 +1,5 @@
 module Bs = Ctg_prng.Bitstream
+module Trace = Ctg_obs.Trace
 
 type method_ = Split_minimized | Simple
 
@@ -9,21 +10,29 @@ type t = {
   scratch : Bitslice.scratch;
   inputs : int array;
   sample_bits : int;
+  gates : int;
+      (* cached [Gate.gate_count program]: the fold is O(gates) and the
+         engine charges gate evals to its metrics once per chunk *)
   mutable buffer : int array; (* signed samples ready to hand out *)
   mutable buffer_pos : int;
   mutable buffer_mag : int array;
   mutable buffer_mag_pos : int;
+  mutable resamples : int; (* lanes rescued by the scalar fallback walk *)
 }
 
 let of_enum ?(method_ = Split_minimized) ?options (enum : Ctg_kyao.Leaf_enum.t) =
+  let sigma = enum.Ctg_kyao.Leaf_enum.matrix.Ctg_kyao.Matrix.sigma in
   let program =
-    match method_ with
-    | Split_minimized -> Compile.compile ?options (Sublist.build enum)
-    | Simple ->
-      let with_valid =
-        match options with None -> true | Some o -> o.Compile.with_valid
-      in
-      Compile_simple.compile ~with_valid enum
+    Trace.with_span "compile_program" ~cat:"compile"
+      ~args:(fun () -> [ ("sigma", sigma) ])
+      (fun () ->
+        match method_ with
+        | Split_minimized -> Compile.compile ?options (Sublist.build enum)
+        | Simple ->
+          let with_valid =
+            match options with None -> true | Some o -> o.Compile.with_valid
+          in
+          Compile_simple.compile ~with_valid enum)
   in
   let support = enum.Ctg_kyao.Leaf_enum.matrix.Ctg_kyao.Matrix.support in
   {
@@ -33,10 +42,12 @@ let of_enum ?(method_ = Split_minimized) ?options (enum : Ctg_kyao.Leaf_enum.t) 
     scratch = Bitslice.scratch program;
     inputs = Array.make program.Gate.num_vars 0;
     sample_bits = max 1 (Ctg_util.Bits.bits_needed support);
+    gates = Gate.gate_count program;
     buffer = [||];
     buffer_pos = 0;
     buffer_mag = [||];
     buffer_mag_pos = 0;
+    resamples = 0;
   }
 
 let clone t =
@@ -48,11 +59,21 @@ let clone t =
     buffer_pos = 0;
     buffer_mag = [||];
     buffer_mag_pos = 0;
+    resamples = 0;
   }
 
 let create ?method_ ?options ~sigma ~precision ~tail_cut () =
-  let matrix = Ctg_kyao.Matrix.create ~sigma ~precision ~tail_cut in
-  of_enum ?method_ ?options (Ctg_kyao.Leaf_enum.enumerate matrix)
+  let matrix =
+    Trace.with_span "build_matrix" ~cat:"compile"
+      ~args:(fun () -> [ ("sigma", sigma); ("precision", string_of_int precision) ])
+      (fun () -> Ctg_kyao.Matrix.create ~sigma ~precision ~tail_cut)
+  in
+  let enum =
+    Trace.with_span "enumerate_leaves" ~cat:"compile"
+      ~args:(fun () -> [ ("sigma", sigma) ])
+      (fun () -> Ctg_kyao.Leaf_enum.enumerate matrix)
+  in
+  of_enum ?method_ ?options enum
 
 let batch_magnitude t rng =
   for i = 0 to Array.length t.inputs - 1 do
@@ -63,8 +84,10 @@ let batch_magnitude t rng =
   let valid = Bitslice.valid_word t.program t.scratch in
   if valid <> Bitslice.all_ones then
     for lane = 0 to Bitslice.lanes - 1 do
-      if (valid lsr lane) land 1 = 0 then
-        mags.(lane) <- Ctg_kyao.Column_sampler.sample_magnitude t.matrix rng
+      if (valid lsr lane) land 1 = 0 then begin
+        mags.(lane) <- Ctg_kyao.Column_sampler.sample_magnitude t.matrix rng;
+        t.resamples <- t.resamples + 1
+      end
     done;
   mags
 
@@ -94,9 +117,10 @@ let sample_magnitude t rng =
   s
 
 let program t = t.program
-let gate_count t = Gate.gate_count t.program
+let gate_count t = t.gates
 let sample_bits t = t.sample_bits
 let matrix t = t.matrix
 let enum t = t.enum
 let sigma t = t.matrix.Ctg_kyao.Matrix.sigma
+let resamples t = t.resamples
 let eval_bits t bits = Bitslice.eval_single t.program bits

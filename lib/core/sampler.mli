@@ -59,6 +59,12 @@ val matrix : t -> Ctg_kyao.Matrix.t
 val enum : t -> Ctg_kyao.Leaf_enum.t
 val sigma : t -> string
 
+val resamples : t -> int
+(** Lanes this instance has rescued with the scalar fallback walk — the
+    sampler's one declared non-constant-time escape.  Monitors read the
+    delta per batch to tell declared fallbacks apart from genuine
+    constant-time violations.  Per-instance (clones start at 0). *)
+
 val eval_bits : t -> bool array -> int * bool
 (** Run the compiled program on an explicit bit string (equivalence
     testing against {!Ctg_kyao.Column_sampler.walk_bits}). *)

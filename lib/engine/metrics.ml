@@ -1,10 +1,17 @@
+module Registry = Ctg_obs.Registry
+module Histo = Ctg_obs.Histo
+
 type t = {
-  samples : int Atomic.t;
-  batches : int Atomic.t;
-  bits_consumed : int Atomic.t;
-  prng_work : int Atomic.t;
-  gate_evals : int Atomic.t;
-  per_domain : int Atomic.t array;
+  registry : Registry.t;
+  samples : Registry.counter;
+  batches : Registry.counter;
+  bits_consumed : Registry.counter;
+  prng_work : Registry.counter;
+  gate_evals : Registry.counter;
+  fallback : Registry.counter;
+  per_domain : Registry.counter array;
+  chunk_service : Registry.histo;
+  queue_wait : Registry.histo;
 }
 
 type snapshot = {
@@ -14,48 +21,62 @@ type snapshot = {
   prng_work : int;
   gate_evals : int;
   per_domain_samples : int array;
+  fallback_resamples : int;
+  chunk_service : Histo.summary;
+  queue_wait : Histo.summary;
 }
 
-let create ~domains =
+let create ~domains ?(labels = []) () =
   if domains < 1 then invalid_arg "Metrics.create: domains must be >= 1";
+  let registry = Registry.create () in
   {
-    samples = Atomic.make 0;
-    batches = Atomic.make 0;
-    bits_consumed = Atomic.make 0;
-    prng_work = Atomic.make 0;
-    gate_evals = Atomic.make 0;
-    per_domain = Array.init domains (fun _ -> Atomic.make 0);
+    registry;
+    samples = Registry.counter registry ~labels "engine_samples_total";
+    batches = Registry.counter registry ~labels "engine_batches_total";
+    bits_consumed = Registry.counter registry ~labels "engine_bits_consumed_total";
+    prng_work = Registry.counter registry ~labels "engine_prng_work_total";
+    gate_evals = Registry.counter registry ~labels "engine_gate_evals_total";
+    fallback = Registry.counter registry ~labels "engine_fallback_resamples_total";
+    per_domain =
+      Array.init domains (fun i ->
+          Registry.counter registry
+            ~labels:(("domain", string_of_int i) :: labels)
+            "engine_domain_samples_total");
+    chunk_service = Registry.histo registry ~labels "engine_chunk_service_ns";
+    queue_wait = Registry.histo registry ~labels "engine_queue_wait_ns";
   }
 
-let add c n = ignore (Atomic.fetch_and_add c n)
+let registry t = t.registry
 
 let record (t : t) ~domain ~samples ~batches ~bits ~work ~gates =
-  add t.samples samples;
-  add t.batches batches;
-  add t.bits_consumed bits;
-  add t.prng_work work;
-  add t.gate_evals gates;
-  add t.per_domain.(domain) samples
+  Registry.add t.samples samples;
+  Registry.add t.batches batches;
+  Registry.add t.bits_consumed bits;
+  Registry.add t.prng_work work;
+  Registry.add t.gate_evals gates;
+  Registry.add t.per_domain.(domain) samples
+
+let add_fallback (t : t) n = if n > 0 then Registry.add t.fallback n
+let observe_chunk_service (t : t) ns = Registry.observe t.chunk_service ns
+let observe_queue_wait (t : t) ns = Registry.observe t.queue_wait ns
 
 let snapshot (t : t) =
-  {
-    samples = Atomic.get t.samples;
-    batches = Atomic.get t.batches;
-    bits_consumed = Atomic.get t.bits_consumed;
-    prng_work = Atomic.get t.prng_work;
-    gate_evals = Atomic.get t.gate_evals;
-    per_domain_samples = Array.map Atomic.get t.per_domain;
-  }
+  Registry.read_consistent t.registry (fun () ->
+      {
+        samples = Registry.value t.samples;
+        batches = Registry.value t.batches;
+        bits_consumed = Registry.value t.bits_consumed;
+        prng_work = Registry.value t.prng_work;
+        gate_evals = Registry.value t.gate_evals;
+        per_domain_samples = Array.map Registry.value t.per_domain;
+        fallback_resamples = Registry.value t.fallback;
+        chunk_service = Registry.histo_summary t.chunk_service;
+        queue_wait = Registry.histo_summary t.queue_wait;
+      })
 
-let reset (t : t) =
-  Atomic.set t.samples 0;
-  Atomic.set t.batches 0;
-  Atomic.set t.bits_consumed 0;
-  Atomic.set t.prng_work 0;
-  Atomic.set t.gate_evals 0;
-  Array.iter (fun c -> Atomic.set c 0) t.per_domain
+let reset (t : t) = Registry.reset t.registry
 
-let pp fmt s =
+let pp fmt (s : snapshot) =
   Format.fprintf fmt "samples        %d@." s.samples;
   Format.fprintf fmt "batches        %d@." s.batches;
   Format.fprintf fmt "bits consumed  %d" s.bits_consumed;
@@ -69,6 +90,12 @@ let pp fmt s =
     Format.fprintf fmt "  (%.0f gates/sample)"
       (float_of_int s.gate_evals /. float_of_int s.samples);
   Format.fprintf fmt "@.";
+  if s.fallback_resamples > 0 then
+    Format.fprintf fmt "fallbacks      %d@." s.fallback_resamples;
+  if s.chunk_service.Histo.count > 0 then
+    Format.fprintf fmt "chunk service  %a@." Histo.pp_summary s.chunk_service;
+  if s.queue_wait.Histo.count > 0 then
+    Format.fprintf fmt "queue wait     %a@." Histo.pp_summary s.queue_wait;
   Format.fprintf fmt "per-domain     ";
   Array.iteri
     (fun i n -> Format.fprintf fmt "%s%d:%d" (if i = 0 then "" else " ") i n)

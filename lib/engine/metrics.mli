@@ -1,10 +1,17 @@
-(** Engine observability: lock-free throughput counters.
+(** Engine observability, backed by the {!Ctg_obs.Registry}.
 
-    Every counter is an [Atomic.t] updated once per chunk (not per sample),
-    so the accounting adds nothing measurable to the hot path while still
+    Every counter is updated once per chunk (not per sample), so the
+    accounting adds nothing measurable to the hot path while still
     reporting the paper's cost model exactly: samples, batches (63-lane
     program runs), random bits consumed, PRNG work units (ChaCha20 blocks /
-    Keccak permutations) and total gate evaluations. *)
+    Keccak permutations) and total gate evaluations — plus the service-time
+    and queue-wait histograms the scheduler view needs.
+
+    [snapshot] reads under the registry's seqlock
+    ({!Ctg_obs.Registry.read_consistent}), so a snapshot racing a [reset]
+    observes either all pre-reset or all post-reset values — never the
+    half-zeroed mix the previous Atomic-per-field implementation could
+    return. *)
 
 type t
 
@@ -16,9 +23,19 @@ type snapshot = {
   gate_evals : int;  (** Boolean gates executed: batches × gate count. *)
   per_domain_samples : int array;
       (** Samples produced by each worker domain — the load-balance view. *)
+  fallback_resamples : int;
+      (** Lanes rescued by the sampler's declared scalar fallback. *)
+  chunk_service : Ctg_obs.Histo.summary;  (** ns per chunk, fill only. *)
+  queue_wait : Ctg_obs.Histo.summary;
+      (** ns a producer waited to enqueue a chunk (backpressure). *)
 }
 
-val create : domains:int -> t
+val create : domains:int -> ?labels:Ctg_obs.Registry.labels -> unit -> t
+(** A fresh metrics set over its own private registry; [labels]
+    (convention: [sigma], [sampler]) are stamped on every series. *)
+
+val registry : t -> Ctg_obs.Registry.t
+(** The backing registry, for exposition ([ctg_stats expose]-style). *)
 
 val record :
   t ->
@@ -31,7 +48,16 @@ val record :
   unit
 (** One bulk update per completed chunk, attributed to worker [domain]. *)
 
+val add_fallback : t -> int -> unit
+val observe_chunk_service : t -> int -> unit
+(** Chunk fill latency in ns. *)
+
+val observe_queue_wait : t -> int -> unit
+(** Producer-side enqueue wait in ns. *)
+
 val snapshot : t -> snapshot
+(** Torn-read-free consistent view (retries across concurrent resets). *)
+
 val reset : t -> unit
 
 val pp : Format.formatter -> snapshot -> unit

@@ -1,4 +1,7 @@
 module Bs = Ctg_prng.Bitstream
+module Clock = Ctg_obs.Clock
+module Trace = Ctg_obs.Trace
+module Ctmon = Ctg_obs.Ctmon
 
 (* A bounded chunk queue for the streaming consumer.  Workers push
    completed chunks and block when [capacity] are in flight; the consumer
@@ -53,6 +56,7 @@ type t = {
   queue_capacity : int;
   ndomains : int;
   metrics : Metrics.t;
+  ctmon : Ctmon.t;
   mutex : Mutex.t;
   cond : Condition.t;  (* workers wait for jobs; callers wait for done *)
   mutable job : job option;
@@ -64,6 +68,7 @@ type t = {
 
 let domains t = t.ndomains
 let metrics t = t.metrics
+let ctmon t = t.ctmon
 let chunk_samples t = t.chunk_samples
 
 (* Fill [count] samples of chunk [c] from the chunk's own forked lane.
@@ -81,19 +86,50 @@ let run_chunk t clone ~worker (j : job) c =
   in
   let filled = ref 0 in
   let batches = ref 0 in
-  while !filled < count do
-    let batch = Ctgauss.Sampler.batch_signed clone rng in
-    incr batches;
-    let take = min (Array.length batch) (count - !filled) in
-    Array.blit batch 0 out (out_pos + !filled) take;
-    filled := !filled + take
-  done;
+  (* CT check: every batch of a constant-time program draws the same
+     number of bits.  Deviations are classified per batch (fallback lanes
+     are the declared escape) with plain field reads; the registry is
+     touched once per chunk, not per batch. *)
+  let deviations = ref 0 and fallbacks = ref 0 in
+  let resamples0 = Ctgauss.Sampler.resamples clone in
+  let t_fill = Clock.now_ns () in
+  Trace.with_span "chunk" ~cat:"engine"
+    ~args:(fun () ->
+      [
+        ("chunk", string_of_int c);
+        ("lane", string_of_int lane);
+        ("samples", string_of_int count);
+        ("batches", string_of_int !batches);
+      ])
+    (fun () ->
+      while !filled < count do
+        let bits0 = Bs.bits_consumed rng in
+        let res0 = Ctgauss.Sampler.resamples clone in
+        let batch = Ctgauss.Sampler.batch_signed clone rng in
+        let dbits = Bs.bits_consumed rng - bits0 in
+        (* Fallback batches never teach the monitor: at low precision the
+           first batch can take the fallback path, and learning its
+           data-dependent bit count would flag every normal batch. *)
+        if Ctgauss.Sampler.resamples clone > res0 then incr fallbacks
+        else if dbits <> Ctmon.learn t.ctmon dbits then incr deviations;
+        incr batches;
+        let take = min (Array.length batch) (count - !filled) in
+        Array.blit batch 0 out (out_pos + !filled) take;
+        filled := !filled + take
+      done);
+  Metrics.observe_chunk_service t.metrics (Clock.now_ns () - t_fill);
   Metrics.record t.metrics ~domain:worker ~samples:count ~batches:!batches
     ~bits:(Bs.bits_consumed rng) ~work:(Bs.prng_work rng)
     ~gates:(!batches * t.gate_count);
+  Metrics.add_fallback t.metrics (Ctgauss.Sampler.resamples clone - resamples0);
+  Ctmon.record_chunk t.ctmon ~batches:!batches ~bits:(Bs.bits_consumed rng)
+    ~samples:count ~deviations:!deviations ~fallbacks:!fallbacks;
   (match j.sink with
   | Array_sink _ -> ()
-  | Queue_sink q -> queue_push q (c, out));
+  | Queue_sink q ->
+    let t_q = Clock.now_ns () in
+    queue_push q (c, out);
+    Metrics.observe_queue_wait t.metrics (Clock.now_ns () - t_q));
   (* The finisher of the last chunk wakes the submitting caller. *)
   if Atomic.fetch_and_add j.chunks_done 1 + 1 = j.total_chunks then begin
     Mutex.lock t.mutex;
@@ -148,6 +184,10 @@ let create ?domains ?(backend = Stream_fork.Chacha) ?(chunk_batches = 16)
       c
     | None -> 2 * ndomains
   in
+  let labels =
+    [ ("sigma", Ctgauss.Sampler.sigma sampler); ("sampler", "bitsliced") ]
+  in
+  let metrics = Metrics.create ~domains:ndomains ~labels () in
   let t =
     {
       sampler;
@@ -157,7 +197,8 @@ let create ?domains ?(backend = Stream_fork.Chacha) ?(chunk_batches = 16)
       chunk_samples = chunk_batches * Ctgauss.Bitslice.lanes;
       queue_capacity;
       ndomains;
-      metrics = Metrics.create ~domains:ndomains;
+      metrics;
+      ctmon = Ctmon.create ~registry:(Metrics.registry metrics) ~labels ();
       mutex = Mutex.create ();
       cond = Condition.create ();
       job = None;

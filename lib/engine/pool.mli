@@ -38,6 +38,13 @@ val create :
 
 val domains : t -> int
 val metrics : t -> Metrics.t
+
+val ctmon : t -> Ctg_obs.Ctmon.t
+(** The pool's constant-time monitor: workers verify per batch that the
+    bit draw matches the learned per-batch count (fallback resamples are
+    attributed separately), folding results into the metrics registry once
+    per chunk.  [Ctmon.violations] must stay 0 for CT samplers. *)
+
 val chunk_samples : t -> int
 (** Samples per full chunk ([chunk_batches × 63]). *)
 

@@ -1,9 +1,25 @@
+module Obs = Ctg_obs
+
 type key = {
   sigma : string;
   precision : int;
   tail_cut : int;
   method_ : Ctgauss.Sampler.method_;
 }
+
+(* Cache traffic and compile latency go to the process-wide registry:
+   the compile cache is effectively a singleton ([global]), and exposing
+   its counters there lets [ctg_stats expose] show them without a handle
+   on the engine. *)
+let hits_counter = lazy (Obs.Registry.counter Obs.Registry.default "registry_cache_hits_total")
+
+let misses_counter =
+  lazy (Obs.Registry.counter Obs.Registry.default "registry_cache_misses_total")
+
+let compile_histo sigma =
+  Obs.Registry.histo Obs.Registry.default
+    ~labels:[ ("sigma", sigma) ]
+    "registry_compile_ns"
 
 (* [Building] marks an in-flight compile: the key is claimed but the
    sampler is not ready.  Waiters sleep on [cond] and re-check. *)
@@ -44,11 +60,20 @@ let lookup t ?(method_ = Ctgauss.Sampler.Split_minimized) ~sigma ~precision
       `Compile
   in
   match claim () with
-  | `Done s -> s
+  | `Done s ->
+    Obs.Registry.incr (Lazy.force hits_counter);
+    s
   | `Compile -> (
+    Obs.Registry.incr (Lazy.force misses_counter);
+    let t_compile = Obs.Clock.now_ns () in
     (* Compile outside the lock so unrelated keys stay responsive. *)
-    match Ctgauss.Sampler.create ~method_ ~sigma ~precision ~tail_cut () with
+    match
+      Obs.Trace.with_span "registry_compile" ~cat:"engine"
+        ~args:(fun () -> [ ("sigma", sigma); ("precision", string_of_int precision) ])
+        (fun () -> Ctgauss.Sampler.create ~method_ ~sigma ~precision ~tail_cut ())
+    with
     | s ->
+      Obs.Registry.observe (compile_histo sigma) (Obs.Clock.now_ns () - t_compile);
       Mutex.lock t.mutex;
       t.compiles <- t.compiles + 1;
       Hashtbl.replace t.table key (Ready s);

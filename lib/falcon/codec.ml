@@ -87,13 +87,24 @@ let decompress_s2 ~n data =
   go 0
 
 let encode_signature ~salt ~s2 =
-  let body = compress_s2 s2 in
-  let len = Bytes.length body in
-  let out = Bytes.create (Bytes.length salt + 2 + len) in
-  Bytes.blit salt 0 out 0 (Bytes.length salt);
-  Bytes.set out (Bytes.length salt) (Char.chr (len lsr 8));
-  Bytes.set out (Bytes.length salt + 1) (Char.chr (len land 0xff));
-  Bytes.blit body 0 out (Bytes.length salt + 2) len;
+  let h =
+    Ctg_obs.Registry.histo Ctg_obs.Registry.default
+      ~labels:[ ("stage", "encode") ]
+      "falcon_sign_stage_ns"
+  in
+  let t0 = Ctg_obs.Clock.now_ns () in
+  let out =
+    Ctg_obs.Trace.with_span "encode" ~cat:"falcon" (fun () ->
+        let body = compress_s2 s2 in
+        let len = Bytes.length body in
+        let out = Bytes.create (Bytes.length salt + 2 + len) in
+        Bytes.blit salt 0 out 0 (Bytes.length salt);
+        Bytes.set out (Bytes.length salt) (Char.chr (len lsr 8));
+        Bytes.set out (Bytes.length salt + 1) (Char.chr (len land 0xff));
+        Bytes.blit body 0 out (Bytes.length salt + 2) len;
+        out)
+  in
+  Ctg_obs.Registry.observe h (Ctg_obs.Clock.now_ns () - t0);
   out
 
 let decode_signature ~params data =

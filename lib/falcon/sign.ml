@@ -1,4 +1,20 @@
 module Bs = Ctg_prng.Bitstream
+module Obs = Ctg_obs
+
+(* Per-stage latency goes to the process registry so the sign pipeline is
+   visible in both views: spans (one per stage per attempt) and mergeable
+   histograms keyed by stage. *)
+let stage_histo stage =
+  Obs.Registry.histo Obs.Registry.default
+    ~labels:[ ("stage", stage) ]
+    "falcon_sign_stage_ns"
+
+let stage name f =
+  let h = stage_histo name in
+  let t0 = Obs.Clock.now_ns () in
+  let v = Obs.Trace.with_span name ~cat:"falcon" f in
+  Obs.Registry.observe h (Obs.Clock.now_ns () - t0);
+  v
 
 type signature = {
   salt : bytes;
@@ -44,17 +60,27 @@ let sign kp base rng ~msg =
     for i = 0 to Bytes.length salt - 1 do
       Bytes.set salt i (Char.chr (Bs.next_byte rng))
     done;
-    let c = Hash_point.hash ~n ~salt ~msg in
+    let c = stage "hash_to_point" (fun () -> Hash_point.hash ~n ~salt ~msg) in
     let c_fft = Fftc.of_int_poly c in
     (* t = (c, 0)·B⁻¹ = (−c·F/q, c·f/q) for B = [[g, −f], [G, −F]]. *)
     let t0 = Fftc.scale (Fftc.mul c_fft kp.Keygen.big_f_fft) (-1.0 /. qf) in
     let t1 = Fftc.scale (Fftc.mul c_fft kp.Keygen.f_fft) (1.0 /. qf) in
-    let z0, z1 = Ff_sampling.sample kp.Keygen.tree base rng ~t0 ~t1 in
+    let z0, z1 =
+      stage "ff_sampling" (fun () ->
+          Ff_sampling.sample kp.Keygen.tree base rng ~t0 ~t1)
+    in
     (* s = (t − z)·B: s1 over the first column (g, G), s2 over (−f, −F). *)
-    let d0 = Fftc.sub t0 z0 and d1 = Fftc.sub t1 z1 in
-    let s1 = round_to_int_array (Fftc.add (Fftc.mul d0 b10) (Fftc.mul d1 b20)) in
-    let s2 = round_to_int_array (Fftc.add (Fftc.mul d0 b11) (Fftc.mul d1 b21)) in
-    let norm_sq = signature_norm_sq s1 s2 in
+    let s1, s2, norm_sq =
+      stage "ntt" (fun () ->
+          let d0 = Fftc.sub t0 z0 and d1 = Fftc.sub t1 z1 in
+          let s1 =
+            round_to_int_array (Fftc.add (Fftc.mul d0 b10) (Fftc.mul d1 b20))
+          in
+          let s2 =
+            round_to_int_array (Fftc.add (Fftc.mul d0 b11) (Fftc.mul d1 b21))
+          in
+          (s1, s2, signature_norm_sq s1 s2))
+    in
     if norm_sq <= bound then { salt; s1; s2; norm_sq; attempts = k }
     else attempt (k + 1)
   in

@@ -1,0 +1,57 @@
+type t = {
+  expected : int Atomic.t; (* bits per batch; 0 = not learned yet *)
+  violations : Registry.counter;
+  fallbacks : Registry.counter;
+  batches : Registry.counter;
+  bits_total : Registry.counter;
+  samples_total : Registry.counter;
+  entropy : Registry.gauge;
+}
+
+let create ?(registry = Registry.default) ?(labels = []) () =
+  {
+    expected = Atomic.make 0;
+    violations = Registry.counter registry ~labels "ct_violations_total";
+    fallbacks = Registry.counter registry ~labels "ct_fallback_batches_total";
+    batches = Registry.counter registry ~labels "ct_batches_total";
+    bits_total = Registry.counter registry ~labels "ct_bits_total";
+    samples_total = Registry.counter registry ~labels "ct_samples_total";
+    entropy = Registry.gauge registry ~labels "entropy_bits_per_sample";
+  }
+
+let learn t bits =
+  let current = Atomic.get t.expected in
+  if current <> 0 then current
+  else if Atomic.compare_and_set t.expected 0 bits then bits
+  else Atomic.get t.expected
+
+let expected_bits t = Atomic.get t.expected
+
+let update_entropy t =
+  let samples = Registry.value t.samples_total in
+  if samples > 0 then
+    Registry.set_gauge t.entropy
+      (float_of_int (Registry.value t.bits_total) /. float_of_int samples)
+
+let record_chunk t ~batches ~bits ~samples ~deviations ~fallbacks =
+  Registry.add t.batches batches;
+  Registry.add t.bits_total bits;
+  Registry.add t.samples_total samples;
+  if deviations > 0 then Registry.add t.violations deviations;
+  if fallbacks > 0 then Registry.add t.fallbacks fallbacks;
+  update_entropy t
+
+let observe_batch t ~bits ~samples ?(fallback = false) () =
+  (* A declared-fallback batch draws a data-dependent number of bits, so it
+     must neither teach the expectation nor count as a violation. *)
+  if fallback then record_chunk t ~batches:1 ~bits ~samples ~deviations:0 ~fallbacks:1
+  else
+    let expected = learn t bits in
+    record_chunk t ~batches:1 ~bits ~samples
+      ~deviations:(if bits <> expected then 1 else 0)
+      ~fallbacks:0
+
+let violations t = Registry.value t.violations
+let fallback_batches t = Registry.value t.fallbacks
+
+let entropy_bits_per_sample t = Registry.gauge_value t.entropy

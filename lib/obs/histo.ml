@@ -1,0 +1,114 @@
+(* Bucket layout: values 0..3 are exact (indices 0..3); a value v >= 4 with
+   msb position m >= 2 falls in index 4*(m-1) + s where s is the two bits
+   after the leading one.  Bucket [4*(m-1)+s] covers
+   [(4+s)*2^(m-2), (5+s)*2^(m-2) - 1], so hi <= 1.25*lo. *)
+
+let num_buckets = 4 + (4 * 61) (* msb position 2..62 on 63-bit ints *)
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  counts : int array;
+}
+
+type summary = {
+  count : int;
+  sum : int;
+  mean : float;
+  min : int;
+  max : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+}
+
+let create () =
+  { count = 0; sum = 0; min_v = max_int; max_v = 0; counts = Array.make num_buckets 0 }
+
+let bucket_index v =
+  if v < 4 then v
+  else begin
+    let m = ref 0 and x = ref v in
+    while !x > 1 do
+      incr m;
+      x := !x lsr 1
+    done;
+    (4 * (!m - 1)) + ((v lsr (!m - 2)) land 3)
+  end
+
+let bucket_bounds idx =
+  if idx < 4 then (idx, idx)
+  else begin
+    let m = (idx / 4) + 1 and s = idx land 3 in
+    ((4 + s) lsl (m - 2), ((5 + s) lsl (m - 2)) - 1)
+  end
+
+let add (t : t) v =
+  let v = max 0 v in
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  let i = bucket_index v in
+  t.counts.(i) <- t.counts.(i) + 1
+
+let count (t : t) = t.count
+let sum (t : t) = t.sum
+
+let merge (a : t) (b : t) : t =
+  {
+    count = a.count + b.count;
+    sum = a.sum + b.sum;
+    min_v = min a.min_v b.min_v;
+    max_v = max a.max_v b.max_v;
+    counts = Array.init num_buckets (fun i -> a.counts.(i) + b.counts.(i));
+  }
+
+let copy t = { t with counts = Array.copy t.counts }
+
+let quantile (t : t) q =
+  if t.count = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+    let rank = min rank t.count in
+    let cum = ref 0 and i = ref 0 in
+    while !cum < rank do
+      cum := !cum + t.counts.(!i);
+      incr i
+    done;
+    let _, hi = bucket_bounds (!i - 1) in
+    min t.max_v (max t.min_v hi)
+  end
+
+let summary (t : t) : summary =
+  {
+    count = t.count;
+    sum = t.sum;
+    mean = (if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count);
+    min = (if t.count = 0 then 0 else t.min_v);
+    max = t.max_v;
+    p50 = quantile t 0.5;
+    p90 = quantile t 0.9;
+    p99 = quantile t 0.99;
+  }
+
+let buckets t =
+  let acc = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bucket_bounds i in
+      acc := (lo, hi, t.counts.(i)) :: !acc
+    end
+  done;
+  !acc
+
+let equal (a : t) (b : t) =
+  a.count = b.count && a.sum = b.sum
+  && (a.count = 0 || (a.min_v = b.min_v && a.max_v = b.max_v))
+  && a.counts = b.counts
+
+let pp_summary fmt s =
+  Format.fprintf fmt "count=%d sum=%d mean=%.1f min=%d p50=%d p90=%d p99=%d max=%d"
+    s.count s.sum s.mean s.min s.p50 s.p90 s.p99 s.max

@@ -1,0 +1,55 @@
+(** Log-bucketed histograms for latencies and sizes.
+
+    Buckets are geometric with four sub-buckets per power of two (values
+    0–3 get exact buckets), so any recorded value lands in a bucket whose
+    upper bound is at most 25% above its lower bound.  Quantile estimates
+    therefore carry a bounded relative error: for a non-empty histogram,
+    [quantile h q] lies in [[v, v + v/4 + 1]] where [v] is the exact
+    q-quantile of the recorded values — the property [test_obs] checks.
+
+    Merging is pointwise addition of bucket counts, which makes it
+    associative and commutative: per-domain histograms recorded without
+    synchronization can be folded in any order at snapshot time.
+
+    A [t] is {e not} thread-safe; either keep one per domain and merge, or
+    wrap it in a registry histogram ({!Registry.histo}) which locks. *)
+
+type t
+
+type summary = {
+  count : int;
+  sum : int;
+  mean : float;
+  min : int;  (** 0 when empty. *)
+  max : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+}
+
+val create : unit -> t
+val add : t -> int -> unit
+(** Record one value; negative values clamp to 0. *)
+
+val count : t -> int
+val sum : t -> int
+
+val merge : t -> t -> t
+(** A fresh histogram holding both inputs' data; the inputs are unchanged. *)
+
+val copy : t -> t
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [0,1]: the upper bound of the bucket holding
+    the value of rank [ceil (q * count)], clamped to the observed min/max.
+    0 on an empty histogram. *)
+
+val summary : t -> summary
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)], ascending — the exposition and
+    test view of the internal state. *)
+
+val equal : t -> t -> bool
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,183 @@
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int;
+  dur_ns : int;
+  tid : int;
+  args : (string * string) list;
+}
+
+(* head counts events ever written; slot i lives at [i mod capacity].  The
+   owner domain is the only writer; readers (export) see a consistent
+   prefix through the atomic head publish, and may observe a slot mid-
+   overwrite only when the ring has already wrapped — an accepted tracing
+   race (the event read is a whole immutable record either way). *)
+type ring = {
+  tid : int;
+  slots : event option array;
+  head : int Atomic.t;
+}
+
+let enabled = Atomic.make false
+let default_capacity = ref 16384
+let rings : ring list ref = ref []
+let rings_mutex = Mutex.create ()
+
+let dls_key : ring option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let ring_for_self () =
+  let cell = Domain.DLS.get dls_key in
+  match !cell with
+  | Some r -> r
+  | None ->
+    let r =
+      {
+        tid = (Domain.self () :> int);
+        slots = Array.make !default_capacity None;
+        head = Atomic.make 0;
+      }
+    in
+    Mutex.lock rings_mutex;
+    rings := r :: !rings;
+    Mutex.unlock rings_mutex;
+    cell := Some r;
+    r
+
+let record ev =
+  let r = ring_for_self () in
+  let i = Atomic.get r.head in
+  r.slots.(i mod Array.length r.slots) <- Some ev;
+  Atomic.set r.head (i + 1)
+
+let enable ?capacity () =
+  (match capacity with
+  | Some c ->
+    if c < 1 then invalid_arg "Trace.enable: capacity must be >= 1";
+    default_capacity := c
+  | None -> ());
+  Atomic.set enabled true
+
+let disable () = Atomic.set enabled false
+let is_enabled () = Atomic.get enabled
+
+let reset () =
+  Mutex.lock rings_mutex;
+  List.iter
+    (fun r ->
+      Atomic.set r.head 0;
+      Array.fill r.slots 0 (Array.length r.slots) None)
+    !rings;
+  Mutex.unlock rings_mutex
+
+let eval_args = function None -> [] | Some f -> f ()
+
+let with_span ?(cat = "ctg") ?args name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    let finish () =
+      record
+        {
+          name;
+          cat;
+          ts_ns = t0;
+          dur_ns = Clock.now_ns () - t0;
+          tid = (Domain.self () :> int);
+          args = eval_args args;
+        }
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let instant ?(cat = "ctg") ?args name =
+  if Atomic.get enabled then
+    record
+      {
+        name;
+        cat;
+        ts_ns = Clock.now_ns ();
+        dur_ns = -1;
+        tid = (Domain.self () :> int);
+        args = eval_args args;
+      }
+
+let snapshot_rings () =
+  Mutex.lock rings_mutex;
+  let rs = !rings in
+  Mutex.unlock rings_mutex;
+  rs
+
+let collect () =
+  let acc = ref [] and drops = ref 0 in
+  List.iter
+    (fun r ->
+      let head = Atomic.get r.head in
+      let cap = Array.length r.slots in
+      drops := !drops + max 0 (head - cap);
+      for i = max 0 (head - cap) to head - 1 do
+        match r.slots.(i mod cap) with
+        | Some ev -> acc := ev :: !acc
+        | None -> ()
+      done)
+    (snapshot_rings ());
+  (!acc, !drops)
+
+let events () =
+  let evs, _ = collect () in
+  List.sort
+    (fun a b ->
+      match compare a.ts_ns b.ts_ns with
+      | 0 -> ( match compare a.tid b.tid with 0 -> compare a.name b.name | c -> c)
+      | c -> c)
+    evs
+
+let dropped () = snd (collect ())
+
+let event_to_json ev =
+  let base =
+    [
+      ("name", Jsonx.Str ev.name);
+      ("cat", Jsonx.Str ev.cat);
+      ("pid", Jsonx.Num 1.0);
+      ("tid", Jsonx.Num (float_of_int ev.tid));
+      ("ts", Jsonx.Num (float_of_int ev.ts_ns /. 1e3));
+    ]
+  in
+  let phase =
+    if ev.dur_ns < 0 then [ ("ph", Jsonx.Str "i"); ("s", Jsonx.Str "t") ]
+    else [ ("ph", Jsonx.Str "X"); ("dur", Jsonx.Num (float_of_int ev.dur_ns /. 1e3)) ]
+  in
+  let args =
+    match ev.args with
+    | [] -> []
+    | kvs -> [ ("args", Jsonx.Obj (List.map (fun (k, v) -> (k, Jsonx.Str v)) kvs)) ]
+  in
+  Jsonx.Obj (base @ phase @ args)
+
+let export () =
+  let evs, drops = collect () in
+  let evs =
+    List.sort
+      (fun a b ->
+        match compare a.ts_ns b.ts_ns with
+        | 0 -> ( match compare a.tid b.tid with 0 -> compare a.name b.name | c -> c)
+        | c -> c)
+      evs
+  in
+  Jsonx.Obj
+    [
+      ("traceEvents", Jsonx.List (List.map event_to_json evs));
+      ("displayTimeUnit", Jsonx.Str "ms");
+      ("ctg_dropped_events", Jsonx.Num (float_of_int drops));
+    ]
+
+let write path =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Jsonx.to_string (export ()));
+      output_char oc '\n')

@@ -1,0 +1,54 @@
+(** Span tracing with per-domain lock-free ring buffers and Chrome
+    [trace_event] JSON export.
+
+    A process holds one global recorder, off by default: when disabled,
+    {!with_span} costs one atomic load and a closure call, which is why the
+    hot paths can stay instrumented unconditionally.  When enabled, each
+    domain records into its own fixed-capacity ring (registered once, on
+    the domain's first event, under a mutex; every subsequent record is a
+    plain single-writer store plus one atomic publish).  Rings overwrite
+    their oldest events when full and count the drops — tracing never
+    blocks or allocates unboundedly in a worker.
+
+    Exported files load in [chrome://tracing] / Perfetto: spans become
+    complete ("ph":"X") events with microsecond [ts]/[dur], the recording
+    domain as [tid]; instants become "ph":"i". *)
+
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int;
+  dur_ns : int;  (** [-1] for an instant event. *)
+  tid : int;  (** Recording domain id. *)
+  args : (string * string) list;
+}
+
+val enable : ?capacity:int -> unit -> unit
+(** Start recording.  [capacity] (default 16384) sizes rings created from
+    now on; existing rings keep their size. *)
+
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded events and drop counts; rings stay registered. *)
+
+val with_span : ?cat:string -> ?args:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
+(** Time [f] and record one complete event (also on exception).  [args] is
+    evaluated only when tracing is enabled, after [f] returns — so it can
+    report results. *)
+
+val instant : ?cat:string -> ?args:(unit -> (string * string) list) -> string -> unit
+
+val events : unit -> event list
+(** Everything currently buffered, sorted by [(ts_ns, tid, name)]. *)
+
+val dropped : unit -> int
+(** Events lost to ring overwrite since the last {!reset}. *)
+
+val export : unit -> Jsonx.t
+(** The Chrome trace object:
+    [{"traceEvents": [...], "displayTimeUnit": "ms", "ctg_dropped_events": n}]. *)
+
+val write : string -> unit
+(** [write path] saves {!export} (compact JSON) to [path]. *)

@@ -1,0 +1,486 @@
+(* Tests for the ctg_obs observability layer: histogram merge algebra and
+   quantile error bounds, registry exposition and reset atomicity, trace
+   JSON parse-back, CT/entropy monitors, and the Engine.Metrics
+   snapshot-vs-reset torn-read guarantee. *)
+
+module Obs = Ctg_obs
+module Histo = Ctg_obs.Histo
+module Registry = Ctg_obs.Registry
+module Trace = Ctg_obs.Trace
+module Jsonx = Ctg_obs.Jsonx
+module Ctmon = Ctg_obs.Ctmon
+
+(* --------------------------------------------------------------------- *)
+(* Histograms *)
+
+let histo_of_list xs =
+  let h = Histo.create () in
+  List.iter (Histo.add h) xs;
+  h
+
+let values_gen = QCheck.(list_of_size Gen.(0 -- 200) (int_bound 100_000))
+
+let test_histo_merge_commutative =
+  QCheck.Test.make ~count:200 ~name:"Histo.merge commutative"
+    QCheck.(pair values_gen values_gen)
+    (fun (xs, ys) ->
+      let a = histo_of_list xs and b = histo_of_list ys in
+      Histo.equal (Histo.merge a b) (Histo.merge b a))
+
+let test_histo_merge_associative =
+  QCheck.Test.make ~count:200 ~name:"Histo.merge associative"
+    QCheck.(triple values_gen values_gen values_gen)
+    (fun (xs, ys, zs) ->
+      let a = histo_of_list xs
+      and b = histo_of_list ys
+      and c = histo_of_list zs in
+      Histo.equal
+        (Histo.merge (Histo.merge a b) c)
+        (Histo.merge a (Histo.merge b c)))
+
+let test_histo_merge_counts =
+  QCheck.Test.make ~count:200 ~name:"Histo.merge adds counts and sums"
+    QCheck.(pair values_gen values_gen)
+    (fun (xs, ys) ->
+      let a = histo_of_list xs and b = histo_of_list ys in
+      let m = Histo.merge a b in
+      Histo.count m = Histo.count a + Histo.count b
+      && Histo.sum m = Histo.sum a + Histo.sum b
+      (* merge leaves its inputs unchanged *)
+      && Histo.count a = List.length xs
+      && Histo.count b = List.length ys)
+
+(* The documented error bound: for a non-empty histogram the estimate for
+   quantile q lies in [v, v + v/4 + 1] where v is the exact q-quantile
+   (rank ceil(q*count), 1-based, clamped to [1, count]). *)
+let exact_quantile xs q =
+  let sorted = List.sort compare xs in
+  let n = List.length sorted in
+  let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+  List.nth sorted (rank - 1)
+
+let test_histo_quantile_bound =
+  QCheck.Test.make ~count:300 ~name:"Histo.quantile within [v, v + v/4 + 1]"
+    QCheck.(list_of_size Gen.(1 -- 300) (int_bound 1_000_000))
+    (fun xs ->
+      let h = histo_of_list xs in
+      List.for_all
+        (fun q ->
+          let v = exact_quantile xs q in
+          let e = Histo.quantile h q in
+          v <= e && e <= v + (v / 4) + 1)
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ])
+
+let test_histo_edge_cases () =
+  let h = Histo.create () in
+  Alcotest.(check int) "empty quantile" 0 (Histo.quantile h 0.5);
+  Alcotest.(check int) "empty count" 0 (Histo.count h);
+  Histo.add h (-5);
+  Alcotest.(check int) "negative clamps to 0" 0 (Histo.quantile h 1.0);
+  Alcotest.(check int) "clamped sum" 0 (Histo.sum h);
+  let c = Histo.copy h in
+  Histo.add c 7;
+  Alcotest.(check int) "copy is independent" 1 (Histo.count h);
+  Alcotest.(check int) "copy got the value" 2 (Histo.count c);
+  let s = Histo.summary c in
+  Alcotest.(check int) "summary min" 0 s.Histo.min;
+  Alcotest.(check int) "summary max" 7 s.Histo.max;
+  (* buckets are ascending and cover every recorded value *)
+  let b = Histo.buckets c in
+  Alcotest.(check int) "bucket total" 2
+    (List.fold_left (fun acc (_, _, n) -> acc + n) 0 b);
+  ignore
+    (List.fold_left
+       (fun prev (lo, hi, _) ->
+         Alcotest.(check bool) "lo <= hi" true (lo <= hi);
+         Alcotest.(check bool) "ascending" true (prev <= lo);
+         hi)
+       (-1) b)
+
+(* --------------------------------------------------------------------- *)
+(* Registry *)
+
+let test_registry_basics () =
+  let r = Registry.create () in
+  let c = Registry.counter r ~labels:[ ("sigma", "2") ] "samples_total" in
+  Registry.add c 40;
+  Registry.incr c;
+  Alcotest.(check int) "counter value" 41 (Registry.value c);
+  let c' = Registry.counter r ~labels:[ ("sigma", "2") ] "samples_total" in
+  Registry.incr c';
+  Alcotest.(check int) "same handle for same (name, labels)" 42
+    (Registry.value c);
+  let g = Registry.gauge r "entropy_bits" in
+  Registry.set_gauge g 8.5;
+  Alcotest.(check (float 1e-9)) "gauge" 8.5 (Registry.gauge_value g)
+
+let test_registry_label_canonicalization () =
+  let r = Registry.create () in
+  let a = Registry.counter r ~labels:[ ("b", "2"); ("a", "1") ] "x_total" in
+  let b = Registry.counter r ~labels:[ ("a", "1"); ("b", "2") ] "x_total" in
+  Registry.incr a;
+  Registry.incr b;
+  Alcotest.(check int) "label order irrelevant" 2 (Registry.value a)
+
+let test_registry_kind_mismatch () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "metric_x");
+  Alcotest.check_raises "histo under a counter name"
+    (Invalid_argument "Registry: metric_x already registered as a counter")
+    (fun () -> ignore (Registry.histo r "metric_x"))
+
+let test_registry_exposition_deterministic () =
+  (* Same metrics registered in different orders expose identically. *)
+  let build order =
+    let r = Registry.create () in
+    List.iter
+      (fun name ->
+        let c = Registry.counter r ~labels:[ ("sigma", "2") ] name in
+        Registry.add c (String.length name))
+      order;
+    Registry.set_gauge (Registry.gauge r "ct_entropy_bits_per_sample") 7.25;
+    Registry.observe (Registry.histo r "chunk_service_ns") 1000;
+    Registry.expose_text r
+  in
+  let t1 = build [ "alpha_total"; "beta_total"; "gamma_total" ] in
+  let t2 = build [ "gamma_total"; "alpha_total"; "beta_total" ] in
+  Alcotest.(check string) "order-independent exposition" t1 t2;
+  Alcotest.(check bool) "has TYPE comments" true
+    (String.length t1 > 0
+    && List.exists
+         (fun line -> String.starts_with ~prefix:"# TYPE" line)
+         (String.split_on_char '\n' t1))
+
+let test_registry_json_parses_back () =
+  let r = Registry.create () in
+  Registry.add (Registry.counter r ~labels:[ ("sigma", "215") ] "samples_total") 63;
+  Registry.observe (Registry.histo r "service_ns") 12345;
+  let j = Registry.to_json r in
+  match Jsonx.parse (Jsonx.to_string j) with
+  | Error e -> Alcotest.failf "exposition JSON does not parse: %s" e
+  | Ok parsed ->
+    let metrics =
+      match Option.bind (Jsonx.member "metrics" parsed) Jsonx.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "missing metrics array"
+    in
+    Alcotest.(check int) "two metrics" 2 (List.length metrics)
+
+let test_registry_reset_generation () =
+  let r = Registry.create () in
+  let c = Registry.counter r "n_total" in
+  Registry.add c 5;
+  Alcotest.(check int) "gen 0" 0 (Registry.generation r);
+  Registry.reset r;
+  Alcotest.(check int) "gen 1" 1 (Registry.generation r);
+  Alcotest.(check int) "counter zeroed" 0 (Registry.value c);
+  Registry.reset r;
+  Alcotest.(check int) "gen 2" 2 (Registry.generation r)
+
+(* Snapshot racing reset must observe all-old or all-zero, never a mix.
+   Populate two counters with equal values, then race one reset against a
+   read_consistent reader, many times. *)
+let test_registry_reset_not_torn () =
+  let r = Registry.create () in
+  let a = Registry.counter r "a_total" and b = Registry.counter r "b_total" in
+  for _trial = 1 to 200 do
+    Registry.add a 1_000_000;
+    Registry.add b 1_000_000;
+    let resetter = Domain.spawn (fun () -> Registry.reset r) in
+    let va, vb =
+      Registry.read_consistent r (fun () ->
+          (Registry.value a, Registry.value b))
+    in
+    Domain.join resetter;
+    if va <> vb then
+      Alcotest.failf "torn snapshot: a_total=%d b_total=%d" va vb;
+    Registry.reset r
+  done
+
+(* --------------------------------------------------------------------- *)
+(* Engine.Metrics snapshot vs reset *)
+
+let test_engine_metrics_snapshot_not_torn () =
+  let m = Ctg_engine.Metrics.create ~domains:2 () in
+  let populate () =
+    Ctg_engine.Metrics.record m ~domain:0 ~samples:63 ~batches:1 ~bits:6300
+      ~work:100 ~gates:5000;
+    Ctg_engine.Metrics.record m ~domain:1 ~samples:63 ~batches:1 ~bits:6300
+      ~work:100 ~gates:5000
+  in
+  for _trial = 1 to 100 do
+    populate ();
+    let resetter = Domain.spawn (fun () -> Ctg_engine.Metrics.reset m) in
+    let s = Ctg_engine.Metrics.snapshot m in
+    Domain.join resetter;
+    (* Either the pre-reset state (2 batches, proportional counters) or
+       the post-reset state (all zero) — never a half-zeroed mix. *)
+    let all_old =
+      s.Ctg_engine.Metrics.samples = 126
+      && s.Ctg_engine.Metrics.batches = 2
+      && s.Ctg_engine.Metrics.bits_consumed = 12600
+      && s.Ctg_engine.Metrics.gate_evals = 10000
+    and all_zero =
+      s.Ctg_engine.Metrics.samples = 0
+      && s.Ctg_engine.Metrics.batches = 0
+      && s.Ctg_engine.Metrics.bits_consumed = 0
+      && s.Ctg_engine.Metrics.gate_evals = 0
+    in
+    if not (all_old || all_zero) then
+      Alcotest.failf
+        "torn engine snapshot: samples=%d batches=%d bits=%d gates=%d"
+        s.Ctg_engine.Metrics.samples s.Ctg_engine.Metrics.batches
+        s.Ctg_engine.Metrics.bits_consumed s.Ctg_engine.Metrics.gate_evals;
+    Ctg_engine.Metrics.reset m
+  done
+
+let test_engine_metrics_accounting () =
+  let m = Ctg_engine.Metrics.create ~domains:2 () in
+  Ctg_engine.Metrics.record m ~domain:1 ~samples:63 ~batches:1 ~bits:6300
+    ~work:42 ~gates:3706;
+  Ctg_engine.Metrics.add_fallback m 2;
+  Ctg_engine.Metrics.observe_chunk_service m 1_000_000;
+  let s = Ctg_engine.Metrics.snapshot m in
+  Alcotest.(check int) "samples" 63 s.Ctg_engine.Metrics.samples;
+  Alcotest.(check int) "per-domain attribution" 63
+    s.Ctg_engine.Metrics.per_domain_samples.(1);
+  Alcotest.(check int) "idle domain" 0
+    s.Ctg_engine.Metrics.per_domain_samples.(0);
+  Alcotest.(check int) "fallbacks" 2 s.Ctg_engine.Metrics.fallback_resamples;
+  Alcotest.(check int) "service histo count" 1
+    s.Ctg_engine.Metrics.chunk_service.Histo.count
+
+(* --------------------------------------------------------------------- *)
+(* Trace *)
+
+let with_tracing f =
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect ~finally:(fun () -> Trace.disable ()) f
+
+let test_trace_spans_and_export () =
+  with_tracing (fun () ->
+      let result =
+        Trace.with_span "outer" ~cat:"test" (fun () ->
+            Trace.with_span "inner" ~cat:"test"
+              ~args:(fun () -> [ ("k", "v") ])
+              (fun () -> 1 + 1))
+      in
+      Alcotest.(check int) "with_span returns" 2 result;
+      Trace.instant "marker" ~cat:"test";
+      let evs = Trace.events () in
+      Alcotest.(check int) "three events" 3 (List.length evs);
+      let names = List.map (fun e -> e.Trace.name) evs in
+      List.iter
+        (fun n ->
+          Alcotest.(check bool) (n ^ " recorded") true (List.mem n names))
+        [ "outer"; "inner"; "marker" ];
+      let inner = List.find (fun e -> e.Trace.name = "inner") evs in
+      let outer = List.find (fun e -> e.Trace.name = "outer") evs in
+      let marker = List.find (fun e -> e.Trace.name = "marker") evs in
+      Alcotest.(check bool) "inner nested in outer" true
+        (inner.Trace.ts_ns >= outer.Trace.ts_ns
+        && inner.Trace.dur_ns <= outer.Trace.dur_ns);
+      Alcotest.(check int) "instant has dur -1" (-1) marker.Trace.dur_ns;
+      Alcotest.(check (list (pair string string))) "span args" [ ("k", "v") ]
+        inner.Trace.args;
+      (* Chrome JSON parses back and has the right shape. *)
+      match Jsonx.parse (Jsonx.to_string (Trace.export ())) with
+      | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+      | Ok j ->
+        let evs_json =
+          match Option.bind (Jsonx.member "traceEvents" j) Jsonx.to_list with
+          | Some l -> l
+          | None -> Alcotest.fail "missing traceEvents"
+        in
+        Alcotest.(check int) "traceEvents count" 3 (List.length evs_json);
+        List.iter
+          (fun e ->
+            let field name = Option.bind (Jsonx.member name e) Jsonx.to_str in
+            let ph =
+              match field "ph" with
+              | Some p -> p
+              | None -> Alcotest.fail "event without ph"
+            in
+            Alcotest.(check bool) "ph is X or i" true (ph = "X" || ph = "i");
+            Alcotest.(check bool) "has ts" true
+              (Option.is_some (Jsonx.member "ts" e));
+            Alcotest.(check bool) "has tid" true
+              (Option.is_some (Jsonx.member "tid" e)))
+          evs_json;
+        Alcotest.(check (option int)) "no drops" (Some 0)
+          (Option.bind (Jsonx.member "ctg_dropped_events" j) Jsonx.to_int))
+
+let test_trace_disabled_is_free_of_effects () =
+  Trace.reset ();
+  Alcotest.(check bool) "disabled" false (Trace.is_enabled ());
+  let r = Trace.with_span "ghost" (fun () -> 7) in
+  Alcotest.(check int) "still runs the thunk" 7 r;
+  Alcotest.(check int) "records nothing" 0 (List.length (Trace.events ()))
+
+let test_trace_exception_still_records () =
+  with_tracing (fun () ->
+      (try Trace.with_span "boom" (fun () -> failwith "x") with _ -> ());
+      let evs = Trace.events () in
+      Alcotest.(check int) "span recorded on exception" 1 (List.length evs))
+
+(* --------------------------------------------------------------------- *)
+(* Jsonx *)
+
+let test_jsonx_roundtrip () =
+  let v =
+    Jsonx.Obj
+      [
+        ("s", Jsonx.Str "a\"b\\c\nd");
+        ("n", Jsonx.Num 1.5);
+        ("i", Jsonx.Num 42.0);
+        ("b", Jsonx.Bool true);
+        ("z", Jsonx.Null);
+        ("l", Jsonx.List [ Jsonx.Num 1.0; Jsonx.Str "x"; Jsonx.Bool false ]);
+      ]
+  in
+  (match Jsonx.parse (Jsonx.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "compact roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "compact parse failed: %s" e);
+  match Jsonx.parse (Jsonx.pretty v) with
+  | Ok v' -> Alcotest.(check bool) "pretty roundtrip" true (v = v')
+  | Error e -> Alcotest.failf "pretty parse failed: %s" e
+
+let test_jsonx_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Jsonx.parse s with
+      | Ok _ -> Alcotest.failf "parsed garbage: %s" s
+      | Error _ -> ())
+    [ "{"; "[1,"; "tru"; "\"unterminated"; "{\"a\" 1}"; "" ]
+
+(* --------------------------------------------------------------------- *)
+(* CT / entropy monitor *)
+
+let test_ctmon_constant_time_clean () =
+  let m = Ctmon.create ~registry:(Registry.create ()) () in
+  Alcotest.(check int) "unlearned" 0 (Ctmon.expected_bits m);
+  for _ = 1 to 100 do
+    Ctmon.observe_batch m ~bits:6300 ~samples:63 ()
+  done;
+  Alcotest.(check int) "learned bits" 6300 (Ctmon.expected_bits m);
+  Alcotest.(check int) "no violations" 0 (Ctmon.violations m);
+  Alcotest.(check int) "no fallbacks" 0 (Ctmon.fallback_batches m);
+  Alcotest.(check (float 1e-6)) "entropy bits/sample" 100.0
+    (Ctmon.entropy_bits_per_sample m)
+
+(* A non-constant-time sampler stub: per-batch bit counts vary without a
+   declared fallback — the monitor must fire. *)
+let test_ctmon_fires_on_non_ct_stub () =
+  let m = Ctmon.create ~registry:(Registry.create ()) () in
+  Ctmon.observe_batch m ~bits:100 ~samples:1 ();
+  Ctmon.observe_batch m ~bits:100 ~samples:1 ();
+  Ctmon.observe_batch m ~bits:107 ~samples:1 ();
+  Ctmon.observe_batch m ~bits:93 ~samples:1 ();
+  Alcotest.(check int) "two violations" 2 (Ctmon.violations m);
+  Alcotest.(check int) "no fallbacks claimed" 0 (Ctmon.fallback_batches m)
+
+let test_ctmon_fallback_classification () =
+  let m = Ctmon.create ~registry:(Registry.create ()) () in
+  Ctmon.observe_batch m ~bits:6300 ~samples:63 ();
+  Ctmon.observe_batch m ~bits:6350 ~samples:63 ~fallback:true ();
+  Alcotest.(check int) "declared fallback is not a violation" 0
+    (Ctmon.violations m);
+  Alcotest.(check int) "fallback counted" 1 (Ctmon.fallback_batches m)
+
+let test_ctmon_record_chunk () =
+  let m = Ctmon.create ~registry:(Registry.create ()) () in
+  Ctmon.record_chunk m ~batches:16 ~bits:100_800 ~samples:1008 ~deviations:3
+    ~fallbacks:2;
+  Alcotest.(check int) "bulk violations" 3 (Ctmon.violations m);
+  Alcotest.(check int) "bulk fallbacks" 2 (Ctmon.fallback_batches m);
+  Alcotest.(check (float 1e-6)) "bulk entropy" 100.0
+    (Ctmon.entropy_bits_per_sample m)
+
+(* --------------------------------------------------------------------- *)
+(* Overhead benchmark plumbing (tiny run: field sanity, not timing) *)
+
+let test_obs_bench_entry_sane () =
+  let e =
+    Ctg_engine.Obs_bench.measure ~samples:(63 * 10) ~rounds:1 ~min_time:0.01
+      ~sigma:"2" ~precision:16 ~tail_cut:13 ()
+  in
+  Alcotest.(check bool) "plain_ns > 0" true (e.Ctg_engine.Obs_bench.plain_ns > 0.0);
+  Alcotest.(check bool) "metered_ns > 0" true
+    (e.Ctg_engine.Obs_bench.metered_ns > 0.0);
+  Alcotest.(check int) "bitsliced sampler is CT" 0
+    e.Ctg_engine.Obs_bench.ct_violations;
+  Alcotest.(check bool) "entropy measured" true
+    (e.Ctg_engine.Obs_bench.entropy_bits_per_sample > 0.0);
+  match Jsonx.parse (Jsonx.to_string (Ctg_engine.Obs_bench.to_json [ e ])) with
+  | Ok _ -> ()
+  | Error err -> Alcotest.failf "BENCH_obs JSON does not parse: %s" err
+
+(* --------------------------------------------------------------------- *)
+
+let () =
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "histo",
+        qcheck
+          [
+            test_histo_merge_commutative;
+            test_histo_merge_associative;
+            test_histo_merge_counts;
+            test_histo_quantile_bound;
+          ]
+        @ [ Alcotest.test_case "edge cases" `Quick test_histo_edge_cases ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_registry_basics;
+          Alcotest.test_case "label canonicalization" `Quick
+            test_registry_label_canonicalization;
+          Alcotest.test_case "kind mismatch rejected" `Quick
+            test_registry_kind_mismatch;
+          Alcotest.test_case "deterministic exposition" `Quick
+            test_registry_exposition_deterministic;
+          Alcotest.test_case "JSON exposition parses" `Quick
+            test_registry_json_parses_back;
+          Alcotest.test_case "reset generation" `Quick
+            test_registry_reset_generation;
+          Alcotest.test_case "reset is not torn" `Quick
+            test_registry_reset_not_torn;
+        ] );
+      ( "engine-metrics",
+        [
+          Alcotest.test_case "accounting" `Quick test_engine_metrics_accounting;
+          Alcotest.test_case "snapshot vs reset not torn" `Quick
+            test_engine_metrics_snapshot_not_torn;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "spans and Chrome export" `Quick
+            test_trace_spans_and_export;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_trace_disabled_is_free_of_effects;
+          Alcotest.test_case "exception still records" `Quick
+            test_trace_exception_still_records;
+        ] );
+      ( "jsonx",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_jsonx_rejects_garbage;
+        ] );
+      ( "ctmon",
+        [
+          Alcotest.test_case "constant-time sampler is clean" `Quick
+            test_ctmon_constant_time_clean;
+          Alcotest.test_case "fires on a non-CT stub" `Quick
+            test_ctmon_fires_on_non_ct_stub;
+          Alcotest.test_case "declared fallback classified" `Quick
+            test_ctmon_fallback_classification;
+          Alcotest.test_case "bulk chunk accounting" `Quick
+            test_ctmon_record_chunk;
+        ] );
+      ( "obs-bench",
+        [
+          Alcotest.test_case "tiny measure is sane" `Quick
+            test_obs_bench_entry_sane;
+        ] );
+    ]
