@@ -704,6 +704,35 @@ let cmd_obs ?(smoke = false) () =
   end
 
 (* -------------------------------------------------------------------- *)
+(* Fault: always-on defense overhead budget (and BENCH_fault.json)       *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_fault ?(smoke = false) () =
+  section
+    (if smoke then "Fault: defense overhead (smoke run)"
+     else "Fault: always-on defense overhead (entropy health, verify-after-sign)");
+  let set =
+    if smoke then [ ("2", 16); ("215", 16) ]
+    else Ctg_fault.Fault_bench.default_set
+  in
+  let samples = if smoke then 63 * 400 else 63 * 1000 in
+  let rounds = if smoke then 3 else 5 in
+  let min_time = if smoke then 1.0 else 0.4 in
+  printf "plain vs hardened passes, median of paired ratios@.@.";
+  let entries = Ctg_fault.Fault_bench.run ~samples ~rounds ~min_time ~set () in
+  List.iter (fun e -> printf "  %a@." Ctg_fault.Fault_bench.pp_entry e) entries;
+  let path = if smoke then "BENCH_fault_smoke.json" else "BENCH_fault.json" in
+  Ctg_fault.Fault_bench.save path entries;
+  printf "@.wrote %s@." path;
+  if Ctg_fault.Fault_bench.ok entries then
+    printf "OK: every always-on defense costs < %.1f%%@."
+      Ctg_fault.Fault_bench.threshold_pct
+  else begin
+    printf "FAIL: defense overhead budget exceeded@.";
+    exit 1
+  end
+
+(* -------------------------------------------------------------------- *)
 (* Engine: parallel Falcon signing (Table 1 at service scale)            *)
 (* -------------------------------------------------------------------- *)
 
@@ -825,9 +854,10 @@ let usage () =
     "usage: main.exe [all|table1|table2|fig1|fig2|fig3|fig4|fig5|delta|@.";
   printf "                 prng-overhead|dudect|ablation-min|ablation-chain|@.";
   printf "                 precision|large-sigma|sampler-quality|engine|@.";
-  printf "                 gates|sign-many|obs|micro]@.";
+  printf "                 gates|sign-many|obs|fault|micro]@.";
   printf "        [--full]        (fig5 at the paper's 64x10^7 samples)@.";
-  printf "        [--smoke]       (obs: CI-sized windows -> BENCH_obs_smoke.json)@.";
+  printf
+    "        [--smoke]       (obs/fault: CI-sized windows -> BENCH_*_smoke.json)@.";
   printf "        [--trace FILE]  (record spans, write Chrome trace JSON)@."
 
 let () =
@@ -874,6 +904,7 @@ let () =
   | "gates" -> cmd_gates ()
   | "sign-many" -> cmd_sign_many ()
   | "obs" -> cmd_obs ~smoke ()
+  | "fault" -> cmd_fault ~smoke ()
   | "micro" -> cmd_micro ()
   | "all" ->
     cmd_fig1 ();
@@ -892,6 +923,7 @@ let () =
     cmd_gates ();
     cmd_engine ();
     cmd_obs ();
+    cmd_fault ();
     cmd_table1 ();
     cmd_sampler_quality ();
     cmd_sign_many ();

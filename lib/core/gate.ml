@@ -223,6 +223,42 @@ let prune (t : t) =
     valid = Option.map (fun r -> map.(r)) t.valid;
   }
 
+(* FNV-1a over the complete structure.  Computed once at compile time
+   (the trusted moment) and re-checked by integrity monitors: any later
+   in-memory corruption of the table — opcode flips included — changes
+   the digest, independently of whether a sampled input would expose it. *)
+let digest (t : t) =
+  let h = ref 0xcbf29ce484222325L in
+  let mix v =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int v)) 0x100000001b3L
+  in
+  mix t.num_vars;
+  Array.iter
+    (fun instr ->
+      match instr with
+      | And (x, y) ->
+        mix 1;
+        mix x;
+        mix y
+      | Or (x, y) ->
+        mix 2;
+        mix x;
+        mix y
+      | Xor (x, y) ->
+        mix 3;
+        mix x;
+        mix y
+      | Not x ->
+        mix 4;
+        mix x
+      | Const b ->
+        mix 5;
+        mix (Bool.to_int b))
+    t.instrs;
+  Array.iter mix t.outputs;
+  (match t.valid with None -> mix (-7) | Some r -> mix r);
+  !h
+
 let gate_count (t : t) =
   Array.fold_left
     (fun acc i -> match i with Const _ -> acc | And _ | Or _ | Xor _ | Not _ -> acc + 1)

@@ -73,6 +73,14 @@ val prune : t -> t
     an output or the valid flag, renumbering the survivors.  Semantics are
     preserved register-for-register on outputs/valid. *)
 
+val digest : t -> int64
+(** FNV-1a fingerprint of the complete structure (variable count, every
+    instruction with operands, outputs, valid register).  Computed once
+    right after compilation — the trusted moment — and re-checked later
+    by integrity monitors ({!Ctgauss.Sampler.integrity_ok}), it catches
+    {e any} in-memory corruption of the gate table, including opcode
+    flips too rare for sampled known-answer vectors to expose. *)
+
 val gate_count : t -> int
 (** Number of non-constant instructions (the paper's cost proxy). *)
 

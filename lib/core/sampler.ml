@@ -13,6 +13,9 @@ type t = {
   gates : int;
       (* cached [Gate.gate_count program]: the fold is O(gates) and the
          engine charges gate evals to its metrics once per chunk *)
+  digest : int64;
+      (* [Gate.digest program] taken at compile time; integrity monitors
+         recompute and compare to catch later gate-table corruption *)
   mutable buffer : int array; (* signed samples ready to hand out *)
   mutable buffer_pos : int;
   mutable buffer_mag : int array;
@@ -43,6 +46,7 @@ let of_enum ?(method_ = Split_minimized) ?options (enum : Ctg_kyao.Leaf_enum.t) 
     inputs = Array.make program.Gate.num_vars 0;
     sample_bits = max 1 (Ctg_util.Bits.bits_needed support);
     gates = Gate.gate_count program;
+    digest = Gate.digest program;
     buffer = [||];
     buffer_pos = 0;
     buffer_mag = [||];
@@ -123,4 +127,6 @@ let matrix t = t.matrix
 let enum t = t.enum
 let sigma t = t.matrix.Ctg_kyao.Matrix.sigma
 let resamples t = t.resamples
+let digest t = t.digest
+let integrity_ok t = Gate.digest t.program = t.digest
 let eval_bits t bits = Bitslice.eval_single t.program bits

@@ -65,6 +65,16 @@ val resamples : t -> int
     delta per batch to tell declared fallbacks apart from genuine
     constant-time violations.  Per-instance (clones start at 0). *)
 
+val digest : t -> int64
+(** {!Gate.digest} of the program, recorded at creation.  Clones share
+    the program and therefore the digest. *)
+
+val integrity_ok : t -> bool
+(** Recompute the program digest and compare with the one recorded at
+    creation: [false] means the gate table was corrupted in memory after
+    compilation.  O(gates); {!Ctg_engine.Selftest} runs it before the
+    known-answer vectors. *)
+
 val eval_bits : t -> bool array -> int * bool
 (** Run the compiled program on an explicit bit string (equivalence
     testing against {!Ctg_kyao.Column_sampler.walk_bits}). *)

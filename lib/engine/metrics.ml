@@ -12,6 +12,10 @@ type t = {
   per_domain : Registry.counter array;
   chunk_service : Registry.histo;
   queue_wait : Registry.histo;
+  chunk_retries : Registry.counter;
+  worker_respawns : Registry.counter;
+  health_failures : Registry.counter;
+  degraded : Registry.gauge;
 }
 
 type snapshot = {
@@ -24,6 +28,10 @@ type snapshot = {
   fallback_resamples : int;
   chunk_service : Histo.summary;
   queue_wait : Histo.summary;
+  chunk_retries : int;
+  worker_respawns : int;
+  health_failures : int;
+  degraded : bool;
 }
 
 let create ~domains ?(labels = []) () =
@@ -44,6 +52,12 @@ let create ~domains ?(labels = []) () =
             "engine_domain_samples_total");
     chunk_service = Registry.histo registry ~labels "engine_chunk_service_ns";
     queue_wait = Registry.histo registry ~labels "engine_queue_wait_ns";
+    chunk_retries = Registry.counter registry ~labels "engine_chunk_retries_total";
+    worker_respawns =
+      Registry.counter registry ~labels "engine_worker_respawns_total";
+    health_failures =
+      Registry.counter registry ~labels "engine_entropy_health_failures_total";
+    degraded = Registry.gauge registry ~labels "engine_degraded";
   }
 
 let registry t = t.registry
@@ -59,6 +73,10 @@ let record (t : t) ~domain ~samples ~batches ~bits ~work ~gates =
 let add_fallback (t : t) n = if n > 0 then Registry.add t.fallback n
 let observe_chunk_service (t : t) ns = Registry.observe t.chunk_service ns
 let observe_queue_wait (t : t) ns = Registry.observe t.queue_wait ns
+let add_chunk_retry (t : t) = Registry.incr t.chunk_retries
+let add_worker_respawn (t : t) = Registry.incr t.worker_respawns
+let add_health_failure (t : t) = Registry.incr t.health_failures
+let set_degraded (t : t) on = Registry.set_gauge t.degraded (if on then 1.0 else 0.0)
 
 let snapshot (t : t) =
   Registry.read_consistent t.registry (fun () ->
@@ -72,6 +90,10 @@ let snapshot (t : t) =
         fallback_resamples = Registry.value t.fallback;
         chunk_service = Registry.histo_summary t.chunk_service;
         queue_wait = Registry.histo_summary t.queue_wait;
+        chunk_retries = Registry.value t.chunk_retries;
+        worker_respawns = Registry.value t.worker_respawns;
+        health_failures = Registry.value t.health_failures;
+        degraded = Registry.gauge_value t.degraded > 0.5;
       })
 
 let reset (t : t) = Registry.reset t.registry
@@ -92,6 +114,13 @@ let pp fmt (s : snapshot) =
   Format.fprintf fmt "@.";
   if s.fallback_resamples > 0 then
     Format.fprintf fmt "fallbacks      %d@." s.fallback_resamples;
+  if s.chunk_retries > 0 then
+    Format.fprintf fmt "chunk retries  %d@." s.chunk_retries;
+  if s.worker_respawns > 0 then
+    Format.fprintf fmt "respawns       %d@." s.worker_respawns;
+  if s.health_failures > 0 then
+    Format.fprintf fmt "health fails   %d@." s.health_failures;
+  if s.degraded then Format.fprintf fmt "DEGRADED       (CT-CDT fallback)@.";
   if s.chunk_service.Histo.count > 0 then
     Format.fprintf fmt "chunk service  %a@." Histo.pp_summary s.chunk_service;
   if s.queue_wait.Histo.count > 0 then

@@ -28,6 +28,15 @@ type snapshot = {
   chunk_service : Ctg_obs.Histo.summary;  (** ns per chunk, fill only. *)
   queue_wait : Ctg_obs.Histo.summary;
       (** ns a producer waited to enqueue a chunk (backpressure). *)
+  chunk_retries : int;
+      (** Chunk attempts repeated after a contained worker exception. *)
+  worker_respawns : int;
+      (** Crashed worker domains replaced by the pool's supervision. *)
+  health_failures : int;
+      (** Entropy health-test trips observed by workers (lane errors). *)
+  degraded : bool;
+      (** The pool is serving from the CT linear-search CDT fallback
+          because the compiled sampler failed its load-time self-test. *)
 }
 
 val create : domains:int -> ?labels:Ctg_obs.Registry.labels -> unit -> t
@@ -54,6 +63,13 @@ val observe_chunk_service : t -> int -> unit
 
 val observe_queue_wait : t -> int -> unit
 (** Producer-side enqueue wait in ns. *)
+
+val add_chunk_retry : t -> unit
+val add_worker_respawn : t -> unit
+val add_health_failure : t -> unit
+
+val set_degraded : t -> bool -> unit
+(** Raise/lower the [engine_degraded] gauge (1 = CDT fallback serving). *)
 
 val snapshot : t -> snapshot
 (** Torn-read-free consistent view (retries across concurrent resets). *)

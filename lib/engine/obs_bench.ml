@@ -104,8 +104,13 @@ let median a =
      loop reports [that × its median ratio].
 
    Groups repeat until at least 5 have run and [rounds × min_time]
-   seconds have elapsed. *)
-let paired_ns ~rounds ~min_time ~samples ~seed loops =
+   seconds have elapsed.
+
+   Loops receive the group's lane index and build their own stream from
+   it, so arms that must differ in stream construction (health tests
+   attached or not, a fault model wrapped or not — the Fault_bench use)
+   still consume the same underlying lane per group. *)
+let paired_ns ~rounds ~min_time ~samples loops =
   let nloops = Array.length loops in
   let group_times = ref [] in
   let budget = float_of_int rounds *. min_time in
@@ -118,12 +123,9 @@ let paired_ns ~rounds ~min_time ~samples ~seed loops =
       let traced, f = loops.(i) in
       let was_tracing = Obs.Trace.is_enabled () in
       if traced then Obs.Trace.enable ();
-      let rng =
-        Stream_fork.bitstream ~backend:Stream_fork.Chacha ~seed ~lane:!groups ()
-      in
       Gc.full_major ();
       let t0 = Unix.gettimeofday () in
-      f rng;
+      f ~lane:!groups;
       let dt = Unix.gettimeofday () -. t0 in
       if traced && not was_tracing then Obs.Trace.disable ();
       times.(i) <- dt *. 1e9 /. float_of_int samples
@@ -154,15 +156,20 @@ let measure ?(samples = 63 * 1000) ?(rounds = 5) ?(min_time = 0.4) ~sigma
   in
   let out = Array.make samples 0 in
   let seed = "obs-bench-" ^ sigma in
+  (* Health tests off on every arm: this benchmark isolates the obs
+     layer's own cost (Fault_bench measures the health tests). *)
+  let lane_rng lane = Stream_fork.bitstream ~health:false ~seed ~lane () in
   (* Warm both code paths before timing. *)
-  let warm_rng = Stream_fork.bitstream ~seed ~lane:1000 () in
+  let warm_rng = Stream_fork.bitstream ~health:false ~seed ~lane:1000 () in
   run_plain sampler out warm_rng;
   run_metered sampler out warm_rng ~chunk_samples ~metrics ~ctmon;
-  let metered_loop rng = run_metered sampler out rng ~chunk_samples ~metrics ~ctmon in
+  let metered_loop ~lane =
+    run_metered sampler out (lane_rng lane) ~chunk_samples ~metrics ~ctmon
+  in
   let one scale =
-    paired_ns ~rounds ~min_time:(min_time *. float_of_int scale) ~samples ~seed
+    paired_ns ~rounds ~min_time:(min_time *. float_of_int scale) ~samples
       [|
-        (false, fun rng -> run_plain sampler out rng);
+        (false, fun ~lane -> run_plain sampler out (lane_rng lane));
         (false, metered_loop);
         (true, metered_loop);
       |]

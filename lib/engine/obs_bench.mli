@@ -57,6 +57,20 @@ val run :
 val ok : entry list -> bool
 (** Every entry within {!threshold_pct} and zero CT violations. *)
 
+val paired_ns :
+  rounds:int ->
+  min_time:float ->
+  samples:int ->
+  (bool * (lane:int -> unit)) array ->
+  float array
+(** The paired-pass median-of-ratios estimator, exposed for other
+    overhead gates (the fault-defense bench reuses it verbatim).  Each
+    group runs every loop back-to-back with a [Gc.full_major] before each
+    timed pass, handing loops the group's {!Stream_fork} lane index so
+    all arms consume the same underlying randomness; loop [i]'s result is
+    loop 0's median ns/sample scaled by the median of the within-group
+    ratios [t_i / t_0].  The [bool] enables span tracing for that loop. *)
+
 val to_json : entry list -> Ctg_obs.Jsonx.t
 val save : string -> entry list -> unit
 val pp_entry : Format.formatter -> entry -> unit

@@ -3,12 +3,21 @@ module Clock = Ctg_obs.Clock
 module Trace = Ctg_obs.Trace
 module Ctmon = Ctg_obs.Ctmon
 
+exception Kill_worker
+
+exception Chunk_failed of { chunk : int; attempts : int; error : exn }
+
+exception Stalled of { waited_ns : int }
+
 (* A bounded chunk queue for the streaming consumer.  Workers push
    completed chunks and block when [capacity] are in flight; the consumer
    pops, reorders to chunk-index order and hands them to the callback.
    The reorder buffer stays small by construction: chunks are claimed in
    increasing order, so at most [domains] chunks can be finished out of
-   order at any moment. *)
+   order at any moment.  Both waits are abortable: a failed job must not
+   leave a producer blocked on a full queue or the consumer blocked on an
+   empty one, so the loops re-check [should_abort] on every wakeup and the
+   aborting thread (plus the watchdog, when one runs) broadcasts [q_cond]. *)
 type chunk_queue = {
   q_mutex : Mutex.t;
   q_cond : Condition.t;
@@ -16,24 +25,31 @@ type chunk_queue = {
   capacity : int;
 }
 
-let queue_push q item =
+let queue_push q ~should_abort item =
   Mutex.lock q.q_mutex;
-  while Queue.length q.items >= q.capacity do
+  while Queue.length q.items >= q.capacity && not (should_abort ()) do
     Condition.wait q.q_cond q.q_mutex
   done;
-  Queue.add item q.items;
+  if not (should_abort ()) then Queue.add item q.items;
   Condition.broadcast q.q_cond;
   Mutex.unlock q.q_mutex
 
-let queue_pop q =
+let queue_pop q ~should_abort =
   Mutex.lock q.q_mutex;
-  while Queue.is_empty q.items do
+  while Queue.is_empty q.items && not (should_abort ()) do
     Condition.wait q.q_cond q.q_mutex
   done;
-  let item = Queue.take q.items in
+  let item =
+    if Queue.is_empty q.items then None else Some (Queue.take q.items)
+  in
   Condition.broadcast q.q_cond;
   Mutex.unlock q.q_mutex;
   item
+
+let queue_wake q =
+  Mutex.lock q.q_mutex;
+  Condition.broadcast q.q_cond;
+  Mutex.unlock q.q_mutex
 
 type sink = Array_sink of int array | Queue_sink of chunk_queue
 
@@ -44,39 +60,76 @@ type job = {
   lane_base : int;  (* chunk c draws from Stream_fork lane lane_base + c *)
   next_chunk : int Atomic.t;  (* work cursor *)
   chunks_done : int Atomic.t;
+  aborted : bool Atomic.t;
+  last_progress : int Atomic.t;  (* ns stamp of the latest chunk completion *)
+  orphans : int Queue.t;  (* chunks claimed by crashed workers; t.mutex *)
+  mutable failure : exn option;  (* first permanent error; t.mutex *)
   sink : sink;
 }
 
+(* Degraded pools serve from the constant-time linear-search CDT instead of
+   the compiled bitsliced program — the graceful-degradation path taken
+   when the sampler fails its load-time KAT. *)
+type mode = Bitsliced | Degraded of Ctg_samplers.Sampler_sig.instance
+
+type fault_hook = chunk:int -> lane:int -> attempt:int -> unit
+
 type t = {
   sampler : Ctgauss.Sampler.t;  (* master; workers use private clones *)
+  mode : mode;
   gate_count : int;
-  seed : string;
-  backend : Stream_fork.backend;
+  rng_of_lane : int -> Bs.t;
   chunk_samples : int;
   queue_capacity : int;
   ndomains : int;
+  max_chunk_retries : int;
+  max_respawns : int;
+  stall_timeout_ns : int option;
   metrics : Metrics.t;
   ctmon : Ctmon.t;
   mutex : Mutex.t;
   cond : Condition.t;  (* workers wait for jobs; callers wait for done *)
+  mutable fault_hook : fault_hook option;
   mutable job : job option;
   mutable epoch : int;
   mutable next_lane : int;
+  mutable respawns : int;
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
+  mutable watchdog : unit Domain.t option;
 }
 
 let domains t = t.ndomains
 let metrics t = t.metrics
 let ctmon t = t.ctmon
 let chunk_samples t = t.chunk_samples
+let degraded t = match t.mode with Degraded _ -> true | Bitsliced -> false
+let set_fault_hook t hook = t.fault_hook <- hook
+
+let stalled t (j : job) =
+  match t.stall_timeout_ns with
+  | None -> false
+  | Some limit -> Clock.now_ns () - Atomic.get j.last_progress > limit
+
+(* Record the first permanent error and wake everyone: the caller (waiting
+   on t.cond), workers parked between jobs, and any producer/consumer
+   blocked on the chunk queue. *)
+let abort_job t (j : job) err =
+  Mutex.lock t.mutex;
+  if j.failure = None then j.failure <- Some err;
+  Atomic.set j.aborted true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  match j.sink with Queue_sink q -> queue_wake q | Array_sink _ -> ()
 
 (* Fill [count] samples of chunk [c] from the chunk's own forked lane.
    Everything here depends only on (seed, lane, sampler program, count):
-   no worker or domain-count input, which is the determinism guarantee. *)
-let run_chunk t clone ~worker (j : job) c =
+   no worker or domain-count input, which is the determinism guarantee —
+   and which is also why a retried or reassigned chunk reproduces its
+   output exactly. *)
+let run_chunk t ~worker ~clone (j : job) c =
   let lane = j.lane_base + c in
-  let rng = Stream_fork.bitstream ~backend:t.backend ~seed:t.seed ~lane () in
+  let rng = t.rng_of_lane lane in
   let offset = c * t.chunk_samples in
   let count = min t.chunk_samples (j.n - offset) in
   let out, out_pos =
@@ -84,61 +137,134 @@ let run_chunk t clone ~worker (j : job) c =
     | Array_sink a -> (a, offset)
     | Queue_sink _ -> (Array.make count 0, 0)
   in
-  let filled = ref 0 in
-  let batches = ref 0 in
-  (* CT check: every batch of a constant-time program draws the same
-     number of bits.  Deviations are classified per batch (fallback lanes
-     are the declared escape) with plain field reads; the registry is
-     touched once per chunk, not per batch. *)
-  let deviations = ref 0 and fallbacks = ref 0 in
-  let resamples0 = Ctgauss.Sampler.resamples clone in
   let t_fill = Clock.now_ns () in
-  Trace.with_span "chunk" ~cat:"engine"
-    ~args:(fun () ->
-      [
-        ("chunk", string_of_int c);
-        ("lane", string_of_int lane);
-        ("samples", string_of_int count);
-        ("batches", string_of_int !batches);
-      ])
-    (fun () ->
-      while !filled < count do
-        let bits0 = Bs.bits_consumed rng in
-        let res0 = Ctgauss.Sampler.resamples clone in
-        let batch = Ctgauss.Sampler.batch_signed clone rng in
-        let dbits = Bs.bits_consumed rng - bits0 in
-        (* Fallback batches never teach the monitor: at low precision the
-           first batch can take the fallback path, and learning its
-           data-dependent bit count would flag every normal batch. *)
-        if Ctgauss.Sampler.resamples clone > res0 then incr fallbacks
-        else if dbits <> Ctmon.learn t.ctmon dbits then incr deviations;
-        incr batches;
-        let take = min (Array.length batch) (count - !filled) in
-        Array.blit batch 0 out (out_pos + !filled) take;
-        filled := !filled + take
-      done);
-  Metrics.observe_chunk_service t.metrics (Clock.now_ns () - t_fill);
-  Metrics.record t.metrics ~domain:worker ~samples:count ~batches:!batches
-    ~bits:(Bs.bits_consumed rng) ~work:(Bs.prng_work rng)
-    ~gates:(!batches * t.gate_count);
-  Metrics.add_fallback t.metrics (Ctgauss.Sampler.resamples clone - resamples0);
-  Ctmon.record_chunk t.ctmon ~batches:!batches ~bits:(Bs.bits_consumed rng)
-    ~samples:count ~deviations:!deviations ~fallbacks:!fallbacks;
-  (match j.sink with
+  (match t.mode with
+  | Degraded inst ->
+    (* One scalar CT-CDT draw per sample.  Every "batch" is one declared
+       fallback, so the monitor accounts the whole chunk on the fallback
+       side and its learned bitsliced expectation is never consulted or
+       taught. *)
+    Trace.with_span "chunk" ~cat:"engine"
+      ~args:(fun () ->
+        [
+          ("chunk", string_of_int c);
+          ("lane", string_of_int lane);
+          ("samples", string_of_int count);
+          ("mode", "degraded-cdt");
+        ])
+      (fun () ->
+        for i = 0 to count - 1 do
+          out.(out_pos + i) <- Ctg_samplers.Sampler_sig.sample_signed inst rng
+        done);
+    Metrics.observe_chunk_service t.metrics (Clock.now_ns () - t_fill);
+    Metrics.record t.metrics ~domain:worker ~samples:count ~batches:count
+      ~bits:(Bs.bits_consumed rng) ~work:(Bs.prng_work rng) ~gates:0;
+    Ctmon.record_chunk t.ctmon ~batches:count ~bits:(Bs.bits_consumed rng)
+      ~samples:count ~deviations:0 ~fallbacks:count
+  | Bitsliced ->
+    let clone = Lazy.force clone in
+    let filled = ref 0 in
+    let batches = ref 0 in
+    (* CT check: every batch of a constant-time program draws the same
+       number of bits.  Deviations are classified per batch (fallback lanes
+       are the declared escape) with plain field reads; the registry is
+       touched once per chunk, not per batch. *)
+    let deviations = ref 0 and fallbacks = ref 0 in
+    let resamples0 = Ctgauss.Sampler.resamples clone in
+    Trace.with_span "chunk" ~cat:"engine"
+      ~args:(fun () ->
+        [
+          ("chunk", string_of_int c);
+          ("lane", string_of_int lane);
+          ("samples", string_of_int count);
+          ("batches", string_of_int !batches);
+        ])
+      (fun () ->
+        while !filled < count do
+          let bits0 = Bs.bits_consumed rng in
+          let res0 = Ctgauss.Sampler.resamples clone in
+          let batch = Ctgauss.Sampler.batch_signed clone rng in
+          let dbits = Bs.bits_consumed rng - bits0 in
+          (* Fallback batches never teach the monitor: at low precision the
+             first batch can take the fallback path, and learning its
+             data-dependent bit count would flag every normal batch. *)
+          if Ctgauss.Sampler.resamples clone > res0 then incr fallbacks
+          else if dbits <> Ctmon.learn t.ctmon dbits then incr deviations;
+          incr batches;
+          let take = min (Array.length batch) (count - !filled) in
+          Array.blit batch 0 out (out_pos + !filled) take;
+          filled := !filled + take
+        done);
+    Metrics.observe_chunk_service t.metrics (Clock.now_ns () - t_fill);
+    Metrics.record t.metrics ~domain:worker ~samples:count ~batches:!batches
+      ~bits:(Bs.bits_consumed rng) ~work:(Bs.prng_work rng)
+      ~gates:(!batches * t.gate_count);
+    Metrics.add_fallback t.metrics
+      (Ctgauss.Sampler.resamples clone - resamples0);
+    Ctmon.record_chunk t.ctmon ~batches:!batches ~bits:(Bs.bits_consumed rng)
+      ~samples:count ~deviations:!deviations ~fallbacks:!fallbacks);
+  match j.sink with
   | Array_sink _ -> ()
   | Queue_sink q ->
     let t_q = Clock.now_ns () in
-    queue_push q (c, out);
-    Metrics.observe_queue_wait t.metrics (Clock.now_ns () - t_q));
-  (* The finisher of the last chunk wakes the submitting caller. *)
+    queue_push q ~should_abort:(fun () -> Atomic.get j.aborted) (c, out);
+    Metrics.observe_queue_wait t.metrics (Clock.now_ns () - t_q)
+
+(* The finisher of the last chunk wakes the submitting caller. *)
+let complete_chunk t (j : job) =
+  Atomic.set j.last_progress (Clock.now_ns ());
   if Atomic.fetch_and_add j.chunks_done 1 + 1 = j.total_chunks then begin
     Mutex.lock t.mutex;
     Condition.broadcast t.cond;
     Mutex.unlock t.mutex
   end
 
-let worker_loop t worker =
-  let clone = Ctgauss.Sampler.clone t.sampler in
+(* Bounded in-place retry with exponential backoff.  A transient chunk
+   failure (entropy health trip, injected fault) is retried on the same
+   worker — the chunk's lane and offset are functions of its index, so the
+   retry recomputes the identical output.  [Kill_worker] is not a chunk
+   error: it escapes to the worker loop, which orphans the chunk for
+   another domain.  Exhausted retries abort the whole job so the error
+   surfaces on the caller instead of hanging it. *)
+let rec attempt_chunk t ~worker ~clone (j : job) c attempt =
+  match
+    (match t.fault_hook with
+    | Some hook -> hook ~chunk:c ~lane:(j.lane_base + c) ~attempt
+    | None -> ());
+    run_chunk t ~worker ~clone j c
+  with
+  | () -> complete_chunk t j
+  | exception Kill_worker -> raise Kill_worker
+  | exception e ->
+    (match e with
+    | Ctg_prng.Health.Entropy_failure _ -> Metrics.add_health_failure t.metrics
+    | _ -> ());
+    if attempt < t.max_chunk_retries && not (Atomic.get j.aborted) then begin
+      Metrics.add_chunk_retry t.metrics;
+      Unix.sleepf (0.001 *. float_of_int (1 lsl attempt));
+      attempt_chunk t ~worker ~clone j c (attempt + 1)
+    end
+    else
+      abort_job t j (Chunk_failed { chunk = c; attempts = attempt + 1; error = e })
+
+let claim_chunk t (j : job) =
+  Mutex.lock t.mutex;
+  let orphan =
+    if Queue.is_empty j.orphans then None else Some (Queue.take j.orphans)
+  in
+  Mutex.unlock t.mutex;
+  match orphan with
+  | Some _ as c -> c
+  | None ->
+    if Atomic.get j.aborted then None
+    else
+      let c = Atomic.fetch_and_add j.next_chunk 1 in
+      if c >= j.total_chunks then None else Some c
+
+let rec worker_loop t worker =
+  (* Clones are only needed by the bitsliced path; a degraded pool never
+     touches the (failed) compiled program again. *)
+  let clone = lazy (Ctgauss.Sampler.clone t.sampler) in
   let last_epoch = ref 0 in
   let running = ref true in
   while !running do
@@ -159,15 +285,60 @@ let worker_loop t worker =
       Mutex.unlock t.mutex;
       let continue = ref true in
       while !continue do
-        let c = Atomic.fetch_and_add j.next_chunk 1 in
-        if c >= j.total_chunks then continue := false
-        else run_chunk t clone ~worker j c
+        match claim_chunk t j with
+        | None -> continue := false
+        | Some c -> (
+          try attempt_chunk t ~worker ~clone j c 0
+          with Kill_worker ->
+            handle_kill t ~worker j c;
+            continue := false;
+            running := false)
       done
     end
   done
 
+(* A worker domain died mid-chunk.  Its claimed chunk goes on the orphan
+   queue (served before the cursor, so it is re-run — by the replacement
+   or any other domain — with identical output), and a replacement domain
+   is spawned under the same worker index while the respawn budget lasts.
+   Past the budget the job is failed rather than silently under-manned. *)
+and handle_kill t ~worker (j : job) c =
+  Mutex.lock t.mutex;
+  Queue.add c j.orphans;
+  let respawn = (not t.stopped) && t.respawns < t.max_respawns in
+  if respawn then begin
+    t.respawns <- t.respawns + 1;
+    t.workers <- Domain.spawn (fun () -> worker_loop t worker) :: t.workers
+  end;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  if respawn then Metrics.add_worker_respawn t.metrics
+  else
+    abort_job t j
+      (Chunk_failed { chunk = c; attempts = 0; error = Kill_worker })
+
+(* The watchdog exists because OCaml's [Condition] has no timed wait: it
+   periodically wakes anyone sleeping on the pool or queue conditions so
+   their predicates can notice a stall deadline.  Spawned only when
+   [stall_timeout] is set — an un-timed pool pays nothing. *)
+let watchdog_loop t interval =
+  let continue = ref true in
+  while !continue do
+    Unix.sleepf interval;
+    Mutex.lock t.mutex;
+    if t.stopped then continue := false
+    else begin
+      Condition.broadcast t.cond;
+      match t.job with
+      | Some { sink = Queue_sink q; _ } -> queue_wake q
+      | _ -> ()
+    end;
+    Mutex.unlock t.mutex
+  done
+
 let create ?domains ?(backend = Stream_fork.Chacha) ?(chunk_batches = 16)
-    ?queue_capacity ~seed sampler =
+    ?queue_capacity ?rng_of_lane ?(self_test = true) ?stall_timeout
+    ?(max_chunk_retries = 2) ?max_respawns ~seed sampler =
   let ndomains =
     match domains with
     | Some d ->
@@ -177,6 +348,22 @@ let create ?domains ?(backend = Stream_fork.Chacha) ?(chunk_batches = 16)
   in
   if chunk_batches < 1 then
     invalid_arg "Pool.create: chunk_batches must be >= 1";
+  if max_chunk_retries < 0 then
+    invalid_arg "Pool.create: max_chunk_retries must be >= 0";
+  let max_respawns =
+    match max_respawns with
+    | Some r ->
+      if r < 0 then invalid_arg "Pool.create: max_respawns must be >= 0";
+      r
+    | None -> max 4 ndomains
+  in
+  let stall_timeout_ns =
+    match stall_timeout with
+    | None -> None
+    | Some s ->
+      if s <= 0. then invalid_arg "Pool.create: stall_timeout must be > 0";
+      Some (int_of_float (s *. 1e9))
+  in
   let queue_capacity =
     match queue_capacity with
     | Some c ->
@@ -184,32 +371,71 @@ let create ?domains ?(backend = Stream_fork.Chacha) ?(chunk_batches = 16)
       c
     | None -> 2 * ndomains
   in
+  let mode =
+    if not self_test then Bitsliced
+    else
+      match Selftest.run sampler with
+      | Ok () -> Bitsliced
+      | Error _ ->
+        (* The compiled program disagrees with the reference walk — a
+           corrupted gate table.  Keep serving, but from the CT
+           linear-search CDT built from the (still trusted) probability
+           matrix.  Slower, still constant-time, still correct. *)
+        Degraded
+          (Ctg_samplers.Cdt_samplers.linear_ct
+             (Ctg_samplers.Cdt_table.of_matrix (Ctgauss.Sampler.matrix sampler)))
+  in
   let labels =
-    [ ("sigma", Ctgauss.Sampler.sigma sampler); ("sampler", "bitsliced") ]
+    [
+      ("sigma", Ctgauss.Sampler.sigma sampler);
+      ( "sampler",
+        match mode with
+        | Bitsliced -> "bitsliced"
+        | Degraded _ -> "cdt-linear-ct-degraded" );
+    ]
   in
   let metrics = Metrics.create ~domains:ndomains ~labels () in
+  (match mode with
+  | Degraded _ -> Metrics.set_degraded metrics true
+  | Bitsliced -> ());
+  let rng_of_lane =
+    match rng_of_lane with
+    | Some f -> f
+    | None -> fun lane -> Stream_fork.bitstream ~backend ~seed ~lane ()
+  in
   let t =
     {
       sampler;
+      mode;
       gate_count = Ctgauss.Sampler.gate_count sampler;
-      seed;
-      backend;
+      rng_of_lane;
       chunk_samples = chunk_batches * Ctgauss.Bitslice.lanes;
       queue_capacity;
       ndomains;
+      max_chunk_retries;
+      max_respawns;
+      stall_timeout_ns;
       metrics;
       ctmon = Ctmon.create ~registry:(Metrics.registry metrics) ~labels ();
       mutex = Mutex.create ();
       cond = Condition.create ();
+      fault_hook = None;
       job = None;
       epoch = 0;
       next_lane = 0;
+      respawns = 0;
       stopped = false;
       workers = [];
+      watchdog = None;
     }
   in
   t.workers <-
     List.init ndomains (fun w -> Domain.spawn (fun () -> worker_loop t w));
+  (match stall_timeout_ns with
+  | Some ns ->
+    let interval = Float.min 0.05 (float_of_int ns /. 4e9) in
+    t.watchdog <- Some (Domain.spawn (fun () -> watchdog_loop t interval))
+  | None -> ());
   t
 
 (* Publish a job to the workers; returns it with the lane range claimed. *)
@@ -234,6 +460,10 @@ let submit t ~n ~make_sink =
       lane_base = t.next_lane;
       next_chunk = Atomic.make 0;
       chunks_done = Atomic.make 0;
+      aborted = Atomic.make false;
+      last_progress = Atomic.make (Clock.now_ns ());
+      orphans = Queue.create ();
+      failure = None;
       sink = make_sink ~total_chunks;
     }
   in
@@ -247,11 +477,29 @@ let submit t ~n ~make_sink =
 
 let finish_job t (j : job) =
   Mutex.lock t.mutex;
-  while Atomic.get j.chunks_done < j.total_chunks do
-    Condition.wait t.cond t.mutex
-  done;
+  let rec wait () =
+    if j.failure <> None then ()
+    else if Atomic.get j.chunks_done >= j.total_chunks then ()
+    else if stalled t j then begin
+      j.failure <-
+        Some
+          (Stalled
+             { waited_ns = Clock.now_ns () - Atomic.get j.last_progress });
+      Atomic.set j.aborted true
+    end
+    else begin
+      Condition.wait t.cond t.mutex;
+      wait ()
+    end
+  in
+  wait ();
+  let failure = j.failure in
   t.job <- None;
-  Mutex.unlock t.mutex
+  Mutex.unlock t.mutex;
+  (match (j.sink, failure) with
+  | Queue_sink q, Some _ -> queue_wake q
+  | _ -> ());
+  match failure with Some e -> raise e | None -> ()
 
 let batch_parallel t ~n =
   let out = ref [||] in
@@ -279,27 +527,47 @@ let iter_batches t ~n f =
         queue := Some q;
         Queue_sink q)
   in
-  (match !queue with
-  | None -> assert false
-  | Some q ->
-    (* Deliver in chunk order so the consumed stream equals the
-       batch_parallel array; the pending table holds early finishers. *)
-    let pending = Hashtbl.create 16 in
-    let next = ref 0 in
-    while !next < j.total_chunks do
-      (match Hashtbl.find_opt pending !next with
-      | Some chunk ->
-        Hashtbl.remove pending !next;
-        incr next;
-        f chunk
-      | None ->
-        let c, chunk = queue_pop q in
-        if c = !next then begin
-          incr next;
-          f chunk
-        end
-        else Hashtbl.replace pending c chunk)
-    done);
+  (try
+     match !queue with
+     | None -> assert false
+     | Some q ->
+       (* Deliver in chunk order so the consumed stream equals the
+          batch_parallel array; the pending table holds early finishers.
+          The pop is abortable: a failed or stalled job unblocks the
+          consumer here, and [finish_job] below re-raises its error. *)
+       let should_abort () = Atomic.get j.aborted || stalled t j in
+       let pending = Hashtbl.create 16 in
+       let next = ref 0 in
+       (try
+          while !next < j.total_chunks do
+            match Hashtbl.find_opt pending !next with
+            | Some chunk ->
+              Hashtbl.remove pending !next;
+              incr next;
+              f chunk
+            | None -> (
+              match queue_pop q ~should_abort with
+              | None ->
+                if (not (Atomic.get j.aborted)) && stalled t j then
+                  abort_job t j
+                    (Stalled
+                       {
+                         waited_ns =
+                           Clock.now_ns () - Atomic.get j.last_progress;
+                       });
+                raise Exit
+              | Some (c, chunk) ->
+                if c = !next then begin
+                  incr next;
+                  f chunk
+                end
+                else Hashtbl.replace pending c chunk)
+          done
+        with Exit -> ())
+   with e ->
+     (* The consumer callback itself raised: fail the job so workers
+        unblock, then fall through to finish_job, which re-raises. *)
+     abort_job t j e);
   finish_job t j
 
 let shutdown t =
@@ -309,7 +577,9 @@ let shutdown t =
     Condition.broadcast t.cond;
     Mutex.unlock t.mutex;
     List.iter Domain.join t.workers;
-    t.workers <- []
+    t.workers <- [];
+    Option.iter Domain.join t.watchdog;
+    t.watchdog <- None
   end
   else Mutex.unlock t.mutex
 
@@ -323,13 +593,26 @@ let parallel_for ?domains ~n f =
   in
   if n < 0 then invalid_arg "Pool.parallel_for: n must be >= 0";
   let cursor = Atomic.make 0 in
+  (* First error wins; every domain stops claiming once one is recorded,
+     and the caller re-raises only after joining the helpers — no leaked
+     domains, no lost exception. *)
+  let error = Atomic.make None in
   let run () =
     let continue = ref true in
     while !continue do
-      let i = Atomic.fetch_and_add cursor 1 in
-      if i >= n then continue := false else f i
+      if Atomic.get error <> None then continue := false
+      else begin
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i >= n then continue := false
+        else
+          try f i
+          with e ->
+            ignore (Atomic.compare_and_set error None (Some e));
+            continue := false
+      end
     done
   in
   let helpers = List.init (min d n - 1 |> max 0) (fun _ -> Domain.spawn run) in
   run ();
-  List.iter Domain.join helpers
+  List.iter Domain.join helpers;
+  match Atomic.get error with Some e -> raise e | None -> ()

@@ -10,21 +10,68 @@
     offset [c × chunk size] of the output, so the result is a pure function
     of [(seed, sampler, call sequence)] — the same [int array] for 1, 2 or
     8 domains.  Scheduling decides only {e who} computes a chunk, never
-    {e what} it contains.
+    {e what} it contains.  Supervision leans on the same property: a chunk
+    retried after a transient fault, or re-run by another domain after a
+    worker crash, reproduces its output bit for bit.
 
     {b Backpressure.}  {!iter_batches} streams chunks through a bounded
     queue: workers block once [queue_capacity] chunks are finished but not
     yet consumed, so a slow consumer caps the engine's memory at
     [(capacity + domains) × chunk] samples instead of buffering the whole
-    job. *)
+    job.
+
+    {b Supervision.}  A worker exception while filling a chunk is retried
+    in place with exponential backoff up to [max_chunk_retries] times;
+    past that the {e job} fails and {!Chunk_failed} is raised on the
+    caller — a failed chunk can never leave {!batch_parallel} or
+    {!iter_batches} blocked.  A worker killed at a chunk boundary
+    ({!Kill_worker}, the crash model) orphans its chunk for another domain
+    and is replaced while the [max_respawns] budget lasts.  With
+    [stall_timeout] set, a watchdog bounds how long the caller can wait
+    without progress before {!Stalled} is raised.  Counters for all of
+    this live in {!Metrics}.
+
+    {b Degradation.}  [create ~self_test:true] (the default) runs the
+    {!Selftest} KAT on the compiled program; on failure the pool enters
+    degraded mode and serves every request from the constant-time
+    linear-search CDT ({!Ctg_samplers.Cdt_samplers.linear_ct}) built from
+    the sampler's probability matrix — slower, still constant-time, still
+    the right distribution.  Degraded chunks are recorded as declared
+    fallbacks by the {!Ctg_obs.Ctmon} monitor (never teaching it a batch
+    expectation) and flagged on the [engine_degraded] gauge. *)
 
 type t
+
+exception Kill_worker
+(** Raise from a fault hook to simulate a worker-domain crash at a chunk
+    boundary: the chunk is orphaned and re-run elsewhere, the domain exits
+    and is respawned (budget permitting).  Never retried in place. *)
+
+exception Chunk_failed of { chunk : int; attempts : int; error : exn }
+(** A chunk exhausted its retries (or the respawn budget ran out); [error]
+    is the last underlying exception, e.g.
+    {!Ctg_prng.Health.Entropy_failure}.  Raised by {!batch_parallel} /
+    {!iter_batches} on the calling domain. *)
+
+exception Stalled of { waited_ns : int }
+(** No chunk completed within [stall_timeout] while the job was
+    unfinished — the hung-worker containment signal. *)
+
+type fault_hook = chunk:int -> lane:int -> attempt:int -> unit
+(** Called at the start of every chunk attempt (before any randomness is
+    drawn).  The injection seam for the chaos harness: raise to fail the
+    attempt, raise {!Kill_worker} to crash the worker, sleep to hang it. *)
 
 val create :
   ?domains:int ->
   ?backend:Stream_fork.backend ->
   ?chunk_batches:int ->
   ?queue_capacity:int ->
+  ?rng_of_lane:(int -> Ctg_prng.Bitstream.t) ->
+  ?self_test:bool ->
+  ?stall_timeout:float ->
+  ?max_chunk_retries:int ->
+  ?max_respawns:int ->
   seed:string ->
   Ctgauss.Sampler.t ->
   t
@@ -34,7 +81,16 @@ val create :
     enough to amortize queue traffic, small enough to balance load);
     [queue_capacity] bounds the {!iter_batches} in-flight chunks (default
     [2 × domains]).  The caller keeps ownership of the sampler; workers
-    only ever touch private clones. *)
+    only ever touch private clones.
+
+    [rng_of_lane] replaces the default {!Stream_fork.bitstream} lane
+    factory — the chaos harness wraps the genuine lane stream in a fault
+    model here; determinism still holds per lane index.  [self_test]
+    (default [true]) KATs the sampler and degrades to the CT CDT on
+    failure.  [stall_timeout] (seconds) arms the watchdog; unset means
+    callers wait indefinitely, as before.  [max_chunk_retries] (default 2)
+    bounds in-place retries per chunk; [max_respawns] (default
+    [max 4 domains]) bounds replacement domains over the pool's life. *)
 
 val domains : t -> int
 val metrics : t -> Metrics.t
@@ -48,22 +104,37 @@ val ctmon : t -> Ctg_obs.Ctmon.t
 val chunk_samples : t -> int
 (** Samples per full chunk ([chunk_batches × 63]). *)
 
+val degraded : t -> bool
+(** [true] when the load-time self-test failed and the pool serves from
+    the constant-time CDT fallback. *)
+
+val set_fault_hook : t -> fault_hook option -> unit
+(** Install/remove the per-chunk-attempt hook.  Not synchronized with
+    running jobs: set it while the pool is idle. *)
+
 val batch_parallel : t -> n:int -> int array
 (** [n] signed samples, produced in parallel, deterministic in the master
     seed and the sequence of calls (each call consumes fresh lanes).
-    @raise Invalid_argument when [n < 0] or the pool is shut down. *)
+    @raise Invalid_argument when [n < 0] or the pool is shut down.
+    @raise Chunk_failed when a chunk fails permanently.
+    @raise Stalled when [stall_timeout] elapses without progress. *)
 
 val iter_batches : t -> n:int -> (int array -> unit) -> unit
 (** Stream the same deterministic output as {!batch_parallel} to [f] chunk
     by chunk, in order, while workers keep producing ahead under the
-    bounded-queue backpressure.  [f] runs in the calling domain. *)
+    bounded-queue backpressure.  [f] runs in the calling domain.  Raises
+    like {!batch_parallel}; an exception from [f] itself also fails the
+    job (workers unblock) and is re-raised here. *)
 
 val shutdown : t -> unit
-(** Join the workers.  Idempotent; subsequent jobs raise. *)
+(** Join the workers (and watchdog).  Idempotent; subsequent jobs raise. *)
 
 val parallel_for : ?domains:int -> n:int -> (int -> unit) -> unit
 (** Standalone work-stealing fan-out (an atomic cursor over [0..n-1]): run
     [f i] for every [i < n] across [domains] domains, caller participating;
     [domains = 1] is purely sequential.  [f] must be safe to run
     concurrently for distinct [i].  Used by [Ctg_falcon.Sign.sign_many] to
-    spread independent signatures over cores. *)
+    spread independent signatures over cores.  If some [f i] raises, the
+    remaining iterations are cancelled (those already started complete),
+    every helper domain is joined, and the first error is re-raised — the
+    caller never leaks domains or loses the exception. *)

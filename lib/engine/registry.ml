@@ -16,6 +16,16 @@ let hits_counter = lazy (Obs.Registry.counter Obs.Registry.default "registry_cac
 let misses_counter =
   lazy (Obs.Registry.counter Obs.Registry.default "registry_cache_misses_total")
 
+let evictions_counter =
+  lazy
+    (Obs.Registry.counter Obs.Registry.default
+       "registry_selftest_evictions_total")
+
+let selftest_failures_counter =
+  lazy
+    (Obs.Registry.counter Obs.Registry.default
+       "registry_selftest_failures_total")
+
 let compile_histo sigma =
   Obs.Registry.histo Obs.Registry.default
     ~labels:[ ("sigma", sigma) ]
@@ -42,8 +52,8 @@ let create () =
 
 let global = create ()
 
-let lookup t ?(method_ = Ctgauss.Sampler.Split_minimized) ~sigma ~precision
-    ~tail_cut () =
+let lookup t ?(method_ = Ctgauss.Sampler.Split_minimized) ?(self_test = true)
+    ~sigma ~precision ~tail_cut () =
   let key = { sigma; precision; tail_cut; method_ } in
   Mutex.lock t.mutex;
   let rec claim () =
@@ -72,14 +82,26 @@ let lookup t ?(method_ = Ctgauss.Sampler.Split_minimized) ~sigma ~precision
         ~args:(fun () -> [ ("sigma", sigma); ("precision", string_of_int precision) ])
         (fun () -> Ctgauss.Sampler.create ~method_ ~sigma ~precision ~tail_cut ())
     with
-    | s ->
+    | s -> (
       Obs.Registry.observe (compile_histo sigma) (Obs.Clock.now_ns () - t_compile);
-      Mutex.lock t.mutex;
-      t.compiles <- t.compiles + 1;
-      Hashtbl.replace t.table key (Ready s);
-      Condition.broadcast t.cond;
-      Mutex.unlock t.mutex;
-      s
+      (* Gate the cache on the KAT: a sampler that disagrees with the
+         reference walk must never become the shared master.  Run outside
+         the lock (it costs ~a compile's epsilon but is not free). *)
+      match if self_test then Selftest.check s with
+      | () ->
+        Mutex.lock t.mutex;
+        t.compiles <- t.compiles + 1;
+        Hashtbl.replace t.table key (Ready s);
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex;
+        s
+      | exception e ->
+        Obs.Registry.incr (Lazy.force selftest_failures_counter);
+        Mutex.lock t.mutex;
+        Hashtbl.remove t.table key;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.mutex;
+        raise e)
     | exception e ->
       (* Release the claim so a later lookup can retry. *)
       Mutex.lock t.mutex;
@@ -87,6 +109,49 @@ let lookup t ?(method_ = Ctgauss.Sampler.Split_minimized) ~sigma ~precision
       Condition.broadcast t.cond;
       Mutex.unlock t.mutex;
       raise e)
+
+let revalidate ?strings t =
+  (* Snapshot the Ready entries under the lock, KAT them outside it (the
+     walk over 512 vectors is too slow to hold every lookup for), then
+     evict failures under the lock.  The eviction re-checks physical
+     equality so a concurrent recompile that already replaced the entry is
+     left alone, and it reuses the single-flight protocol: after removal
+     the next lookup claims [Building], so however many callers race the
+     eviction, exactly one recompile runs. *)
+  Mutex.lock t.mutex;
+  let ready =
+    Hashtbl.fold
+      (fun key entry acc ->
+        match entry with Ready s -> (key, s) :: acc | Building -> acc)
+      t.table []
+  in
+  Mutex.unlock t.mutex;
+  let failed =
+    List.filter_map
+      (fun (key, s) ->
+        match Selftest.run ?strings s with
+        | Ok () -> None
+        | Error f -> Some (key, s, f))
+      ready
+  in
+  List.filter_map
+    (fun (key, s, f) ->
+      Mutex.lock t.mutex;
+      let evicted =
+        match Hashtbl.find_opt t.table key with
+        | Some (Ready s') when s' == s ->
+          Hashtbl.remove t.table key;
+          Condition.broadcast t.cond;
+          true
+        | _ -> false
+      in
+      Mutex.unlock t.mutex;
+      if evicted then begin
+        Obs.Registry.incr (Lazy.force evictions_counter);
+        Some (key, f)
+      end
+      else None)
+    failed
 
 let size t =
   Mutex.lock t.mutex;

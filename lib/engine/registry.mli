@@ -27,6 +27,7 @@ val global : t
 val lookup :
   t ->
   ?method_:Ctgauss.Sampler.method_ ->
+  ?self_test:bool ->
   sigma:string ->
   precision:int ->
   tail_cut:int ->
@@ -34,7 +35,23 @@ val lookup :
   Ctgauss.Sampler.t
 (** The cached sampler for the key, compiling it on first use (default
     method [Split_minimized], the paper's).  Repeated lookups return the
-    physically equal master instance. *)
+    physically equal master instance.
+
+    [self_test] (default [true]) runs the {!Selftest} KAT on every fresh
+    compile before it is published to the cache; a failing sampler is never
+    cached and the claim is released, so a later lookup retries.
+    @raise Selftest.Failed when the freshly compiled sampler disagrees
+    with the reference Knuth–Yao walk. *)
+
+val revalidate : ?strings:int -> t -> (key * Selftest.failure) list
+(** Re-run the {!Selftest} KAT over every cached [Ready] sampler — the
+    periodic integrity sweep against in-memory gate-table corruption.
+    Failing entries are evicted under the single-flight lock: concurrent
+    [lookup]s of an evicted key race for one [Building] claim and
+    recompile {e exactly once}.  Entries mid-compile are skipped (they
+    will be self-tested by their own [lookup]).  Returns the evicted
+    keys with their first failing vector; each eviction increments
+    [registry_selftest_evictions_total] in {!Ctg_obs.Registry.default}. *)
 
 val size : t -> int
 (** Distinct parameter sets currently cached. *)

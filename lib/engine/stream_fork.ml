@@ -23,13 +23,19 @@ let shake_input seed lane =
   done;
   buf
 
-let bitstream ?(backend = Chacha) ~seed ~lane () =
+let bitstream ?(backend = Chacha) ?(health = true) ~seed ~lane () =
   if lane < 0 then invalid_arg "Stream_fork.bitstream: lane must be >= 0";
-  match backend with
-  | Chacha ->
-    let key = Ctg_prng.Chacha20.key_of_seed seed in
-    Ctg_prng.Bitstream.of_chacha
-      (Ctg_prng.Chacha20.create ~key ~nonce:(lane_nonce lane))
-  | Shake ->
-    Ctg_prng.Bitstream.of_shake
-      (Ctg_prng.Keccak.shake256 (shake_input seed lane))
+  let bs =
+    match backend with
+    | Chacha ->
+      let key = Ctg_prng.Chacha20.key_of_seed seed in
+      Ctg_prng.Bitstream.of_chacha
+        (Ctg_prng.Chacha20.create ~key ~nonce:(lane_nonce lane))
+    | Shake ->
+      Ctg_prng.Bitstream.of_shake
+        (Ctg_prng.Keccak.shake256 (shake_input seed lane))
+  in
+  if health then
+    Ctg_prng.Bitstream.attach_health bs
+      (Ctg_prng.Health.create ~label:(Printf.sprintf "lane %d" lane) ());
+  bs

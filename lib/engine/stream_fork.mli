@@ -15,8 +15,15 @@
 
 type backend = Chacha | Shake
 
-val bitstream : ?backend:backend -> seed:string -> lane:int -> unit -> Ctg_prng.Bitstream.t
+val bitstream :
+  ?backend:backend -> ?health:bool -> seed:string -> lane:int -> unit ->
+  Ctg_prng.Bitstream.t
 (** Lane [lane] of the family keyed by [seed].  Default backend [Chacha].
+    [health] (default [true]) attaches the SP 800-90B-style online entropy
+    tests ({!Ctg_prng.Health}) to the lane, so a biased/stuck/repeating
+    byte flow raises {!Ctg_prng.Health.Entropy_failure} before any sample
+    computed from it is delivered; the tests never alter the stream, so
+    determinism guarantees are unchanged.
     @raise Invalid_argument when [lane < 0]. *)
 
 val lane_nonce : int -> bytes

@@ -5,15 +5,30 @@
 type plan
 
 val plan : int -> plan
-(** Precomputed twiddles for degree [n]. *)
+(** Precomputed twiddles for degree [n].  Plans are immutable and cached
+    per degree, so repeated calls (e.g. one verification per signature)
+    return the same shared tables at negligible cost. *)
 
 val negacyclic_mul : plan -> int array -> int array -> int array
 (** Product in Z_q[x]/(x^n+1); inputs are coefficient vectors in [[0,q)]. *)
 
 val forward : plan -> int array -> int array
-(** Evaluations at the odd powers of the 2n-th root (twisted NTT). *)
+(** Evaluations at the odd powers of the 2n-th root, in an internal
+    (bit-reversed) order — only meaningful as input to {!pointwise} and
+    {!inverse}, or for all-coordinate predicates like {!invertible}. *)
 
 val inverse : plan -> int array -> int array
+
+val pointwise : plan -> int array -> int array -> int array
+(** Coefficient-wise product of two forward transforms.  Lets a caller
+    that multiplies many polynomials by one fixed operand (e.g. the
+    public key in verify-after-sign) transform the fixed side once. *)
+
+val mul_with_forward : plan -> int array -> int array -> int array
+(** [mul_with_forward p a fb] is the negacyclic product of coefficient
+    vector [a] with the polynomial whose {!forward} transform is [fb] —
+    the single-allocation fast path for a fixed transformed operand, as
+    used by verify-after-sign on every signature. *)
 
 val invertible : plan -> int array -> bool
 (** True iff no forward evaluation is zero (unit of the ring). *)

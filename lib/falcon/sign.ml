@@ -4,10 +4,31 @@ module Obs = Ctg_obs
 (* Per-stage latency goes to the process registry so the sign pipeline is
    visible in both views: spans (one per stage per attempt) and mergeable
    histograms keyed by stage. *)
+(* Stage names are a handful of static strings and the registry lookup
+   costs ~150ns per call, so handles are memoized behind a CAS list (a
+   losing racer publishes a duplicate entry for the same registry-owned
+   histogram, which is harmless). *)
+let stage_histo_cache = Atomic.make []
+
 let stage_histo stage =
-  Obs.Registry.histo Obs.Registry.default
-    ~labels:[ ("stage", stage) ]
-    "falcon_sign_stage_ns"
+  match List.assoc_opt stage (Atomic.get stage_histo_cache) with
+  | Some h -> h
+  | None ->
+    let h =
+      Obs.Registry.histo Obs.Registry.default
+        ~labels:[ ("stage", stage) ]
+        "falcon_sign_stage_ns"
+    in
+    let rec publish () =
+      let cur = Atomic.get stage_histo_cache in
+      match List.assoc_opt stage cur with
+      | Some h' -> h'
+      | None ->
+        if Atomic.compare_and_set stage_histo_cache cur ((stage, h) :: cur)
+        then h
+        else publish ()
+    in
+    publish ()
 
 let stage name f =
   let h = stage_histo name in
@@ -23,6 +44,15 @@ type signature = {
   norm_sq : float;
   attempts : int;
 }
+
+type fault_hook = attempt:int -> s1:int array -> s2:int array -> int array * int array
+
+(* Signatures rejected by the verify-after-sign countermeasure.  Nonzero
+   means a computation fault was caught before anything left the signer. *)
+let fault_rejects_counter =
+  lazy
+    (Obs.Registry.counter Obs.Registry.default
+       "falcon_sign_fault_rejects_total")
 
 let signature_norm_sq s1 s2 =
   let acc = ref 0.0 in
@@ -46,7 +76,52 @@ let norm_bound_sq (params : Params.t) =
 let round_to_int_array (f : Fftc.t) =
   Array.map (fun x -> Float.to_int (Float.round x)) (Fftc.to_real f)
 
-let sign kp base rng ~msg =
+(* Verify-after-sign, the classic fault countermeasure: before a signature
+   leaves the signer, check it against the *public* key exactly as a
+   verifier would — recover s1 from s2 via h and demand it matches the s1
+   the FFT pipeline produced.  A glitch anywhere in ffSampling, the FFT
+   arithmetic or the rounding makes (s1, s2) inconsistent with the
+   verification equation s1 + s2·h = c and is caught here; only faults
+   that forge a *different valid* signature slip through, and those need
+   the lattice problem solved.  (Inlined rather than calling {!Verify} —
+   that module depends on this one for the norm helper.) *)
+(* The public key is fixed across the signatures of one keypair, so its
+   forward transform is computed once and keyed on physical equality of
+   the [h] array (stable for a keypair's lifetime).  One slot suffices —
+   signing loops hammer a single key — and a race merely recomputes. *)
+let h_fwd_cache : (int array * int array) option Atomic.t = Atomic.make None
+
+let h_forward plan h =
+  match Atomic.get h_fwd_cache with
+  | Some (h', fh) when h' == h -> fh
+  | _ ->
+    let fh = Ntt.forward plan h in
+    Atomic.set h_fwd_cache (Some (h, fh));
+    fh
+
+let consistent_with_public_key ~params ~h ~c ~s1 ~s2 =
+  let n = params.Params.n in
+  let plan = Ntt.plan n in
+  if Array.length s1 <> n || Array.length s2 <> n || Array.length c <> n then
+    false
+  else begin
+    (* s2's small centered coefficients lift inside the transform's copy
+       pass; one allocation for the whole product. *)
+    let s2h = Ntt.mul_with_forward plan s2 (h_forward plan h) in
+    let ok = ref true in
+    let q = Zq.q in
+    for i = 0 to n - 1 do
+      (* c and s2h are both in [0, q): centered difference without the
+         divisions of the generic Zq helpers. *)
+      let d = Array.unsafe_get c i - Array.unsafe_get s2h i in
+      let d = if d < 0 then d + q else d in
+      let d = if d > q / 2 then d - q else d in
+      if d <> Array.unsafe_get s1 i then ok := false
+    done;
+    !ok
+  end
+
+let sign ?fault_hook ?(check = true) kp base rng ~msg =
   let params = kp.Keygen.params in
   let n = params.Params.n in
   let qf = float_of_int params.Params.q in
@@ -70,7 +145,7 @@ let sign kp base rng ~msg =
           Ff_sampling.sample kp.Keygen.tree base rng ~t0 ~t1)
     in
     (* s = (t − z)·B: s1 over the first column (g, G), s2 over (−f, −F). *)
-    let s1, s2, norm_sq =
+    let s1, s2 =
       stage "ntt" (fun () ->
           let d0 = Fftc.sub t0 z0 and d1 = Fftc.sub t1 z1 in
           let s1 =
@@ -79,14 +154,34 @@ let sign kp base rng ~msg =
           let s2 =
             round_to_int_array (Fftc.add (Fftc.mul d0 b11) (Fftc.mul d1 b21))
           in
-          (s1, s2, signature_norm_sq s1 s2))
+          (s1, s2))
     in
-    if norm_sq <= bound then { salt; s1; s2; norm_sq; attempts = k }
-    else attempt (k + 1)
+    (* The injection seam sits where a computation glitch would: between
+       producing (s1, s2) and the output checks. *)
+    let s1, s2 =
+      match fault_hook with
+      | Some f -> f ~attempt:k ~s1 ~s2
+      | None -> (s1, s2)
+    in
+    let norm_sq = signature_norm_sq s1 s2 in
+    if norm_sq > bound then attempt (k + 1)
+    else if
+      check
+      && not
+           (stage "verify_after_sign" (fun () ->
+                consistent_with_public_key ~params ~h:kp.Keygen.h
+                  ~c ~s1 ~s2))
+    then begin
+      (* Faulted signature: count it, burn the salt, try again.  Nothing
+         inconsistent is ever returned to the caller. *)
+      Obs.Registry.incr (Lazy.force fault_rejects_counter);
+      attempt (k + 1)
+    end
+    else { salt; s1; s2; norm_sq; attempts = k }
   in
   attempt 1
 
-let sign_many ?domains ?backend kp ~make_base ~seed ~msgs =
+let sign_many ?domains ?backend ?fault_hook ?check kp ~make_base ~seed ~msgs =
   let n = Array.length msgs in
   let out = Array.make n None in
   (* One lane and one fresh base sampler per message: the signature of
@@ -94,7 +189,7 @@ let sign_many ?domains ?backend kp ~make_base ~seed ~msgs =
   Ctg_engine.Pool.parallel_for ?domains ~n (fun i ->
       let rng = Ctg_engine.Stream_fork.bitstream ?backend ~seed ~lane:i () in
       let base = make_base () in
-      out.(i) <- Some (sign kp base rng ~msg:msgs.(i)));
+      out.(i) <- Some (sign ?fault_hook ?check kp base rng ~msg:msgs.(i)));
   Array.map
     (function Some s -> s | None -> failwith "Sign.sign_many: missing result")
     out

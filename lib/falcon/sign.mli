@@ -18,16 +18,34 @@ val norm_bound_sq : Params.t -> float
     under it.  Calibrated for shape, not for Falcon's security-optimal
     tightness — see DESIGN.md. *)
 
+type fault_hook = attempt:int -> s1:int array -> s2:int array -> int array * int array
+(** Injection seam for the chaos harness, sitting where a computation
+    glitch would: the hook sees the freshly computed coefficient vectors
+    and returns the (possibly corrupted) pair the output checks then see. *)
+
 val sign :
+  ?fault_hook:fault_hook ->
+  ?check:bool ->
   Keygen.keypair ->
   Base_sampler.t ->
   Ctg_prng.Bitstream.t ->
   msg:bytes ->
   signature
+(** [check] (default [true]) enables verify-after-sign: the candidate
+    signature is checked against the {e public} key exactly as a verifier
+    would (recover [s1] from [s2] via [h], compare, then the norm bound)
+    before it is returned.  A signature inconsistent with the verification
+    equation — the fingerprint of a glitched FFT/ffSampling computation —
+    is discarded and re-tried with a fresh salt, and
+    [falcon_sign_fault_rejects_total] is bumped in
+    {!Ctg_obs.Registry.default}; the faulty value is {e never} emitted
+    (the Lenstra-style RSA-CRT lesson applied to Falcon). *)
 
 val sign_many :
   ?domains:int ->
   ?backend:Ctg_engine.Stream_fork.backend ->
+  ?fault_hook:fault_hook ->
+  ?check:bool ->
   Keygen.keypair ->
   make_base:(unit -> Base_sampler.t) ->
   seed:string ->

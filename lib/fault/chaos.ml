@@ -1,0 +1,433 @@
+module Bs = Ctg_prng.Bitstream
+module Sm = Ctg_prng.Splitmix64
+module Obs = Ctg_obs
+module Engine = Ctg_engine
+module F = Ctg_falcon
+
+type outcome = Detected | Contained | Silent
+
+let outcome_name = function
+  | Detected -> "detected"
+  | Contained -> "contained"
+  | Silent -> "silent"
+
+type case = {
+  name : string;
+  fault_class : string;
+  outcome : outcome;
+  detail : string;
+}
+
+type report = {
+  sigma : string;
+  precision : int;
+  seed : int64;
+  cases : case list;
+}
+
+let count outcome r =
+  List.length (List.filter (fun c -> c.outcome = outcome) r.cases)
+
+let silent_cases reports =
+  List.concat_map (fun r -> List.filter (fun c -> c.outcome = Silent) r.cases)
+    reports
+
+(* ------------------------------------------------------------------ *)
+
+let with_pool ?rng_of_lane ?self_test ?stall_timeout ?fault_hook ~domains
+    ~chunk_batches ~seed sampler f =
+  let pool =
+    Engine.Pool.create ~domains ~chunk_batches ?rng_of_lane ?self_test
+      ?stall_timeout ~seed sampler
+  in
+  (match fault_hook with
+  | Some h -> Engine.Pool.set_fault_hook pool (Some h)
+  | None -> ());
+  Fun.protect ~finally:(fun () -> Engine.Pool.shutdown pool) (fun () -> f pool)
+
+(* The reference output every containment claim is judged against: a clean
+   pool over the same seed, chunk geometry and sample count.  Pool output
+   is a pure function of those, so "output equals reference" is exact. *)
+let reference ~domains ~chunk_batches ~seed ~n sampler =
+  with_pool ~domains ~chunk_batches ~seed sampler (fun pool ->
+      Engine.Pool.batch_parallel pool ~n)
+
+(* --- randomness faults ------------------------------------------- *)
+
+let rng_case ~sampler ~domains ~chunk_batches ~pool_seed ~n ~reference
+    ~case_seed (fault : Plan.rng_fault) ~window =
+  let name = Printf.sprintf "rng-%s" (Plan.rng_fault_name fault) in
+  let plan = Plan.rng_plan ~window ~seed:case_seed fault in
+  let outcome, detail =
+    try
+      let out =
+        with_pool ~domains ~chunk_batches ~seed:pool_seed
+          ~rng_of_lane:(Plan.lane_factory plan ~seed:pool_seed) sampler
+          (fun pool -> Engine.Pool.batch_parallel pool ~n)
+      in
+      if out = reference then
+        (Contained, "fault window produced no corrupted bytes")
+      else
+        (Silent, "corrupted samples delivered without any health trip")
+    with
+    | Engine.Pool.Chunk_failed
+        { error = Ctg_prng.Health.Entropy_failure f; chunk; attempts } ->
+      ( Detected,
+        Printf.sprintf "%s health test tripped on %s (chunk %d, %d attempts)"
+          (Ctg_prng.Health.test_name f.Ctg_prng.Health.test)
+          f.Ctg_prng.Health.label chunk attempts )
+    | Engine.Pool.Chunk_failed { error; chunk; _ } ->
+      ( Detected,
+        Printf.sprintf "chunk %d failed: %s" chunk (Printexc.to_string error) )
+  in
+  { name; fault_class = "rng"; outcome; detail }
+
+(* --- worker faults ------------------------------------------------ *)
+
+let worker_kill_case ~sampler ~domains ~chunk_batches ~pool_seed ~n ~reference
+    =
+  let outcome, detail =
+    try
+      with_pool ~domains ~chunk_batches ~seed:pool_seed
+        ~fault_hook:(Plan.pool_hook [ Plan.Kill { chunk = 1 } ]) sampler
+        (fun pool ->
+          let out = Engine.Pool.batch_parallel pool ~n in
+          let m = Engine.Metrics.snapshot (Engine.Pool.metrics pool) in
+          if out <> reference then
+            (Silent, "output diverged after worker crash")
+          else if m.Engine.Metrics.worker_respawns < 1 then
+            (Silent, "crash left no supervision trace")
+          else
+            ( Contained,
+              Printf.sprintf
+                "respawned %d worker(s); orphaned chunk re-run bit-exact"
+                m.Engine.Metrics.worker_respawns ))
+    with e ->
+      (Detected, "job failed instead of recovering: " ^ Printexc.to_string e)
+  in
+  { name = "worker-kill"; fault_class = "worker"; outcome; detail }
+
+let worker_hang_case ~sampler ~domains ~chunk_batches ~pool_seed ~n ~reference
+    =
+  let outcome, detail =
+    try
+      let out =
+        with_pool ~domains ~chunk_batches ~seed:pool_seed ~stall_timeout:0.35
+          ~fault_hook:
+            (Plan.pool_hook [ Plan.Hang { chunk = 1; seconds = 1.5 } ])
+          sampler
+          (fun pool -> Engine.Pool.batch_parallel pool ~n)
+      in
+      if out = reference then
+        (Contained, "hang shorter than the stall deadline; output intact")
+      else (Silent, "output diverged after a hang")
+    with Engine.Pool.Stalled { waited_ns } ->
+      ( Detected,
+        Printf.sprintf "stall watchdog fired after %.0f ms without progress"
+          (float_of_int waited_ns /. 1e6) )
+  in
+  { name = "worker-hang"; fault_class = "worker"; outcome; detail }
+
+let worker_transient_case ~sampler ~domains ~chunk_batches ~pool_seed ~n
+    ~reference =
+  let outcome, detail =
+    try
+      with_pool ~domains ~chunk_batches ~seed:pool_seed
+        ~fault_hook:
+          (Plan.pool_hook
+             [ Plan.Fail { chunk = 1; error = Failure "transient glitch" } ])
+        sampler
+        (fun pool ->
+          let out = Engine.Pool.batch_parallel pool ~n in
+          let m = Engine.Metrics.snapshot (Engine.Pool.metrics pool) in
+          if out <> reference then
+            (Silent, "retried chunk produced different output")
+          else if m.Engine.Metrics.chunk_retries < 1 then
+            (Silent, "no retry recorded for the failed chunk")
+          else
+            ( Contained,
+              Printf.sprintf "chunk retried %d time(s), output bit-exact"
+                m.Engine.Metrics.chunk_retries ))
+    with e ->
+      ( Silent,
+        "transient fault escaped containment: " ^ Printexc.to_string e )
+  in
+  { name = "worker-transient"; fault_class = "worker"; outcome; detail }
+
+(* --- gate-table corruption ---------------------------------------- *)
+
+let clean_copy (p : Ctgauss.Gate.t) =
+  match
+    Ctgauss.Gate.make ~num_vars:p.Ctgauss.Gate.num_vars
+      ~instrs:(Array.copy p.Ctgauss.Gate.instrs)
+      ~outputs:(Array.copy p.Ctgauss.Gate.outputs)
+      ~valid:p.Ctgauss.Gate.valid
+  with
+  | Ok c -> c
+  | Error msg -> failwith ("Chaos.clean_copy: " ^ msg)
+
+let gate_kat_case ~registry ~sigma ~precision ~tail_cut ~case_seed ~flips =
+  let master =
+    Engine.Registry.lookup registry ~sigma ~precision ~tail_cut ()
+  in
+  let program = Ctgauss.Sampler.program master in
+  let clean = clean_copy program in
+  let corruptions = Plan.corrupt_program ~seed:case_seed ~flips program in
+  Fun.protect
+    ~finally:(fun () -> Plan.restore_program program corruptions)
+    (fun () ->
+      let kat = Engine.Selftest.run master in
+      let evicted = Engine.Registry.revalidate registry in
+      let recompiled =
+        (* After eviction the next lookup must single-flight a fresh,
+           self-test-passing compile. *)
+        let fresh =
+          Engine.Registry.lookup registry ~sigma ~precision ~tail_cut ()
+        in
+        fresh != master && Engine.Selftest.run fresh = Ok ()
+      in
+      let outcome, detail =
+        match kat with
+        | Error f ->
+          if evicted <> [] && recompiled then
+            ( Detected,
+              let caught_by =
+                if f.Engine.Selftest.index < 0 then "integrity digest"
+                else
+                  Printf.sprintf "KAT vector %d" f.Engine.Selftest.index
+              in
+              Printf.sprintf
+                "%s caught %d opcode flip(s); cache evicted and recompiled \
+                 clean"
+                caught_by flips )
+          else
+            ( Silent,
+              "KAT fired but the registry kept serving the corrupted \
+               sampler" )
+        | Ok () -> (
+          (* The KAT missed: either the flips only touch don't-care
+             space, or we have a real gap.  Settle it for all 2^n inputs
+             with the BDD equivalence prover. *)
+          match
+            let man =
+              Ctg_analysis.Bdd.create
+                ~num_vars:program.Ctgauss.Gate.num_vars
+            in
+            Ctg_analysis.Equiv.equivalent man clean program
+          with
+          | v
+            when v.Ctg_analysis.Equiv.valid_equal
+                 && v.Ctg_analysis.Equiv.outputs_equal_on_valid ->
+            ( Contained,
+              "KAT passed and BDD proves the flips semantically harmless \
+               (don't-care space only)" )
+          | _ ->
+            (Silent, "corruption changes the distribution and no defense saw it")
+          | exception e ->
+            ( Silent,
+              "KAT passed and equivalence proof failed: "
+              ^ Printexc.to_string e ))
+      in
+      { name = "gate-table-flip"; fault_class = "gate"; outcome; detail })
+
+let gate_degrade_case ~sigma ~precision ~tail_cut ~case_seed ~domains
+    ~pool_seed ~n =
+  (* A *private* compile is corrupted here: the degraded pool must keep
+     the broken program alive for its whole lifetime, so it cannot borrow
+     the registry's shared master. *)
+  let sampler = Ctgauss.Sampler.create ~sigma ~precision ~tail_cut () in
+  let program = Ctgauss.Sampler.program sampler in
+  let _ = Plan.corrupt_program ~seed:case_seed ~flips:3 program in
+  let support =
+    int_of_float (ceil (float_of_string sigma *. float_of_int tail_cut)) + 1
+  in
+  let outcome, detail =
+    with_pool ~domains ~chunk_batches:4 ~seed:pool_seed sampler (fun pool ->
+        if not (Engine.Pool.degraded pool) then
+          ( Silent,
+            "self-test accepted a corrupted sampler; pool serving from it" )
+        else begin
+          let out = Engine.Pool.batch_parallel pool ~n in
+          let mon = Engine.Pool.ctmon pool in
+          let in_support =
+            Array.for_all (fun x -> abs x <= support) out
+          in
+          if Obs.Ctmon.violations mon <> 0 then
+            ( Silent,
+              "degraded CDT fallback reported CT violations (must be \
+               declared fallback)" )
+          else if not in_support then
+            (Silent, "degraded fallback emitted out-of-support samples")
+          else
+            ( Detected,
+              Printf.sprintf
+                "load-time self-test failed; degraded to CT linear CDT \
+                 (%d fallback batches, 0 CT violations)"
+                (Obs.Ctmon.fallback_batches mon) )
+        end)
+  in
+  { name = "gate-degrade"; fault_class = "gate"; outcome; detail }
+
+(* --- signing faults ------------------------------------------------ *)
+
+let sign_case ~case_seed =
+  let params = F.Params.custom ~n:64 in
+  let rng lane =
+    Engine.Stream_fork.bitstream ~seed:"chaos-falcon" ~lane ()
+  in
+  let kp = F.Keygen.generate params (rng 0) in
+  let base () = F.Base_sampler.ideal () in
+  let bound = F.Sign.norm_bound_sq params in
+  let msg = Bytes.of_string "chaos harness message" in
+  let rejects =
+    Obs.Registry.counter Obs.Registry.default "falcon_sign_fault_rejects_total"
+  in
+  (* First establish the fault is real: with checks off, the corrupted
+     signature must NOT verify. *)
+  let unchecked =
+    F.Sign.sign
+      ~fault_hook:(Plan.sign_hook ~seed:case_seed ~bits:3)
+      ~check:false kp (base ()) (rng 1) ~msg
+  in
+  let fault_effective =
+    not
+      (F.Verify.verify ~params ~h:kp.F.Keygen.h ~bound_sq:bound ~msg
+         ~salt:unchecked.F.Sign.salt ~s2:unchecked.F.Sign.s2)
+  in
+  let before = Obs.Registry.value rejects in
+  let checked =
+    F.Sign.sign
+      ~fault_hook:(Plan.sign_hook ~seed:case_seed ~bits:3)
+      kp (base ()) (rng 2) ~msg
+  in
+  let caught = Obs.Registry.value rejects - before in
+  let emitted_ok =
+    F.Verify.verify ~params ~h:kp.F.Keygen.h ~bound_sq:bound ~msg
+      ~salt:checked.F.Sign.salt ~s2:checked.F.Sign.s2
+  in
+  let outcome, detail =
+    if not fault_effective then
+      (Contained, "injected coefficient flips did not invalidate the signature")
+    else if caught >= 1 && emitted_ok then
+      ( Detected,
+        Printf.sprintf
+          "verify-after-sign rejected %d faulted signature(s); emitted \
+           signature verifies (%d attempts)"
+          caught checked.F.Sign.attempts )
+    else if emitted_ok then
+      (Silent, "faulted signature slipped past verify-after-sign uncounted")
+    else (Silent, "an invalid signature was emitted")
+  in
+  { name = "sign-coefficient-flip"; fault_class = "sign"; outcome; detail }
+
+(* ------------------------------------------------------------------ *)
+
+let default_domains = 4
+
+let run ?(seed = 0x00C0FFEE5EEDL) ?(domains = default_domains) ?registry
+    ~sigma ~precision ~tail_cut () =
+  let registry =
+    match registry with Some r -> r | None -> Engine.Registry.create ()
+  in
+  let sm = Sm.create seed in
+  let next_seed () = Sm.next sm in
+  let sampler =
+    Engine.Registry.lookup registry ~sigma ~precision ~tail_cut ()
+  in
+  let num_vars = (Ctgauss.Sampler.program sampler).Ctgauss.Gate.num_vars in
+  (* Size chunks so each lane feeds the health tests well past the widest
+     window (the ones-proportion window: 1024 sampled units = 16 KiB of
+     scanned stream): low-precision programs draw few bits per batch and
+     would otherwise finish a chunk before any window closes. *)
+  let chunk_batches = max 16 (1 + (327680 / (num_vars * 63))) in
+  let chunk_samples = chunk_batches * Ctgauss.Bitslice.lanes in
+  let n = 4 * chunk_samples in
+  let pool_seed = "chaos-" ^ sigma in
+  let reference = reference ~domains ~chunk_batches ~seed:pool_seed ~n sampler in
+  let rng_cases =
+    List.map
+      (fun (fault, window) ->
+        rng_case ~sampler ~domains ~chunk_batches ~pool_seed ~n ~reference
+          ~case_seed:(next_seed ()) fault ~window)
+      [
+        (Plan.Stuck_bits { and_mask = 0x00; or_mask = 0xff }, Plan.always);
+        (Plan.Bias { p_one = 0.85 }, Plan.always);
+        (Plan.Repeat { period = 8 }, Plan.always);
+        (* Mid-stream death: the source is fine for the first KiB of every
+           lane, then flatlines — the "entropy exhaustion mid-batch" model. *)
+        (Plan.Exhausted, Plan.from_byte 1024);
+      ]
+  in
+  let worker_cases =
+    [
+      worker_kill_case ~sampler ~domains ~chunk_batches ~pool_seed ~n
+        ~reference;
+      worker_hang_case ~sampler ~domains ~chunk_batches ~pool_seed ~n
+        ~reference;
+      worker_transient_case ~sampler ~domains ~chunk_batches ~pool_seed ~n
+        ~reference;
+    ]
+  in
+  let gate_cases =
+    [
+      gate_kat_case ~registry ~sigma ~precision ~tail_cut
+        ~case_seed:(next_seed ()) ~flips:1;
+      gate_kat_case ~registry ~sigma ~precision ~tail_cut
+        ~case_seed:(next_seed ()) ~flips:3;
+      gate_degrade_case ~sigma ~precision ~tail_cut ~case_seed:(next_seed ())
+        ~domains ~pool_seed:(pool_seed ^ "-degraded") ~n:(4 * 63 * 4);
+    ]
+  in
+  let sign_cases = [ sign_case ~case_seed:(next_seed ()) ] in
+  {
+    sigma;
+    precision;
+    seed;
+    cases = rng_cases @ worker_cases @ gate_cases @ sign_cases;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+module Jsonx = Obs.Jsonx
+
+let case_to_json c =
+  Jsonx.Obj
+    [
+      ("name", Jsonx.Str c.name);
+      ("fault_class", Jsonx.Str c.fault_class);
+      ("outcome", Jsonx.Str (outcome_name c.outcome));
+      ("detail", Jsonx.Str c.detail);
+    ]
+
+let report_to_json r =
+  Jsonx.Obj
+    [
+      ("sigma", Jsonx.Str r.sigma);
+      ("precision", Jsonx.Num (float_of_int r.precision));
+      ("seed", Jsonx.Str (Printf.sprintf "0x%Lx" r.seed));
+      ("detected", Jsonx.Num (float_of_int (count Detected r)));
+      ("contained", Jsonx.Num (float_of_int (count Contained r)));
+      ("silent", Jsonx.Num (float_of_int (count Silent r)));
+      ("cases", Jsonx.List (List.map case_to_json r.cases));
+    ]
+
+let to_json reports =
+  Jsonx.Obj
+    [
+      ("harness", Jsonx.Str "ctg-chaos");
+      ("silent_total", Jsonx.Num (float_of_int (List.length (silent_cases reports))));
+      ("ok", Jsonx.Bool (silent_cases reports = []));
+      ("reports", Jsonx.List (List.map report_to_json reports));
+    ]
+
+let pp_case fmt c =
+  Format.fprintf fmt "  [%-9s] %-22s %s"
+    (outcome_name c.outcome) c.name c.detail
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "sigma %s (precision %d, seed 0x%Lx): %d detected, %d contained, %d \
+     silent@\n"
+    r.sigma r.precision r.seed (count Detected r) (count Contained r)
+    (count Silent r);
+  List.iter (fun c -> Format.fprintf fmt "%a@\n" pp_case c) r.cases

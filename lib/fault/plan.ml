@@ -1,0 +1,207 @@
+module Bs = Ctg_prng.Bitstream
+module Sm = Ctg_prng.Splitmix64
+module Gate = Ctgauss.Gate
+
+(* ------------------------------------------------------------------ *)
+(* Randomness faults                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type rng_fault =
+  | Stuck_bits of { and_mask : int; or_mask : int }
+  | Bias of { p_one : float }
+  | Repeat of { period : int }
+  | Exhausted
+
+type window = { from_byte : int; until_byte : int option }
+
+let always = { from_byte = 0; until_byte = None }
+
+let from_byte n = { from_byte = n; until_byte = None }
+
+type rng_plan = {
+  fault : rng_fault;
+  window : window;
+  lanes : int list option;
+  seed : int64;
+}
+
+let rng_plan ?(window = always) ?lanes ~seed fault =
+  (match fault with
+  | Stuck_bits { and_mask; or_mask } ->
+    if and_mask < 0 || and_mask > 0xff || or_mask < 0 || or_mask > 0xff then
+      invalid_arg "Plan.rng_plan: masks must be bytes"
+  | Bias { p_one } ->
+    if not (p_one >= 0. && p_one <= 1.) then
+      invalid_arg "Plan.rng_plan: p_one must be in [0,1]"
+  | Repeat { period } ->
+    if period < 1 then invalid_arg "Plan.rng_plan: period must be >= 1"
+  | Exhausted -> ());
+  if window.from_byte < 0 then invalid_arg "Plan.rng_plan: window.from_byte";
+  (match window.until_byte with
+  | Some u when u < window.from_byte ->
+    invalid_arg "Plan.rng_plan: empty window"
+  | _ -> ());
+  { fault; window; lanes; seed }
+
+let applies plan ~lane =
+  match plan.lanes with None -> true | Some ls -> List.mem lane ls
+
+let rng_fault_name = function
+  | Stuck_bits _ -> "stuck-bits"
+  | Bias _ -> "bias"
+  | Repeat _ -> "repetition"
+  | Exhausted -> "exhaustion"
+
+(* The wrapper is itself a Bitstream (byte-function backend), so anything
+   downstream — samplers, health tests, bit accounting — sees the faulty
+   flow exactly as it would see a faulty hardware TRNG.  The inner stream
+   is always advanced one byte per output byte, so a wrapped lane stays
+   aligned with its clean twin outside the fault window. *)
+let wrap plan ~lane inner =
+  if not (applies plan ~lane) then inner
+  else begin
+    let pos = ref 0 in
+    let sm = Sm.create (Int64.logxor plan.seed (Int64.of_int (0x9e3779b9 * (lane + 1)))) in
+    let ring =
+      match plan.fault with
+      | Repeat { period } -> Array.make period 0
+      | _ -> [||]
+    in
+    let in_window p =
+      p >= plan.window.from_byte
+      &&
+      match plan.window.until_byte with None -> true | Some u -> p < u
+    in
+    Bs.of_byte_fn (fun () ->
+        let b = Bs.next_byte inner in
+        let p = !pos in
+        incr pos;
+        if not (in_window p) then b
+        else
+          match plan.fault with
+          | Stuck_bits { and_mask; or_mask } -> b land and_mask lor or_mask
+          | Bias { p_one } ->
+            let byte = ref 0 in
+            for bit = 0 to 7 do
+              if Sm.next_float sm < p_one then byte := !byte lor (1 lsl bit)
+            done;
+            !byte
+          | Repeat { period } ->
+            let off = p - plan.window.from_byte in
+            if off < period then begin
+              ring.(off) <- b;
+              b
+            end
+            else ring.(off mod period)
+          | Exhausted -> 0)
+  end
+
+let lane_factory ?(backend = Ctg_engine.Stream_fork.Chacha) ?(health = true)
+    plan ~seed lane =
+  (* Health must ride on the *wrapper*: attached to the inner stream it
+     would test the clean bytes and defend nothing. *)
+  let inner =
+    Ctg_engine.Stream_fork.bitstream ~backend ~health:false ~seed ~lane ()
+  in
+  let bs = wrap plan ~lane inner in
+  if health then
+    Bs.attach_health bs
+      (Ctg_prng.Health.create ~label:(Printf.sprintf "lane %d" lane) ());
+  bs
+
+(* ------------------------------------------------------------------ *)
+(* Gate-table corruption                                               *)
+(* ------------------------------------------------------------------ *)
+
+type gate_corruption = {
+  index : int;
+  before : Gate.instr;
+  after : Gate.instr;
+}
+
+(* Structure-preserving opcode flips: every mutated instruction still
+   references only already-defined registers, so {!Gate.validate} stays
+   satisfied and only a *semantic* defense (the KAT, BDD equivalence) can
+   tell.  This mirrors the single-event-upset model: one control bit of
+   one gate decodes as a different operation. *)
+let flip_instr = function
+  | Gate.And (a, b) -> Gate.Or (a, b)
+  | Gate.Or (a, b) -> Gate.Xor (a, b)
+  | Gate.Xor (a, b) -> Gate.And (a, b)
+  | Gate.Not r -> Gate.Xor (r, r)
+  | Gate.Const b -> Gate.Const (not b)
+
+let corrupt_program ~seed ~flips (p : Gate.t) =
+  if flips < 1 then invalid_arg "Plan.corrupt_program: flips must be >= 1";
+  let n = Array.length p.Gate.instrs in
+  if n = 0 then invalid_arg "Plan.corrupt_program: empty program";
+  let sm = Sm.create seed in
+  let rec pick acc k =
+    if k = 0 then acc
+    else
+      let i = Sm.next_int sm n in
+      if List.exists (fun c -> c.index = i) acc then pick acc k
+      else
+        let before = p.Gate.instrs.(i) in
+        let after = flip_instr before in
+        pick ({ index = i; before; after } :: acc) (k - 1)
+  in
+  let corruptions = pick [] (min flips n) in
+  List.iter (fun c -> p.Gate.instrs.(c.index) <- c.after) corruptions;
+  corruptions
+
+let restore_program (p : Gate.t) corruptions =
+  List.iter (fun c -> p.Gate.instrs.(c.index) <- c.before) corruptions
+
+(* ------------------------------------------------------------------ *)
+(* Worker faults                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type worker_fault =
+  | Kill of { chunk : int }
+  | Hang of { chunk : int; seconds : float }
+  | Fail of { chunk : int; error : exn }
+
+(* Each fault fires exactly once over the hook's lifetime.  One-shot
+   matters for [Kill]: the orphaned chunk is re-claimed with [attempt = 0]
+   by another domain, and a level-triggered hook would kill that domain
+   too, every respawn after it, and finally the whole job. *)
+let pool_hook faults =
+  let armed = Array.map (fun f -> (f, Atomic.make true)) (Array.of_list faults) in
+  fun ~chunk ~lane:_ ~attempt:_ ->
+    Array.iter
+      (fun (f, live) ->
+        let matches =
+          match f with
+          | Kill { chunk = c } | Hang { chunk = c; _ } | Fail { chunk = c; _ }
+            -> c = chunk
+        in
+        if matches && Atomic.compare_and_set live true false then
+          match f with
+          | Kill _ -> raise Ctg_engine.Pool.Kill_worker
+          | Hang { seconds; _ } -> Unix.sleepf seconds
+          | Fail { error; _ } -> raise error)
+      armed
+
+(* ------------------------------------------------------------------ *)
+(* Signing faults                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Flip [bits] low-order coefficient bits of s2 on the first attempt only:
+   the retry (fresh salt) then computes clean, so a correct
+   verify-after-sign loop both *detects* the corruption and still
+   *delivers* a valid signature. *)
+let sign_hook ~seed ~bits =
+  if bits < 1 then invalid_arg "Plan.sign_hook: bits must be >= 1";
+  let fired = Atomic.make false in
+  fun ~attempt:_ ~s1 ~s2 ->
+    if Atomic.compare_and_set fired false true then begin
+      let sm = Sm.create seed in
+      let s2 = Array.copy s2 in
+      for _ = 1 to bits do
+        let i = Sm.next_int sm (Array.length s2) in
+        s2.(i) <- s2.(i) lxor (1 lsl Sm.next_int sm 4)
+      done;
+      (s1, s2)
+    end
+    else (s1, s2)

@@ -3,6 +3,7 @@ type backend =
   | Shake of Keccak.xof
   | Splitmix of Splitmix64.t
   | Fixed of bool array
+  | Byte_fn of (unit -> int)
 
 type t = {
   backend : backend;
@@ -12,6 +13,9 @@ type t = {
   mutable block_pos : int;
   mutable consumed : int;
   mutable fixed_pos : int;
+  mutable health : Health.t option;
+      (* online entropy tests, fed at refill time so a tripped window
+         raises before any byte of the bad block is served *)
 }
 
 let block_size = 64
@@ -25,35 +29,48 @@ let make backend =
     block_pos = 0;
     consumed = 0;
     fixed_pos = 0;
+    health = None;
   }
 
 let of_chacha c = make (Chacha c)
 let of_shake x = make (Shake x)
 let of_splitmix s = make (Splitmix s)
 let of_bits bits = make (Fixed bits)
+let of_byte_fn f = make (Byte_fn f)
 
-(* Next raw byte from the backend, buffered a block at a time. *)
+let attach_health t h = t.health <- Some h
+let health t = t.health
+
+(* Next raw byte from the backend, buffered a block at a time.  A fresh
+   block is health-scanned in full before its first byte is served. *)
 let raw_byte t =
-  if t.block_pos >= Bytes.length t.block then begin
-    (match t.backend with
-    | Chacha c -> t.block <- Chacha20.next_bytes c block_size
-    | Shake x -> t.block <- Keccak.squeeze x block_size
-    | Splitmix s ->
-      let b = Bytes.create block_size in
-      for i = 0 to (block_size / 8) - 1 do
-        let v = ref (Splitmix64.next s) in
-        for j = 0 to 7 do
-          Bytes.set b ((8 * i) + j) (Char.chr (Int64.to_int !v land 0xff));
-          v := Int64.shift_right_logical !v 8
-        done
-      done;
-      t.block <- b
-    | Fixed _ -> assert false);
-    t.block_pos <- 0
-  end;
-  let v = Char.code (Bytes.get t.block t.block_pos) in
-  t.block_pos <- t.block_pos + 1;
-  v
+  match t.backend with
+  | Byte_fn f ->
+    let v = f () land 0xff in
+    (match t.health with Some h -> Health.check_byte h v | None -> ());
+    v
+  | Chacha _ | Shake _ | Splitmix _ | Fixed _ ->
+    if t.block_pos >= Bytes.length t.block then begin
+      (match t.backend with
+      | Chacha c -> t.block <- Chacha20.next_bytes c block_size
+      | Shake x -> t.block <- Keccak.squeeze x block_size
+      | Splitmix s ->
+        let b = Bytes.create block_size in
+        for i = 0 to (block_size / 8) - 1 do
+          let v = ref (Splitmix64.next s) in
+          for j = 0 to 7 do
+            Bytes.set b ((8 * i) + j) (Char.chr (Int64.to_int !v land 0xff));
+            v := Int64.shift_right_logical !v 8
+          done
+        done;
+        t.block <- b
+      | Fixed _ | Byte_fn _ -> assert false);
+      (match t.health with Some h -> Health.scan_block h t.block | None -> ());
+      t.block_pos <- 0
+    end;
+    let v = Char.code (Bytes.get t.block t.block_pos) in
+    t.block_pos <- t.block_pos + 1;
+    v
 
 (* Top the bit buffer up to at least [want] bits (want <= 54). *)
 let refill t want =
@@ -66,7 +83,7 @@ let refill t want =
       t.fixed_pos <- t.fixed_pos + 1;
       t.cur_bits <- t.cur_bits + 1
     done
-  | Chacha _ | Shake _ | Splitmix _ ->
+  | Chacha _ | Shake _ | Splitmix _ | Byte_fn _ ->
     while t.cur_bits < want do
       t.cur <- t.cur lor (raw_byte t lsl t.cur_bits);
       t.cur_bits <- t.cur_bits + 8
@@ -99,7 +116,7 @@ let next_word t =
     let mid = next_bits t 31 in
     let hi = next_bit t in
     lo lor (mid lsl 31) lor (hi lsl 62)
-  | Chacha _ | Shake _ | Splitmix _ ->
+  | Chacha _ | Shake _ | Splitmix _ | Byte_fn _ ->
     let acc = ref 0 in
     for i = 0 to 7 do
       acc := !acc lor (raw_byte t lsl (8 * i))
@@ -114,7 +131,7 @@ let prng_work t =
   match t.backend with
   | Chacha c -> Chacha20.blocks_generated c
   | Shake x -> Keccak.permutations x
-  | Splitmix _ | Fixed _ -> 0
+  | Splitmix _ | Fixed _ | Byte_fn _ -> 0
 
 let next_bytes_into t buf =
   let n = Bytes.length buf in
@@ -123,7 +140,7 @@ let next_bytes_into t buf =
     for i = 0 to n - 1 do
       Bytes.set buf i (Char.chr (next_bits t 8))
     done
-  | Chacha _ | Shake _ | Splitmix _ ->
+  | Chacha _ | Shake _ | Splitmix _ | Byte_fn _ ->
     for i = 0 to n - 1 do
       Bytes.set buf i (Char.chr (raw_byte t))
     done;

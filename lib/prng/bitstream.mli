@@ -17,6 +17,21 @@ val of_bits : bool array -> t
     equivalence tests (compiled sampler vs. the Knuth-Yao reference walk
     must agree on identical input bits). *)
 
+val of_byte_fn : (unit -> int) -> t
+(** A stream served byte by byte from a callback (low 8 bits are used).
+    This is the seam the fault-injection layer ([ctg_fault]) wraps a real
+    stream through; the callback may raise to model entropy exhaustion. *)
+
+val attach_health : t -> Health.t -> unit
+(** Attach online entropy health tests.  Block backends scan every fresh
+    block before serving its first byte; byte-function backends are
+    checked byte by byte — either way {!Health.Entropy_failure} fires
+    before any bit of a failing window reaches a sampler.  The [Fixed]
+    test backend is never health-checked (its replays are deliberately
+    non-random). *)
+
+val health : t -> Health.t option
+
 val next_bit : t -> int
 (** 0 or 1. *)
 

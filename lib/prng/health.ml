@@ -1,0 +1,267 @@
+(* Online entropy health tests in the style of NIST SP 800-90B Sec. 4.4.
+   The unit of observation is a 32-bit draw (one "sample" of a noise
+   source claiming close to full entropy); all state updates are a few
+   integer operations per unit so the tests can stay always-on under the
+   engine's <3% defense-overhead budget (bench fault). *)
+
+type test =
+  | Repetition  (** SP 800-90B 4.4.1 on 32-bit units. *)
+  | Adaptive_proportion  (** SP 800-90B 4.4.2 on 32-bit units. *)
+  | Stuck_bit  (** AND/OR window: a bit position that never moves. *)
+  | Ones_proportion  (** Windowed global bias (monobit drift). *)
+
+let test_name = function
+  | Repetition -> "repetition-count"
+  | Adaptive_proportion -> "adaptive-proportion"
+  | Stuck_bit -> "stuck-bit"
+  | Ones_proportion -> "ones-proportion"
+
+type failure = { test : test; label : string; detail : string }
+
+exception Entropy_failure of failure
+
+(* False-positive budget: every cutoff below is sized for a per-window
+   alarm probability of ~2^-40 on a fair source, so CI-scale volumes
+   (~2^30 units) stay clean with margin while persistent faults trip
+   within at most one window. *)
+
+let rct_cutoff = 3
+(* Three identical consecutive 32-bit units: P(fair) = 2^-64 per start. *)
+
+let apt_window = 512
+let apt_cutoff = 4
+(* >= 3 later copies of the window's first unit: P(fair) ~ 2e-21. *)
+
+let stuck_window = 256
+(* P(a given bit of 256 fair units is constant) = 2 * 2^-256. *)
+
+let ones_window_units = 1024
+(* 32768 bits; mean 16384, sigma = 90.5.  z = 13.2 for ~2^-40 two-sided. *)
+let ones_slack = 1196
+
+(* All three window lengths are powers of two so the position inside
+   each window can be derived from the single global unit counter with
+   one [land] instead of a dedicated counter per test — this halves the
+   mutable-field traffic on the per-unit hot path. *)
+let () =
+  assert (apt_window land (apt_window - 1) = 0);
+  assert (stuck_window land (stuck_window - 1) = 0);
+  assert (ones_window_units land (ones_window_units - 1) = 0)
+
+type t = {
+  label : string;
+  mutable units : int; (* 32-bit units observed; window phase source *)
+  (* repetition count *)
+  mutable last : int;
+  mutable run : int;
+  (* adaptive proportion *)
+  mutable apt_ref : int;
+  mutable apt_count : int;
+  (* stuck bit *)
+  mutable and_acc : int;
+  mutable or_acc : int;
+  (* ones proportion *)
+  mutable ones : int;
+  (* byte-path staging: bytes are packed into 32-bit units so byte
+     sources see the same statistics as the block path *)
+  mutable byte_acc : int;
+  mutable byte_cnt : int;
+}
+
+let create ?(label = "prng") () =
+  {
+    label;
+    units = 0;
+    last = -1;
+    run = 0;
+    apt_ref = -1;
+    apt_count = 0;
+    and_acc = 0xFFFFFFFF;
+    or_acc = 0;
+    ones = 0;
+    byte_acc = 0;
+    byte_cnt = 0;
+  }
+
+let units_checked t = t.units
+
+let fail t test detail = raise (Entropy_failure { test; label = t.label; detail })
+
+(* One 32-bit unit.  The hot path below is branch-light straight-line
+   integer code with no memory loads beyond the record fields: the ones
+   count uses a SWAR popcount (no table, no bounds checks) and window
+   rollovers fire on [units land (window - 1)] so they cost one mask and
+   compare per unit, amortizing the actual checks over hundreds of
+   units.
+
+   Heavy-test sampling: stuck-bit and ones-proportion run on a 1-in-4
+   systematic sample of the units (those whose index is a multiple of
+   4).  Both target stationary defects — a frozen line or a DC bias is
+   present in every unit, so the sample has identical per-window
+   statistical power at a quarter of the always-on cost; only the
+   detection latency stretches (by 4x in scanned bytes).  RCT and APT,
+   whose SP 800-90B semantics are inherently about consecutive units,
+   run on every unit.  [stuck_window] and [ones_window_units] count
+   sampled units: one stuck window spans 4·256 = 1024 scanned units, one
+   ones window 4·1024 = 4096. *)
+let check_unit t u =
+  let count = t.units + 1 in
+  t.units <- count;
+  (* 4.4.1 repetition count *)
+  if u = t.last then begin
+    let run = t.run + 1 in
+    t.run <- run;
+    if run >= rct_cutoff then
+      fail t Repetition
+        (Printf.sprintf "unit 0x%08x repeated %d times (cutoff %d)" u run
+           rct_cutoff)
+  end
+  else begin
+    t.last <- u;
+    t.run <- 1
+  end;
+  (* 4.4.2 adaptive proportion: a window opens on the unit whose
+     zero-based index is a multiple of the window length *)
+  if (count - 1) land (apt_window - 1) = 0 then begin
+    t.apt_ref <- u;
+    t.apt_count <- 1
+  end
+  else if u = t.apt_ref then begin
+    let c = t.apt_count + 1 in
+    t.apt_count <- c;
+    if c >= apt_cutoff then
+      fail t Adaptive_proportion
+        (Printf.sprintf
+           "unit 0x%08x seen %d times in a %d-unit window (cutoff %d)" u c
+           apt_window apt_cutoff)
+  end;
+  (* sampled heavy tests on every 4th unit *)
+  if count land 3 = 0 then begin
+    (* stuck-bit window *)
+    t.and_acc <- t.and_acc land u;
+    t.or_acc <- t.or_acc lor u;
+    if count land ((4 * stuck_window) - 1) = 0 then begin
+      if t.and_acc <> 0 then
+        fail t Stuck_bit
+          (Printf.sprintf "bit mask 0x%08x stuck at 1 over %d sampled units"
+             t.and_acc stuck_window);
+      if t.or_acc <> 0xFFFFFFFF then
+        fail t Stuck_bit
+          (Printf.sprintf "bit mask 0x%08x stuck at 0 over %d sampled units"
+             (lnot t.or_acc land 0xFFFFFFFF)
+             stuck_window);
+      t.and_acc <- 0xFFFFFFFF;
+      t.or_acc <- 0
+    end;
+    (* ones proportion, SWAR popcount of the 32-bit unit *)
+    let x = u - ((u lsr 1) land 0x55555555) in
+    let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+    let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+    t.ones <- t.ones + ((x * 0x01010101) lsr 24 land 0xFF);
+    if count land ((4 * ones_window_units) - 1) = 0 then begin
+      let expected = 16 * ones_window_units in
+      let dev = abs (t.ones - expected) in
+      if dev > ones_slack then
+        fail t Ones_proportion
+          (Printf.sprintf "%d ones in %d sampled bits (expected %d +/- %d)"
+             t.ones
+             (32 * ones_window_units) expected ones_slack);
+      t.ones <- 0
+    end
+  end
+
+let check_byte t b =
+  t.byte_acc <- t.byte_acc lor ((b land 0xff) lsl (8 * t.byte_cnt));
+  t.byte_cnt <- t.byte_cnt + 1;
+  if t.byte_cnt = 4 then begin
+    let u = t.byte_acc in
+    t.byte_acc <- 0;
+    t.byte_cnt <- 0;
+    check_unit t u
+  end
+
+(* Block scan — the production hot path: every backend block is
+   scanned before a byte of it is served.  The fast loop below handles
+   the statistically overwhelming case (nothing repeats, no window
+   rolls over) with the state in the argument registers of a
+   tail-recursive quad loop: four unaligned 32-bit loads, seven
+   equality compares, and one SWAR popcount of the quad's sampled
+   unit.  It can never raise; the moment anything looks interesting —
+   two equal consecutive units (a repetition run starting), a unit
+   colliding with the APT reference, or any window boundary inside the
+   block — it writes the state back and replays the rest of the block
+   through [check_unit], the exact path.  Blocks are misaligned with
+   the unit counter only under mixed byte/block feeding, which also
+   takes the exact path. *)
+
+external get32u : bytes -> int -> int32 = "%caml_bytes_get32u"
+(* Compiler primitive: unaligned native-endian 32-bit load; ocamlopt
+   keeps the result unboxed when it is consumed immediately. *)
+
+let unit_le buf base =
+  Char.code (Bytes.unsafe_get buf base)
+  lor (Char.code (Bytes.unsafe_get buf (base + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get buf (base + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get buf (base + 3)) lsl 24)
+
+let exact t buf i full =
+  for k = i to full - 1 do
+    check_unit t (unit_le buf (4 * k))
+  done
+
+let scan_block t buf =
+  let full = Bytes.length buf / 4 in
+  (* Trailing bytes (blocks are 64 bytes in practice, so none) are
+     ignored. *)
+  let count0 = t.units in
+  let apt_phase = count0 land (apt_window - 1) in
+  if
+    Sys.big_endian (* get32u is native-endian; stay byte-exact *)
+    || full land 3 <> 0
+    || count0 land 3 <> 0
+    || apt_phase = 0
+    || apt_phase + full > apt_window
+    || (count0 land ((4 * stuck_window) - 1)) + full >= 4 * stuck_window
+  then exact t buf 0 full
+  else begin
+    let aref = t.apt_ref in
+    let rec go i count last run and_acc or_acc ones =
+      if i >= full then begin
+        t.units <- count;
+        t.last <- last;
+        t.run <- run;
+        t.and_acc <- and_acc;
+        t.or_acc <- or_acc;
+        t.ones <- ones
+      end
+      else begin
+        let base = 4 * i in
+        let u0 = Int32.to_int (get32u buf base) land 0xFFFFFFFF in
+        let u1 = Int32.to_int (get32u buf (base + 4)) land 0xFFFFFFFF in
+        let u2 = Int32.to_int (get32u buf (base + 8)) land 0xFFFFFFFF in
+        let u3 = Int32.to_int (get32u buf (base + 12)) land 0xFFFFFFFF in
+        if
+          u0 = last || u1 = u0 || u2 = u1 || u3 = u2 || u0 = aref
+          || u1 = aref || u2 = aref || u3 = aref
+        then begin
+          t.units <- count;
+          t.last <- last;
+          t.run <- run;
+          t.and_acc <- and_acc;
+          t.or_acc <- or_acc;
+          t.ones <- ones;
+          exact t buf i full
+        end
+        else begin
+          (* count ≡ 0 (mod 4) here, so the sampled indices land on the
+             u3 of every quad *)
+          let x = u3 - ((u3 lsr 1) land 0x55555555) in
+          let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+          let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+          go (i + 4) (count + 4) u3 1 (and_acc land u3) (or_acc lor u3)
+            (ones + ((x * 0x01010101) lsr 24 land 0xFF))
+        end
+      end
+    in
+    go 0 count0 t.last t.run t.and_acc t.or_acc t.ones
+  end

@@ -169,6 +169,39 @@ let pool_tests =
             Alcotest.check_raises "negative n"
               (Invalid_argument "Pool: n must be >= 0") (fun () ->
                 ignore (E.Pool.batch_parallel p ~n:(-1)))));
+    Alcotest.test_case "worker exception surfaces on the caller" `Quick
+      (fun () ->
+        (* The regression this guards: a worker dying mid-chunk used to
+           leave batch_parallel blocked on the output queue forever.  Now
+           the failure aborts the job and re-raises here. *)
+        with_pool ~domains:2 ~chunk_batches:2 (fun p ->
+            E.Pool.set_fault_hook p
+              (Some (fun ~chunk:_ ~lane:_ ~attempt:_ -> failwith "dead"));
+            (match E.Pool.batch_parallel p ~n:(63 * 2 * 6) with
+            | _ -> Alcotest.fail "expected Chunk_failed"
+            | exception E.Pool.Chunk_failed { error; _ } ->
+              Alcotest.(check bool)
+                "underlying error kept" true (error = Failure "dead")
+            | exception e ->
+              Alcotest.fail ("unexpected exception " ^ Printexc.to_string e));
+            E.Pool.set_fault_hook p None;
+            (* And the pool is still serviceable afterwards. *)
+            Alcotest.(check int)
+              "next job runs" 63
+              (Array.length (E.Pool.batch_parallel p ~n:63))));
+    Alcotest.test_case "iter_batches consumer exception propagates" `Quick
+      (fun () ->
+        with_pool ~domains:2 ~chunk_batches:2 (fun p ->
+            let exception Consumer_stop in
+            (match
+               E.Pool.iter_batches p ~n:(63 * 2 * 8) (fun _ ->
+                   raise Consumer_stop)
+             with
+            | () -> Alcotest.fail "expected the consumer exception"
+            | exception Consumer_stop -> ());
+            Alcotest.(check int)
+              "next job runs" 63
+              (Array.length (E.Pool.batch_parallel p ~n:63))));
     Alcotest.test_case "shutdown is idempotent and final" `Quick (fun () ->
         let p = E.Pool.create ~domains:2 ~seed:"bye" (Lazy.force sampler_16) in
         ignore (E.Pool.batch_parallel p ~n:100);
@@ -177,6 +210,19 @@ let pool_tests =
         Alcotest.check_raises "jobs after shutdown"
           (Invalid_argument "Pool: shut down") (fun () ->
             ignore (E.Pool.batch_parallel p ~n:1)));
+    Alcotest.test_case "parallel_for re-raises a worker exception" `Quick
+      (fun () ->
+        let ran = Atomic.make 0 in
+        (match
+           E.Pool.parallel_for ~domains:3 ~n:200 (fun i ->
+               ignore (Atomic.fetch_and_add ran 1);
+               if i = 50 then failwith "iteration 50")
+         with
+        | () -> Alcotest.fail "expected the iteration failure"
+        | exception Failure msg ->
+          Alcotest.(check string) "first error wins" "iteration 50" msg);
+        (* At least the failing iteration itself ran. *)
+        Alcotest.(check bool) "iterations ran" true (Atomic.get ran >= 1));
     Alcotest.test_case "pooled parallel output fits the exact distribution"
       `Quick (fun () ->
         let total = 63 * 1200 in

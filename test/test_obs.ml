@@ -388,6 +388,48 @@ let test_ctmon_fallback_classification () =
     (Ctmon.violations m);
   Alcotest.(check int) "fallback counted" 1 (Ctmon.fallback_batches m)
 
+(* Degraded-engine edge cases: fallback batches may arrive first, last,
+   alternating or exclusively, and must never teach the expectation. *)
+
+let test_ctmon_first_batch_is_fallback () =
+  let m = Ctmon.create ~registry:(Registry.create ()) () in
+  Ctmon.observe_batch m ~bits:7777 ~samples:63 ~fallback:true ();
+  Alcotest.(check int) "fallback did not teach" 0 (Ctmon.expected_bits m);
+  (* The first *normal* batch teaches, and is judged against itself. *)
+  Ctmon.observe_batch m ~bits:6300 ~samples:63 ();
+  Alcotest.(check int) "normal batch taught" 6300 (Ctmon.expected_bits m);
+  Ctmon.observe_batch m ~bits:6300 ~samples:63 ();
+  Alcotest.(check int) "no violations" 0 (Ctmon.violations m);
+  Alcotest.(check int) "one fallback" 1 (Ctmon.fallback_batches m)
+
+let test_ctmon_alternating_fallback_normal () =
+  let m = Ctmon.create ~registry:(Registry.create ()) () in
+  for i = 1 to 10 do
+    if i mod 2 = 0 then
+      (* Data-dependent fallback draws, all different. *)
+      Ctmon.observe_batch m ~bits:(6300 + (i * 17)) ~samples:63 ~fallback:true
+        ()
+    else Ctmon.observe_batch m ~bits:6300 ~samples:63 ()
+  done;
+  Alcotest.(check int) "alternation stays clean" 0 (Ctmon.violations m);
+  Alcotest.(check int) "five fallbacks" 5 (Ctmon.fallback_batches m);
+  Alcotest.(check int) "expectation untouched" 6300 (Ctmon.expected_bits m)
+
+let test_ctmon_fallback_only_then_deviating_normal () =
+  let m = Ctmon.create ~registry:(Registry.create ()) () in
+  (* A degraded pool's whole life: nothing but fallback batches. *)
+  for i = 1 to 20 do
+    Ctmon.observe_batch m ~bits:(100 + i) ~samples:1 ~fallback:true ()
+  done;
+  Alcotest.(check int) "still unlearned" 0 (Ctmon.expected_bits m);
+  Alcotest.(check int) "no violations" 0 (Ctmon.violations m);
+  (* Had any fallback taught, this first normal batch would be flagged. *)
+  Ctmon.observe_batch m ~bits:6300 ~samples:63 ();
+  Alcotest.(check int) "first normal batch clean" 0 (Ctmon.violations m);
+  (* ... and a genuinely deviating normal batch still is. *)
+  Ctmon.observe_batch m ~bits:6301 ~samples:63 ();
+  Alcotest.(check int) "real deviation flagged" 1 (Ctmon.violations m)
+
 let test_ctmon_record_chunk () =
   let m = Ctmon.create ~registry:(Registry.create ()) () in
   Ctmon.record_chunk m ~batches:16 ~bits:100_800 ~samples:1008 ~deviations:3
@@ -475,6 +517,12 @@ let () =
             test_ctmon_fires_on_non_ct_stub;
           Alcotest.test_case "declared fallback classified" `Quick
             test_ctmon_fallback_classification;
+          Alcotest.test_case "first batch is a fallback" `Quick
+            test_ctmon_first_batch_is_fallback;
+          Alcotest.test_case "alternating fallback/normal" `Quick
+            test_ctmon_alternating_fallback_normal;
+          Alcotest.test_case "fallback never teaches the expectation" `Quick
+            test_ctmon_fallback_only_then_deviating_normal;
           Alcotest.test_case "bulk chunk accounting" `Quick
             test_ctmon_record_chunk;
         ] );

@@ -235,6 +235,89 @@ let prop_tests =
           !ok);
     ]
 
+(* SP 800-90B-style health tests: each defect class must trip its matching
+   test, and a fair source must sail through every window. *)
+module Health = Ctg_prng.Health
+
+let unit32 sm =
+  Int64.to_int (Int64.shift_right_logical (Ctg_prng.Splitmix64.next sm) 32)
+
+let expect_trip name want feed =
+  let h = Health.create ~label:name () in
+  match feed h with
+  | () -> Alcotest.failf "%s: no health test tripped" name
+  | exception Health.Entropy_failure f ->
+    Alcotest.(check string)
+      (name ^ " tripped the right test")
+      (Health.test_name want) (Health.test_name f.Health.test)
+
+let health_tests =
+  [
+    Alcotest.test_case "repetition-count trips on a stuck source" `Quick
+      (fun () ->
+        expect_trip "rct" Health.Repetition (fun h ->
+            for _ = 1 to Health.rct_cutoff + 1 do
+              Health.check_unit h 0xDEAD
+            done));
+    Alcotest.test_case "adaptive-proportion trips on periodic repetition"
+      `Quick (fun () ->
+        (* Period 4: no two consecutive units are equal (RCT blind), but
+           the window's first unit keeps recurring. *)
+        let cycle = [| 0x1111; 0x2222; 0x3333; 0x4444 |] in
+        expect_trip "apt" Health.Adaptive_proportion (fun h ->
+            for i = 0 to (Health.apt_window * 2) - 1 do
+              Health.check_unit h cycle.(i mod 4)
+            done));
+    Alcotest.test_case "stuck-bit trips on a frozen line" `Quick (fun () ->
+        let sm = Ctg_prng.Splitmix64.create 0xBEEFL in
+        expect_trip "stuck" Health.Stuck_bit (fun h ->
+            (* The stuck/ones tests sample one unit in four, so a full
+               window spans 4x its length in scanned units. *)
+            for _ = 1 to (4 * Health.stuck_window) + 4 do
+              (* Bit 5 welded to one; everything else random. *)
+              Health.check_unit h (unit32 sm lor 0x20)
+            done));
+    Alcotest.test_case "ones-proportion trips on global bias" `Quick
+      (fun () ->
+        let sm = Ctg_prng.Splitmix64.create 0xB1A5L in
+        expect_trip "ones" Health.Ones_proportion (fun h ->
+            for _ = 1 to (4 * Health.ones_window_units) + 4 do
+              (* OR of two draws: every bit one with probability 3/4 —
+                 no single bit frozen, no repetition, just bias. *)
+              Health.check_unit h (unit32 sm lor unit32 sm)
+            done));
+    Alcotest.test_case "fair source passes multiple full windows" `Quick
+      (fun () ->
+        let sm = Ctg_prng.Splitmix64.create 0xFA1EL in
+        let h = Health.create () in
+        for _ = 1 to 4 * Health.ones_window_units do
+          Health.check_unit h (unit32 sm)
+        done;
+        Alcotest.(check int)
+          "all units counted"
+          (4 * Health.ones_window_units)
+          (Health.units_checked h));
+    Alcotest.test_case "bytes pack LSB-first into units" `Quick (fun () ->
+        let h = Health.create () in
+        List.iter (Health.check_byte h) [ 0x78; 0x56; 0x34; 0x12 ];
+        Alcotest.(check int) "one unit" 1 (Health.units_checked h);
+        let h2 = Health.create () in
+        Health.scan_block h2 (Bytes.of_string "\x78\x56\x34\x12");
+        Alcotest.(check int) "block = bytes" 1 (Health.units_checked h2));
+    Alcotest.test_case "attached to a bitstream, trips before serving bits"
+      `Quick (fun () ->
+        let bs = Bs.of_byte_fn (fun () -> 0xAA) in
+        Bs.attach_health bs (Health.create ~label:"lane-test" ());
+        match
+          for _ = 1 to 100 do
+            ignore (Bs.next_word bs)
+          done
+        with
+        | () -> Alcotest.fail "stuck stream served bits unchallenged"
+        | exception Health.Entropy_failure f ->
+          Alcotest.(check string) "lane label" "lane-test" f.Health.label);
+  ]
+
 let () =
   Alcotest.run "prng"
     [
@@ -242,5 +325,6 @@ let () =
       ("keccak", keccak_tests);
       ("bitstream", bitstream_tests);
       ("accounting", accounting_tests);
+      ("health", health_tests);
       ("properties", prop_tests);
     ]
