@@ -733,6 +733,92 @@ let cmd_fault ?(smoke = false) () =
   end
 
 (* -------------------------------------------------------------------- *)
+(* Assure: drift-monitor overhead budget (and BENCH_assure.json)         *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_assure ?(smoke = false) () =
+  section
+    (if smoke then "Assure: drift-monitor overhead (smoke run)"
+     else "Assure: always-on drift-monitor overhead on the fill loop");
+  let set =
+    (* Smoke keeps the production precisions: a 16-bit sigma=2 table fills
+       at ~85 ns/sample where any fixed per-sample cost looks huge
+       relative to the budget, and is not a configuration the committed
+       baseline gates. *)
+    if smoke then [ ("2", 128); ("215", 16) ]
+    else Ctg_assure.Assure_bench.default_set
+  in
+  let samples = if smoke then 63 * 400 else 63 * 1000 in
+  let rounds = if smoke then 3 else 5 in
+  let min_time = if smoke then 1.0 else 0.4 in
+  printf "plain vs monitored fill loops, median of paired passes@.@.";
+  let entries = Ctg_assure.Assure_bench.run ~samples ~rounds ~min_time ~set () in
+  List.iter (fun e -> printf "  %a@." Ctg_assure.Assure_bench.pp_entry e) entries;
+  let path = if smoke then "BENCH_assure_smoke.json" else "BENCH_assure.json" in
+  Ctg_assure.Assure_bench.save path entries;
+  printf "@.wrote %s@." path;
+  if Ctg_assure.Assure_bench.ok entries then
+    printf "OK: drift monitoring costs < %.1f%%, no false alarms@."
+      Ctg_assure.Assure_bench.threshold_pct
+  else begin
+    printf "FAIL: drift-monitor overhead budget exceeded or a clean stream \
+            alarmed@.";
+    exit 1
+  end
+
+(* -------------------------------------------------------------------- *)
+(* History: perf trajectory over the committed BENCH baselines           *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_history ?(tolerance_pct = 25.0) () =
+  section "History: perf trajectory (BENCH_history.jsonl)";
+  let path = "BENCH_history.jsonl" in
+  let record = Ctg_assure.Trend.collect ~dir:"." () in
+  printf "fingerprint: %a@." Ctg_assure.Trend.pp_fingerprint
+    record.Ctg_assure.Trend.fp;
+  printf "collected %d metrics from the committed baselines@."
+    (List.length record.Ctg_assure.Trend.metrics);
+  let history = Ctg_assure.Trend.load ~path in
+  let verdict =
+    match
+      Ctg_assure.Trend.baseline_for record.Ctg_assure.Trend.fp history
+    with
+    | None ->
+      printf "no prior record for this fingerprint — nothing to gate@.";
+      `Ok
+    | Some baseline ->
+      printf "comparing against the %s record@."
+        baseline.Ctg_assure.Trend.time;
+      let regs =
+        Ctg_assure.Trend.regressions ~tolerance_pct ~baseline record
+      in
+      let moved =
+        List.filter
+          (fun (d : Ctg_assure.Trend.delta) -> abs_float d.pct >= 5.0)
+          (Ctg_assure.Trend.deltas ~baseline record)
+      in
+      if moved = [] then printf "no latency metric moved by 5%% or more@."
+      else begin
+        printf "movers (>= 5%%):@.";
+        List.iter
+          (fun (d : Ctg_assure.Trend.delta) ->
+            if Ctg_assure.Trend.is_latency_key d.Ctg_assure.Trend.key then
+              printf "  %a@." Ctg_assure.Trend.pp_delta d)
+          moved
+      end;
+      if regs = [] then `Ok else `Regressed regs
+  in
+  Ctg_assure.Trend.append ~path record;
+  printf "appended to %s (%d records)@." path (List.length history + 1);
+  match verdict with
+  | `Ok -> printf "OK: no _ns metric regressed past %.0f%%@." tolerance_pct
+  | `Regressed regs ->
+    List.iter
+      (fun d -> printf "FAIL: %a@." Ctg_assure.Trend.pp_delta d)
+      regs;
+    exit 1
+
+(* -------------------------------------------------------------------- *)
 (* Engine: parallel Falcon signing (Table 1 at service scale)            *)
 (* -------------------------------------------------------------------- *)
 
@@ -854,10 +940,11 @@ let usage () =
     "usage: main.exe [all|table1|table2|fig1|fig2|fig3|fig4|fig5|delta|@.";
   printf "                 prng-overhead|dudect|ablation-min|ablation-chain|@.";
   printf "                 precision|large-sigma|sampler-quality|engine|@.";
-  printf "                 gates|sign-many|obs|fault|micro]@.";
+  printf "                 gates|sign-many|obs|fault|assure|history|micro]@.";
   printf "        [--full]        (fig5 at the paper's 64x10^7 samples)@.";
   printf
-    "        [--smoke]       (obs/fault: CI-sized windows -> BENCH_*_smoke.json)@.";
+    "        [--smoke]       (obs/fault/assure: CI-sized windows -> \
+     BENCH_*_smoke.json)@.";
   printf "        [--trace FILE]  (record spans, write Chrome trace JSON)@."
 
 let () =
@@ -905,6 +992,8 @@ let () =
   | "sign-many" -> cmd_sign_many ()
   | "obs" -> cmd_obs ~smoke ()
   | "fault" -> cmd_fault ~smoke ()
+  | "assure" -> cmd_assure ~smoke ()
+  | "history" -> cmd_history ()
   | "micro" -> cmd_micro ()
   | "all" ->
     cmd_fig1 ();
@@ -924,6 +1013,7 @@ let () =
     cmd_engine ();
     cmd_obs ();
     cmd_fault ();
+    cmd_assure ();
     cmd_table1 ();
     cmd_sampler_quality ();
     cmd_sign_many ();

@@ -1,0 +1,97 @@
+(** Online distribution-drift monitor for one sampler.
+
+    Signed samples stream in (typically per engine chunk, via
+    {!Ctg_engine.Pool.add_chunk_observer}); magnitudes accumulate in two
+    {!Sketch}es — the current {e window} and the lifetime {e cumulative}
+    sketch.  Each time the window fills, the monitor runs a Pearson
+    chi-square of the window counts against the exact folded distribution
+    {!Ctg_stats.Distance.exact_probabilities} of the sampler's matrix,
+    conditioned on termination — the walk restarts on the residual path,
+    so the sampler's true law is [p_v / (1 - residual)] and the overflow
+    bin carries zero expected mass — plus max-log and Rényi drift over
+    the observed support, and
+    publishes everything as gauges/counters on a {!Ctg_obs.Registry}.
+
+    {b Alpha spending.}  A fixed per-window threshold would alarm
+    eventually on any infinite stream of true-null windows.  Window [k]
+    instead tests at [alpha_k = alpha / (k (k+1))]; since
+    [sum 1/(k(k+1)) = 1], the whole (unbounded) soak's false-alarm
+    probability is below [alpha] — so a clean week-long run stays quiet by
+    construction, while a real bias fault still trips the very first
+    window it corrupts (its p-value collapses far below any [alpha_k]).
+
+    {b Thread safety.}  [observe] and every reader lock an internal
+    mutex; the monitor may be fed concurrently from all worker domains.
+    Metric gauges reflect the most recently {e completed} window. *)
+
+type config = {
+  window : int;  (** Samples per test window; default 100_000. *)
+  alpha : float;  (** Total false-alarm budget over all windows; 0.01. *)
+  renyi_alpha : float;  (** Order of the Rényi drift gauge; 2.0. *)
+  keep_results : int;  (** Window results retained for [/drift.json]; 32. *)
+}
+
+val default_config : config
+
+type window_result = {
+  index : int;  (** 1-based window number. *)
+  n : int;
+  overflow : int;  (** Samples beyond the matrix support in this window. *)
+  statistic : float;
+  dof : int;
+  p_value : float;
+  alpha_k : float;
+  alarm : bool;  (** [p_value < alpha_k]. *)
+  max_log : float;  (** Max-log drift over magnitudes observed in window. *)
+  renyi : float;  (** Rényi divergence (empirical ‖ exact), same support. *)
+}
+
+type t
+
+val create :
+  ?config:config ->
+  ?registry:Ctg_obs.Registry.t ->
+  ?labels:Ctg_obs.Registry.labels ->
+  matrix:Ctg_kyao.Matrix.t ->
+  unit ->
+  t
+(** Monitor for the distribution encoded by [matrix].  Metrics are
+    registered under [labels] (convention: [sigma]):
+    [assure_drift_chi2], [assure_drift_p_value], [assure_drift_max_log],
+    [assure_drift_renyi] gauges and [assure_drift_windows_total],
+    [assure_drift_alarms_total], [assure_drift_samples_total] counters. *)
+
+val observe : t -> int array -> unit
+(** Fold a batch of signed samples; runs any window evaluations it
+    completes.  Thread-safe; must not be handed arrays it may not read. *)
+
+val observe_sub : t -> int array -> pos:int -> len:int -> unit
+(** [observe] over a slice without copying it out — the allocation-free
+    feed for callers that fill one large output array chunk by chunk
+    (the overhead bench's monitored arm). *)
+
+val flush : t -> window_result option
+(** Force-evaluate the current partial window (None when it is empty) —
+    the end-of-soak closing step, spending the next alpha_k. *)
+
+val windows : t -> int
+val alarms : t -> int
+
+val samples : t -> int
+(** Total samples folded over the monitor's lifetime. *)
+
+val cumulative : t -> Sketch.t
+(** Copy of the lifetime sketch. *)
+
+val last : t -> window_result option
+val results : t -> window_result list
+(** Retained window results, oldest first (at most [keep_results]). *)
+
+val exact : t -> float array
+
+val alpha_at : alpha:float -> int -> float
+(** The spending schedule, exposed for tests: [alpha_at ~alpha k] is
+    window [k]'s threshold. *)
+
+val result_json : window_result -> Ctg_obs.Jsonx.t
+val pp_result : Format.formatter -> window_result -> unit

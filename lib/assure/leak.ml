@@ -1,0 +1,56 @@
+module Dudect = Ctg_ctcheck.Dudect
+module Registry = Ctg_obs.Registry
+
+type t = {
+  acc : Dudect.acc;
+  probe : Dudect.clazz -> float;
+  mutex : Mutex.t;
+  g_t : Registry.gauge;
+  g_n : Registry.gauge;
+}
+
+let create ?config ?seed ?(registry = Registry.default) ?(labels = []) ~probe
+    () =
+  {
+    acc = Dudect.acc ?config ?seed ();
+    probe;
+    mutex = Mutex.create ();
+    g_t = Registry.gauge registry ~labels "assure_leak_t";
+    g_n = Registry.gauge registry ~labels "assure_leak_measurements";
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let step ?(n = 256) t =
+  locked t (fun () ->
+      for _ = 1 to n do
+        Dudect.acc_step t.acc t.probe
+      done;
+      let r = Dudect.acc_report t.acc in
+      Registry.set_gauge t.g_t r.Dudect.t_statistic;
+      Registry.set_gauge t.g_n (float_of_int (Dudect.acc_count t.acc)))
+
+let report t = locked t (fun () -> Dudect.acc_report t.acc)
+let count t = locked t (fun () -> Dudect.acc_count t.acc)
+
+(* Fix class: a stream rebuilt from the same seed on every probe, so every
+   fix measurement sees identical input bytes.  Random class: one live
+   stream that keeps advancing.  The measured quantity is the sampler's
+   own declared work trace (consumed bits / byte compares / gates), the
+   Ops-counter mode of DESIGN.md — deterministic, so a CT sampler yields a
+   degenerate (t = 0) test rather than GC noise. *)
+let ops_probe ?(fix_seed = "assure-fix-probe") inst =
+  let random =
+    Ctg_prng.Bitstream.of_chacha (Ctg_prng.Chacha20.of_seed "assure-rnd-probe")
+  in
+  fun (clazz : Dudect.clazz) ->
+    let rng =
+      match clazz with
+      | Dudect.Fix ->
+        Ctg_prng.Bitstream.of_chacha (Ctg_prng.Chacha20.of_seed fix_seed)
+      | Dudect.Random -> random
+    in
+    let _, work = inst.Ctg_samplers.Sampler_sig.sample_traced rng in
+    float_of_int work

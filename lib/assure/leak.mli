@@ -1,0 +1,40 @@
+(** Continuous leakage assessment: a background dudect.
+
+    Wraps the incremental {!Ctg_ctcheck.Dudect} accumulator (Ops-counter
+    mode) so fix/random probe batches can be interleaved with real work by
+    a soak driver, publishing the running |t| as the [assure_leak_t]
+    gauge.  The verdict sharpens as measurements accumulate; crossing the
+    4.5 threshold at any point is a leak finding. *)
+
+type t
+
+val create :
+  ?config:Ctg_ctcheck.Dudect.config ->
+  ?seed:int64 ->
+  ?registry:Ctg_obs.Registry.t ->
+  ?labels:Ctg_obs.Registry.labels ->
+  probe:(Ctg_ctcheck.Dudect.clazz -> float) ->
+  unit ->
+  t
+(** [probe clazz] performs one operation of the given input class and
+    returns its deterministic work measure.  Gauges [assure_leak_t] and
+    [assure_leak_measurements] are registered under [labels]. *)
+
+val step : ?n:int -> t -> unit
+(** Run [n] (default 256) probe measurements and refresh the gauges.
+    Thread-safe (internal mutex). *)
+
+val report : t -> Ctg_ctcheck.Dudect.report
+val count : t -> int
+
+val ops_probe :
+  ?fix_seed:string ->
+  Ctg_samplers.Sampler_sig.instance ->
+  Ctg_ctcheck.Dudect.clazz ->
+  float
+(** The standard probe over a sampler instance's [sample_traced] work
+    counter: the fix class rebuilds a stream from [fix_seed] on every
+    call (identical input bytes each time), the random class consumes one
+    live ChaCha stream.  Constant-time samplers give a degenerate t = 0;
+    the Knuth–Yao reference walk's bit count is input-dependent and is
+    flagged — the positive control of the CI assure job. *)

@@ -29,11 +29,53 @@ type report = {
   mean_random : float;
 }
 
+(** {1 Incremental accumulator (Ops-counter mode)}
+
+    The streaming form of the test: classes are drawn one at a time from
+    the accumulator's own seeded Splitmix stream and measurements are
+    folded into per-class Welford moments as they arrive, so a long-running
+    assessor ({!Ctg_assure.Leak}) can interleave probe batches with real
+    work and read the running statistic at any point, in O(1) memory.
+
+    Determinism: a whole run is a pure function of [(seed, config,
+    measure)] — feeding the same deterministic measure twice from the same
+    seed produces {e bit-identical} reports (same class sequence, same
+    Welford fold order).  No cropping is applied, which matches Ops-counter
+    measurements (they have no GC/interrupt outliers to tame); use
+    {!test_time} for wall-clock data. *)
+
+type acc
+
+val acc : ?config:config -> ?seed:int64 -> unit -> acc
+(** Fresh accumulator; [seed] (default [0x0DDC0FFEE]) drives the class
+    interleaving. *)
+
+val acc_next_class : acc -> clazz
+(** Draw the next class from the interleaving stream.  Pair each call with
+    exactly one {!acc_add} of that class to keep the balanced-classes
+    property of the seeded stream. *)
+
+val acc_add : acc -> clazz -> float -> unit
+(** Fold one measurement into its class moments. *)
+
+val acc_step : acc -> (clazz -> float) -> unit
+(** [acc_next_class] + measure + [acc_add] in one call. *)
+
+val acc_count : acc -> int
+(** Total measurements folded so far (both classes). *)
+
+val acc_report : acc -> report
+(** The running Welch verdict; cheap, callable after every step. *)
+
+(** {1 One-shot runs} *)
+
 val test_ops : ?config:config -> (clazz -> int) -> report
 (** [test_ops f]: [f clazz] performs one operation of the given input class
-    and returns its deterministic work count. *)
+    and returns its deterministic work count.  Runs [2 × measurements]
+    steps of a fresh default-seeded accumulator. *)
 
 val test_time : ?config:config -> (clazz -> unit) -> report
-(** Wall-clock variant; measures [f clazz] in nanoseconds. *)
+(** Wall-clock variant; measures [f clazz] in nanoseconds and crops above
+    [crop_percentile] before the test. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -74,6 +74,8 @@ type mode = Bitsliced | Degraded of Ctg_samplers.Sampler_sig.instance
 
 type fault_hook = chunk:int -> lane:int -> attempt:int -> unit
 
+type chunk_observer = chunk:int -> lane:int -> int array -> unit
+
 type t = {
   sampler : Ctgauss.Sampler.t;  (* master; workers use private clones *)
   mode : mode;
@@ -90,6 +92,7 @@ type t = {
   mutex : Mutex.t;
   cond : Condition.t;  (* workers wait for jobs; callers wait for done *)
   mutable fault_hook : fault_hook option;
+  mutable chunk_observers : chunk_observer list;
   mutable job : job option;
   mutable epoch : int;
   mutable next_lane : int;
@@ -105,6 +108,8 @@ let ctmon t = t.ctmon
 let chunk_samples t = t.chunk_samples
 let degraded t = match t.mode with Degraded _ -> true | Bitsliced -> false
 let set_fault_hook t hook = t.fault_hook <- hook
+
+let add_chunk_observer t f = t.chunk_observers <- t.chunk_observers @ [ f ]
 
 let stalled t (j : job) =
   match t.stall_timeout_ns with
@@ -203,6 +208,18 @@ let run_chunk t ~worker ~clone (j : job) c =
       (Ctgauss.Sampler.resamples clone - resamples0);
     Ctmon.record_chunk t.ctmon ~batches:!batches ~bits:(Bs.bits_consumed rng)
       ~samples:count ~deviations:!deviations ~fallbacks:!fallbacks);
+  (* Observers see each completed chunk exactly once (a retried chunk only
+     reaches this point on its successful attempt), on the worker domain
+     that filled it. *)
+  (match t.chunk_observers with
+  | [] -> ()
+  | observers ->
+    let view =
+      match j.sink with
+      | Array_sink a -> Array.sub a offset count
+      | Queue_sink _ -> out
+    in
+    List.iter (fun f -> f ~chunk:c ~lane view) observers);
   match j.sink with
   | Array_sink _ -> ()
   | Queue_sink q ->
@@ -420,6 +437,7 @@ let create ?domains ?(backend = Stream_fork.Chacha) ?(chunk_batches = 16)
       mutex = Mutex.create ();
       cond = Condition.create ();
       fault_hook = None;
+      chunk_observers = [];
       job = None;
       epoch = 0;
       next_lane = 0;

@@ -112,6 +112,20 @@ val set_fault_hook : t -> fault_hook option -> unit
 (** Install/remove the per-chunk-attempt hook.  Not synchronized with
     running jobs: set it while the pool is idle. *)
 
+type chunk_observer = chunk:int -> lane:int -> int array -> unit
+(** Called once per {e successfully} filled chunk with the chunk's signed
+    samples (a retried or re-run chunk is observed only on the attempt
+    that completes).  Runs on the worker domain that filled the chunk, so
+    observers must be thread-safe and must not mutate the array; chunk
+    order across domains is nondeterministic, but the multiset of
+    [(chunk, lane, samples)] triples per job is not — the hook feeding a
+    mergeable sketch therefore yields domain-count-independent state
+    ({!Ctg_assure.Drift} relies on this). *)
+
+val add_chunk_observer : t -> chunk_observer -> unit
+(** Append an observer.  Like {!set_fault_hook}, set while the pool is
+    idle. *)
+
 val batch_parallel : t -> n:int -> int array
 (** [n] signed samples, produced in parallel, deterministic in the master
     seed and the sequence of calls (each call consumes fresh lanes).

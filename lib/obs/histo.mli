@@ -3,9 +3,14 @@
     Buckets are geometric with four sub-buckets per power of two (values
     0–3 get exact buckets), so any recorded value lands in a bucket whose
     upper bound is at most 25% above its lower bound.  Quantile estimates
-    therefore carry a bounded relative error: for a non-empty histogram,
-    [quantile h q] lies in [[v, v + v/4 + 1]] where [v] is the exact
-    q-quantile of the recorded values — the property [test_obs] checks.
+    therefore carry a bounded relative error that follows directly from
+    the bucket width: a reported quantile is the upper bound of the bucket
+    holding the true rank-[ceil (q·count)] value [v], and that bound is at
+    most [v + v/4 + 1] (the [+1] covers integer rounding of sub-bucket
+    edges), i.e. for a non-empty histogram [quantile h q] lies in
+    [[v, v + v/4 + 1]].  The bound is tight at bucket boundaries — values
+    of the form [(4+s)·2^(m-2)] and their off-by-one neighbours — which is
+    exactly where the adversarial-input test in [test_obs] drives it.
 
     Merging is pointwise addition of bucket counts, which makes it
     associative and commutative: per-domain histograms recorded without

@@ -1,0 +1,170 @@
+type item =
+  | Type of { name : string; kind : string }
+  | Sample of { name : string; labels : (string * string) list; value : string }
+
+type t = item list
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let err line what = Error (Printf.sprintf "line %d: %s" line what)
+
+(* One label value, starting after the opening quote; returns (value,
+   position after the closing quote). *)
+let parse_quoted s pos =
+  let buf = Buffer.create 16 in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then None
+    else
+      match s.[i] with
+      | '"' -> Some (Buffer.contents buf, i + 1)
+      | '\\' ->
+        if i + 1 >= n then None
+        else begin
+          (match s.[i + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | c -> Buffer.add_char buf c);
+          go (i + 2)
+        end
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1)
+  in
+  go pos
+
+let parse_labels s pos =
+  let n = String.length s in
+  let rec go acc i =
+    if i >= n then None
+    else if s.[i] = '}' then Some (List.rev acc, i + 1)
+    else begin
+      let j = ref i in
+      while !j < n && is_name_char s.[!j] do
+        incr j
+      done;
+      if !j = i || !j + 1 >= n || s.[!j] <> '=' || s.[!j + 1] <> '"' then None
+      else
+        let key = String.sub s i (!j - i) in
+        match parse_quoted s (!j + 2) with
+        | None -> None
+        | Some (v, after) ->
+          if after < n && s.[after] = ',' then go ((key, v) :: acc) (after + 1)
+          else if after < n && s.[after] = '}' then
+            Some (List.rev ((key, v) :: acc), after + 1)
+          else None
+    end
+  in
+  go [] pos
+
+let parse_sample lineno line =
+  let n = String.length line in
+  let j = ref 0 in
+  while !j < n && is_name_char line.[!j] do
+    incr j
+  done;
+  if !j = 0 then err lineno "metric name expected"
+  else
+    let name = String.sub line 0 !j in
+    let labels, after =
+      if !j < n && line.[!j] = '{' then
+        match parse_labels line (!j + 1) with
+        | Some (ls, after) -> (Some ls, after)
+        | None -> (None, !j)
+      else (Some [], !j)
+    in
+    match labels with
+    | None -> err lineno "malformed label set"
+    | Some labels ->
+      if after >= n || line.[after] <> ' ' then
+        err lineno "space before value expected"
+      else
+        let value = String.sub line (after + 1) (n - after - 1) in
+        if value = "" || float_of_string_opt value = None then
+          err lineno (Printf.sprintf "unparseable value %S" value)
+        else Ok (Sample { name; labels; value })
+
+let parse_type lineno line =
+  match String.split_on_char ' ' line with
+  | [ "#"; "TYPE"; name; kind ]
+    when name <> "" && String.for_all is_name_char name
+         && List.mem kind [ "counter"; "gauge"; "histogram" ] ->
+    Ok (Type { name; kind })
+  | _ -> err lineno "malformed # TYPE comment"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | [ "" ] -> Ok (List.rev acc) (* trailing newline *)
+    | "" :: rest -> go acc (lineno + 1) rest
+    | line :: rest -> (
+      let item =
+        if String.length line > 0 && line.[0] = '#' then parse_type lineno line
+        else parse_sample lineno line
+      in
+      match item with
+      | Ok i -> go (i :: acc) (lineno + 1) rest
+      | Error _ as e -> e)
+  in
+  go [] 1 lines
+
+let escape_label v =
+  let buf = Buffer.create (String.length v + 4) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render items =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun item ->
+      match item with
+      | Type { name; kind } ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+      | Sample { name; labels; value } ->
+        Buffer.add_string buf name;
+        (match labels with
+        | [] -> ()
+        | ls ->
+          Buffer.add_char buf '{';
+          Buffer.add_string buf
+            (String.concat ","
+               (List.map
+                  (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+                  ls));
+          Buffer.add_char buf '}');
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf value;
+        Buffer.add_char buf '\n')
+    items;
+  Buffer.contents buf
+
+let value items ~name ~labels =
+  List.find_map
+    (function
+      | Sample s when s.name = name && s.labels = labels ->
+        float_of_string_opt s.value
+      | _ -> None)
+    items
+
+let samples items =
+  List.filter_map
+    (function
+      | Sample { name; labels; value } -> (
+        match float_of_string_opt value with
+        | Some v -> Some (name, labels, v)
+        | None -> None)
+      | Type _ -> None)
+    items

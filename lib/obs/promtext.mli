@@ -1,0 +1,31 @@
+(** Parser for the Prometheus text exposition format that
+    {!Registry.expose_text} emits — the consumer side of the contract.
+
+    Kept deliberately to the subset the registry writes: [# TYPE] comments
+    (counter/gauge/histogram), samples with an optional [{k="v",...}]
+    label set and a single value, label values with the standard
+    backslash-quote, backslash-backslash and backslash-n escapes.  The
+    structure is an ordered item list,
+    and sample values are kept as their source strings, so
+    [render (parse text) = text] holds exactly for registry output — the
+    round-trip property test_obs pins down. *)
+
+type item =
+  | Type of { name : string; kind : string }
+  | Sample of { name : string; labels : (string * string) list; value : string }
+
+type t = item list
+
+val parse : string -> (t, string) result
+(** Errors carry the 1-based line number.  Blank lines are skipped; every
+    sample value must parse as a float. *)
+
+val render : t -> string
+(** Re-emit; inverse of {!parse} on registry-produced text. *)
+
+val value : t -> name:string -> labels:(string * string) list -> float option
+(** First sample matching [(name, labels)] (labels in registry canonical
+    order, i.e. sorted by key). *)
+
+val samples : t -> (string * (string * string) list * float) list
+(** Every sample as [(name, labels, value)], in document order. *)

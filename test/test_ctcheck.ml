@@ -77,4 +77,80 @@ let tests =
         Alcotest.(check bool) "constant" false r.Dudect.leaky);
   ]
 
-let () = Alcotest.run "ctcheck" [ ("dudect", tests) ]
+(* The incremental accumulator: the base of the continuous assessor. *)
+let acc_tests =
+  [
+    Alcotest.test_case "two same-seed runs are bit-identical" `Quick (fun () ->
+        (* The determinism contract of the .mli, checked at the bit level:
+           same seed + same deterministic measure => identical class
+           sequence, identical Welford fold order, identical float bits. *)
+        let run () =
+          let a = Dudect.acc ~seed:42L () in
+          let rng = Ctg_prng.Splitmix64.create 1234L in
+          for _ = 1 to 5_000 do
+            Dudect.acc_step a (fun clazz ->
+                let noise = float_of_int (Ctg_prng.Splitmix64.next_int rng 7) in
+                match clazz with
+                | Dudect.Fix -> 100.0 +. noise
+                | Dudect.Random -> 101.5 +. noise)
+          done;
+          Dudect.acc_report a
+        in
+        let r1 = run () and r2 = run () in
+        let bits = Int64.bits_of_float in
+        Alcotest.(check int64) "t bits" (bits r1.Dudect.t_statistic)
+          (bits r2.Dudect.t_statistic);
+        Alcotest.(check int64) "mean_fix bits" (bits r1.Dudect.mean_fix)
+          (bits r2.Dudect.mean_fix);
+        Alcotest.(check int64) "mean_random bits" (bits r1.Dudect.mean_random)
+          (bits r2.Dudect.mean_random);
+        Alcotest.(check int) "samples" r1.Dudect.samples_per_class
+          r2.Dudect.samples_per_class;
+        Alcotest.(check bool) "leaky" r1.Dudect.leaky r2.Dudect.leaky);
+    Alcotest.test_case "different seeds interleave differently" `Quick
+      (fun () ->
+        let classes seed =
+          let a = Dudect.acc ~seed () in
+          List.init 64 (fun _ -> Dudect.acc_next_class a)
+        in
+        Alcotest.(check bool) "sequences differ" true
+          (classes 1L <> classes 2L));
+    Alcotest.test_case "test_ops equals a manual accumulator run" `Quick
+      (fun () ->
+        (* test_ops is specified as 2 x measurements steps of a fresh
+           default-seeded accumulator — pin that equivalence down. *)
+        let cfg = { config with Dudect.measurements = 3_000 } in
+        let f = function Dudect.Fix -> 5 | Dudect.Random -> 9 in
+        let one = Dudect.test_ops ~config:cfg f in
+        let a = Dudect.acc ~config:cfg () in
+        for _ = 1 to 2 * cfg.Dudect.measurements do
+          Dudect.acc_step a (fun c -> float_of_int (f c))
+        done;
+        let two = Dudect.acc_report a in
+        Alcotest.(check int64) "t bits"
+          (Int64.bits_of_float one.Dudect.t_statistic)
+          (Int64.bits_of_float two.Dudect.t_statistic);
+        Alcotest.(check int) "count" (Dudect.acc_count a)
+          (2 * cfg.Dudect.measurements));
+    Alcotest.test_case "running report converges on a planted leak" `Quick
+      (fun () ->
+        let a = Dudect.acc () in
+        let rng = Ctg_prng.Splitmix64.create 99L in
+        let below = ref 0 and above = ref 0 in
+        for _ = 1 to 4_000 do
+          Dudect.acc_step a (fun clazz ->
+              let noise = float_of_int (Ctg_prng.Splitmix64.next_int rng 4) in
+              match clazz with
+              | Dudect.Fix -> 10.0 +. noise
+              | Dudect.Random -> 12.0 +. noise);
+          let r = Dudect.acc_report a in
+          if Dudect.acc_count a < 20 then ignore r
+          else if r.Dudect.leaky then incr above
+          else incr below
+        done;
+        Alcotest.(check bool) "eventually flags" true (!above > 0);
+        let final = Dudect.acc_report a in
+        Alcotest.(check bool) "final verdict leaky" true final.Dudect.leaky);
+  ]
+
+let () = Alcotest.run "ctcheck" [ ("dudect", tests); ("accumulator", acc_tests) ]

@@ -267,6 +267,47 @@ let pool_tests =
             E.Metrics.reset (E.Pool.metrics p);
             let z = E.Metrics.snapshot (E.Pool.metrics p) in
             Alcotest.(check int) "reset" 0 z.E.Metrics.samples));
+    Alcotest.test_case "chunk observers see every sample exactly once" `Quick
+      (fun () ->
+        (* Observers run on worker domains in nondeterministic chunk order,
+           but the multiset of (chunk, samples) deliveries is fixed: sorting
+           the observed chunks by index must reassemble batch_parallel's
+           array, for both sink shapes. *)
+        let n = (16 * 63 * 3) + 17 in
+        let observe p =
+          let mutex = Mutex.create () in
+          let chunks = ref [] in
+          E.Pool.add_chunk_observer p (fun ~chunk ~lane samples ->
+              Mutex.lock mutex;
+              chunks := (chunk, lane, Array.copy samples) :: !chunks;
+              Mutex.unlock mutex);
+          let out = E.Pool.batch_parallel p ~n in
+          (out, List.sort compare !chunks)
+        in
+        let reassemble chunks =
+          Array.concat (List.map (fun (_, _, s) -> s) chunks)
+        in
+        with_pool ~domains:3 (fun p ->
+            let out, chunks = observe p in
+            Alcotest.(check (array int)) "array sink" out (reassemble chunks);
+            (* Lanes are the job's consecutive range: chunk c -> lane_base + c. *)
+            let lanes = List.map (fun (c, l, _) -> l - c) chunks in
+            Alcotest.(check bool) "constant lane base" true
+              (List.for_all (fun b -> b = List.hd lanes) lanes));
+        with_pool ~domains:2 (fun p ->
+            (* Queue sink: the observer array is the queued chunk itself. *)
+            let mutex = Mutex.create () in
+            let chunks = ref [] in
+            E.Pool.add_chunk_observer p (fun ~chunk ~lane:_ samples ->
+                Mutex.lock mutex;
+                chunks := (chunk, 0, Array.copy samples) :: !chunks;
+                Mutex.unlock mutex);
+            let streamed = ref [] in
+            E.Pool.iter_batches p ~n (fun c -> streamed := Array.copy c :: !streamed);
+            let streamed = Array.concat (List.rev !streamed) in
+            Alcotest.(check (array int))
+              "queue sink" streamed
+              (reassemble (List.sort compare !chunks))));
   ]
 
 let sign_many_tests =

@@ -9,6 +9,7 @@ module Registry = Ctg_obs.Registry
 module Trace = Ctg_obs.Trace
 module Jsonx = Ctg_obs.Jsonx
 module Ctmon = Ctg_obs.Ctmon
+module Promtext = Ctg_obs.Promtext
 
 (* --------------------------------------------------------------------- *)
 (* Histograms *)
@@ -97,6 +98,31 @@ let test_histo_edge_cases () =
          hi)
        (-1) b)
 
+(* Adversarial inputs for the quantile bound: the log-bucket boundaries
+   (4+s)*2^(m-2) and their off-by-one neighbours, which is exactly where
+   the relative bucket width — and hence the documented error v/4 + 1 —
+   peaks.  A random values_gen draw almost never lands on these. *)
+let test_histo_adversarial_boundaries () =
+  let xs = ref [] in
+  for m = 2 to 24 do
+    for s = 0 to 3 do
+      let b = (4 + s) * (1 lsl (m - 2)) in
+      xs := (b - 1) :: b :: (b + 1) :: !xs
+    done
+  done;
+  let xs = !xs in
+  let h = histo_of_list xs in
+  List.iter
+    (fun q ->
+      let v = exact_quantile xs q in
+      let e = Histo.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%g: estimate %d within [%d, %d]" q e v
+           (v + (v / 4) + 1))
+        true
+        (v <= e && e <= v + (v / 4) + 1))
+    [ 0.0; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ]
+
 (* --------------------------------------------------------------------- *)
 (* Registry *)
 
@@ -165,6 +191,57 @@ let test_registry_json_parses_back () =
       | None -> Alcotest.fail "missing metrics array"
     in
     Alcotest.(check int) "two metrics" 2 (List.length metrics)
+
+let test_promtext_roundtrip () =
+  (* The /metrics contract: Promtext.parse consumes exactly what
+     Registry.expose_text writes, and render inverts it byte-for-byte —
+     including escaped label values and histogram expansion. *)
+  let r = Registry.create () in
+  Registry.add
+    (Registry.counter r
+       ~labels:[ ("lane", "3"); ("sigma", "6.15543") ]
+       "assure_samples_total")
+    12345;
+  Registry.add (Registry.counter r "plain_total") 1;
+  Registry.set_gauge
+    (Registry.gauge r ~labels:[ ("probe", "a\"b\\c\nd") ] "leak_t")
+    (-3.75);
+  let h = Registry.histo r "service_ns" in
+  List.iter (Registry.observe h) [ 1; 5; 17; 4096 ];
+  let text = Registry.expose_text r in
+  match Promtext.parse text with
+  | Error e -> Alcotest.failf "Promtext.parse rejected expose_text: %s" e
+  | Ok items ->
+    Alcotest.(check string) "render inverts parse" text (Promtext.render items);
+    Alcotest.(check (option (float 1e-9)))
+      "labeled counter readable" (Some 12345.0)
+      (Promtext.value items ~name:"assure_samples_total"
+         ~labels:[ ("lane", "3"); ("sigma", "6.15543") ]);
+    Alcotest.(check (option (float 1e-9)))
+      "escapes survive the trip" (Some (-3.75))
+      (Promtext.value items ~name:"leak_t"
+         ~labels:[ ("probe", "a\"b\\c\nd") ]);
+    Alcotest.(check (option (float 1e-9)))
+      "histogram count expanded" (Some 4.0)
+      (Promtext.value items ~name:"service_ns_count" ~labels:[]);
+    let names =
+      List.filter_map (function
+        | Promtext.Type { name; _ } -> Some name
+        | Promtext.Sample _ -> None)
+      items
+    in
+    Alcotest.(check bool) "one TYPE per family" true
+      (List.length names = List.length (List.sort_uniq compare names))
+
+let test_promtext_rejects_garbage () =
+  (match Promtext.parse "this is { not metrics" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error e ->
+    Alcotest.(check bool) "error names a line" true
+      (String.length e > 0));
+  match Promtext.parse "x_total nan_but_not 1" with
+  | Ok _ -> Alcotest.fail "accepted a non-float sample"
+  | Error _ -> ()
 
 let test_registry_reset_generation () =
   let r = Registry.create () in
@@ -472,7 +549,11 @@ let () =
             test_histo_merge_counts;
             test_histo_quantile_bound;
           ]
-        @ [ Alcotest.test_case "edge cases" `Quick test_histo_edge_cases ] );
+        @ [
+            Alcotest.test_case "edge cases" `Quick test_histo_edge_cases;
+            Alcotest.test_case "adversarial bucket boundaries" `Quick
+              test_histo_adversarial_boundaries;
+          ] );
       ( "registry",
         [
           Alcotest.test_case "counters and gauges" `Quick test_registry_basics;
@@ -503,6 +584,13 @@ let () =
             test_trace_disabled_is_free_of_effects;
           Alcotest.test_case "exception still records" `Quick
             test_trace_exception_still_records;
+        ] );
+      ( "promtext",
+        [
+          Alcotest.test_case "expose_text round-trips" `Quick
+            test_promtext_roundtrip;
+          Alcotest.test_case "rejects malformed text" `Quick
+            test_promtext_rejects_garbage;
         ] );
       ( "jsonx",
         [

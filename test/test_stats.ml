@@ -79,6 +79,34 @@ let chi_tests =
         in
         (* 3 tail bins merge into one: dof = 2 - 1. *)
         Alcotest.(check int) "dof" 1 r.Chi.dof);
+    Alcotest.test_case "left edge: small leading bins merge rightwards" `Quick
+      (fun () ->
+        (* Leading bins accumulate left-to-right until the expected count
+           reaches 5, so [0.5; 0.5; 4.5] is ONE group with the documented
+           statistic — not three invalid cells. *)
+        let r =
+          Chi.test
+            ~observed:[| 1; 0; 4; 200 |]
+            ~expected:[| 0.5; 0.5; 4.5; 200.0 |]
+        in
+        Alcotest.(check int) "dof" 1 r.Chi.dof;
+        let d1 = 5.0 -. 5.5 in
+        feq "stat" ((d1 *. d1 /. 5.5) +. 0.0) r.Chi.statistic);
+    Alcotest.test_case "right edge: trailing leftover joins the last group"
+      `Quick (fun () ->
+        (* The trailing sub-5 run cannot form its own group; it folds into
+           the last emitted one, so every observation still contributes
+           exactly once (conservation, not truncation). *)
+        let r =
+          Chi.test
+            ~observed:[| 100; 100; 3; 1 |]
+            ~expected:[| 100.0; 100.0; 1.5; 0.5 |]
+        in
+        (* Groups: [100] and [100; 3; 1] -> dof 1; the second group's
+           expected mass is 102, observed 104. *)
+        Alcotest.(check int) "dof" 1 r.Chi.dof;
+        let d2 = 104.0 -. 102.0 in
+        feq "stat" (d2 *. d2 /. 102.0) r.Chi.statistic);
   ]
 
 let welch_tests =
@@ -219,6 +247,89 @@ let prop_tests =
           let exp_counts = Array.map (fun pi -> pi *. float_of_int trials) p in
           let r = Chi.test ~observed:obs ~expected:exp_counts in
           r.Chi.p_value >= 0.0 && r.Chi.p_value <= 1.0);
+      (* Bin merging, as documented in chi_square.mli: scan left to right
+         accumulating observed/expected until the expected mass reaches 5,
+         emit a group, continue; a trailing sub-5 run folds into the last
+         emitted group.  The reference below re-derives the merged groups
+         independently; statistic and dof must agree bit-for-bit with the
+         implementation on arbitrary inputs with sub-5 runs at BOTH edges. *)
+      (let arb_bins =
+         let print (o, e) =
+           Printf.sprintf "observed=[%s] expected=[%s]"
+             (String.concat ";"
+                (Array.to_list (Array.map string_of_int o)))
+             (String.concat ";"
+                (Array.to_list (Array.map string_of_float e)))
+         in
+         QCheck.make ~print
+           (QCheck.Gen.map
+              (fun (n, seed) ->
+                let rng =
+                  Ctg_prng.Splitmix64.create (Int64.of_int ((seed * 31) + 17))
+                in
+                (* Mix sub-5 and super-5 expected masses so both edges of
+                   the support routinely start and end with small bins. *)
+                let e =
+                  Array.init n (fun _ ->
+                      if Ctg_prng.Splitmix64.next_int rng 2 = 0 then
+                        0.05 +. (4.0 *. Ctg_prng.Splitmix64.next_float rng)
+                      else 5.0 +. (20.0 *. Ctg_prng.Splitmix64.next_float rng))
+                in
+                let o =
+                  Array.init n (fun i ->
+                      Ctg_prng.Splitmix64.next_int rng
+                        (1 + int_of_float (2.0 *. e.(i))))
+                in
+                (o, e))
+              (QCheck.Gen.pair (QCheck.Gen.int_range 2 12) QCheck.Gen.nat))
+       in
+       let reference_groups o e =
+         let groups = ref [] in
+         let acc_o = ref 0 and acc_e = ref 0.0 in
+         Array.iteri
+           (fun i oi ->
+             acc_o := !acc_o + oi;
+             acc_e := !acc_e +. e.(i);
+             if !acc_e >= 5.0 then begin
+               groups := (!acc_o, !acc_e) :: !groups;
+               acc_o := 0;
+               acc_e := 0.0
+             end)
+           o;
+         if !acc_o > 0 || !acc_e > 0.0 then
+           (match !groups with
+           | [] -> groups := [ (!acc_o, !acc_e) ]
+           | (go, ge) :: rest ->
+             groups := (go + !acc_o, ge +. !acc_e) :: rest);
+         (* Latest group first — the order the implementation folds in,
+            which matters for bit-identical float accumulation. *)
+         !groups
+       in
+       Test.make ~name:"chi2 bin merging matches the documented edge rule"
+         ~count:300 arb_bins (fun (o, e) ->
+           let groups = reference_groups o e in
+           (* Conservation: merging never drops or double-counts. *)
+           let sum_o = List.fold_left (fun a (go, _) -> a + go) 0 groups in
+           assert (sum_o = Array.fold_left ( + ) 0 o);
+           (* Every group reaches expected >= 5 unless the whole support
+              collapsed into a single undersized group. *)
+           assert (
+             List.for_all (fun (_, ge) -> ge >= 5.0) groups
+             || List.length groups = 1);
+           let stat =
+             List.fold_left
+               (fun a (go, ge) ->
+                 if ge <= 0.0 then a
+                 else
+                   let d = float_of_int go -. ge in
+                   a +. (d *. d /. ge))
+               0.0 groups
+           in
+           let r = Chi.test ~observed:o ~expected:e in
+           r.Chi.dof = max 1 (List.length groups - 1)
+           && Int64.bits_of_float r.Chi.statistic = Int64.bits_of_float stat
+           && r.Chi.p_value >= 0.0
+           && r.Chi.p_value <= 1.0));
     ]
 
 let () =
