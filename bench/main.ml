@@ -767,6 +767,34 @@ let cmd_assure ?(smoke = false) () =
   end
 
 (* -------------------------------------------------------------------- *)
+(* Serve: signing-daemon SLO gate (and BENCH_serve.json)                 *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_serve ?(smoke = false) () =
+  section
+    (if smoke then "Serve: daemon SLO gate (smoke run)"
+     else "Serve: signing-daemon latency SLO vs direct sign_many");
+  let per_tenant = if smoke then 12 else 24 in
+  printf
+    "daemon on an ephemeral port, 3 tenants x %d concurrent requests, \
+     client-observed latency@.@."
+    per_tenant;
+  let entry = Ctg_serve.Serve_bench.measure ~n:16 ~tenants:3 ~per_tenant () in
+  printf "  %a@." Ctg_serve.Serve_bench.pp_entry entry;
+  let path = if smoke then "BENCH_serve_smoke.json" else "BENCH_serve.json" in
+  Ctg_serve.Serve_bench.save path [ entry ];
+  printf "@.wrote %s@." path;
+  if Ctg_serve.Serve_bench.ok entry then
+    printf "OK: p99 within %.0fx of direct signing, coalescing observed, \
+            nothing shed@."
+      Ctg_serve.Serve_bench.slo_mult
+  else begin
+    printf "FAIL: serving SLO missed (tail latency, coalescing, shed, or \
+            health)@.";
+    exit 1
+  end
+
+(* -------------------------------------------------------------------- *)
 (* History: perf trajectory over the committed BENCH baselines           *)
 (* -------------------------------------------------------------------- *)
 
@@ -940,10 +968,10 @@ let usage () =
     "usage: main.exe [all|table1|table2|fig1|fig2|fig3|fig4|fig5|delta|@.";
   printf "                 prng-overhead|dudect|ablation-min|ablation-chain|@.";
   printf "                 precision|large-sigma|sampler-quality|engine|@.";
-  printf "                 gates|sign-many|obs|fault|assure|history|micro]@.";
+  printf "                 gates|sign-many|obs|fault|assure|serve|history|micro]@.";
   printf "        [--full]        (fig5 at the paper's 64x10^7 samples)@.";
   printf
-    "        [--smoke]       (obs/fault/assure: CI-sized windows -> \
+    "        [--smoke]       (obs/fault/assure/serve: CI-sized windows -> \
      BENCH_*_smoke.json)@.";
   printf "        [--trace FILE]  (record spans, write Chrome trace JSON)@."
 
@@ -993,6 +1021,7 @@ let () =
   | "obs" -> cmd_obs ~smoke ()
   | "fault" -> cmd_fault ~smoke ()
   | "assure" -> cmd_assure ~smoke ()
+  | "serve" -> cmd_serve ~smoke ()
   | "history" -> cmd_history ()
   | "micro" -> cmd_micro ()
   | "all" ->

@@ -1,0 +1,322 @@
+(* ctg_serve: the multi-tenant Falcon signing daemon.
+
+     ctg_serve run [--port 8732] [--n 64] ...   # serve until SIGINT/SIGTERM
+     ctg_serve client --tenant alice -m "msg"   # sign over HTTP and verify
+     ctg_serve smoke [--json FILE]              # in-process e2e for CI
+
+   [run] drains gracefully on SIGINT/SIGTERM: the listener closes,
+   in-flight batches complete, the drift window flushes, then the final
+   counters are printed.  [smoke] boots a daemon on an ephemeral port,
+   fires concurrent clients from several tenants, verifies every returned
+   signature against the advertised public key, and checks the batching
+   and health invariants CI gates on. *)
+
+open Cmdliner
+module Obs = Ctg_obs
+module Jsonx = Obs.Jsonx
+module F = Ctg_falcon
+module Serve = Ctg_serve
+module Client = Ctg_net.Client
+
+(* ------------------------------------------------------------------ *)
+(* Config plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let config_of ~n ~sigma ~port ~host ~queue ~batch ~linger ~domains ~workers
+    ~no_check =
+  {
+    Serve.Daemon.default_config with
+    n;
+    sigma;
+    port;
+    host;
+    queue_capacity = queue;
+    max_batch = batch;
+    linger;
+    sign_domains = domains;
+    http_workers = workers;
+    check = not no_check;
+  }
+
+let common_args =
+  let n =
+    Arg.(value & opt int 64
+         & info [ "n" ] ~docv:"N"
+             ~doc:"Ring degree (power of two; 256/512/1024 = Falcon levels).")
+  in
+  let sigma =
+    Arg.(value & opt string "2" & info [ "sigma" ] ~docv:"S"
+         ~doc:"Base sampler sigma.")
+  in
+  n, sigma
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run n sigma host port queue batch linger domains workers no_check =
+  let config =
+    config_of ~n ~sigma ~port ~host ~queue ~batch ~linger ~domains ~workers
+      ~no_check
+  in
+  Format.printf "compiling sigma=%s sampler and starting daemon...@." sigma;
+  let d = Serve.Daemon.create config in
+  Format.printf "ctg_serve listening on %s:%d (n=%d, queue=%d, batch<=%d)@."
+    host (Serve.Daemon.port d) n queue batch;
+  Format.printf "  POST /v1/sign?tenant=T   GET /v1/pubkey?tenant=T@.";
+  Format.printf "  GET /metrics /healthz /drift.json /v1/tenants@.";
+  let stop_flag = Atomic.make false in
+  let request_stop _ = Atomic.set stop_flag true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  while not (Atomic.get stop_flag) do
+    (* sleepf returns early (EINTR) when a signal lands. *)
+    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Format.printf "@.draining...@.";
+  Serve.Daemon.stop d;
+  Format.printf
+    "served %d requests in %d batches (%d shed), healthy=%b@."
+    (Serve.Daemon.requests d) (Serve.Daemon.batches d)
+    (Serve.Daemon.batcher_shed d) (Serve.Daemon.healthy d)
+
+let run_cmd =
+  let n, sigma = common_args in
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(value & opt int 8732 & info [ "port"; "p" ] ~docv:"PORT"
+         ~doc:"Listen port (0 = ephemeral).")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+         ~doc:"Sign queue capacity; excess load is shed with 429.")
+  in
+  let batch =
+    Arg.(value & opt int 16 & info [ "max-batch" ] ~docv:"N"
+         ~doc:"Max sign requests coalesced into one batch.")
+  in
+  let linger =
+    Arg.(value & opt float 0.002 & info [ "linger" ] ~docv:"SEC"
+         ~doc:"Coalescing window after the first request of a cycle.")
+  in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains"; "d" ] ~docv:"P"
+         ~doc:"Signing worker domains (default: recommended count).")
+  in
+  let workers =
+    Arg.(value & opt int 8 & info [ "http-workers" ] ~docv:"P"
+         ~doc:"HTTP worker domains.")
+  in
+  let no_check =
+    Arg.(value & flag
+         & info [ "no-check" ] ~doc:"Skip verify-after-sign in the batch run.")
+  in
+  let doc = "serve Falcon signatures over HTTP until SIGINT/SIGTERM" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ n $ sigma $ host $ port $ queue $ batch $ linger
+          $ domains $ workers $ no_check)
+
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fail fmt = Format.kasprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let member_exn name j =
+  match Jsonx.member name j with
+  | Some v -> v
+  | None -> fail "response is missing %S" name
+
+let str_exn name j =
+  match Jsonx.to_str (member_exn name j) with
+  | Some s -> s
+  | None -> fail "response field %S is not a string" name
+
+let int_exn name j =
+  match Jsonx.to_int (member_exn name j) with
+  | Some i -> i
+  | None -> fail "response field %S is not an int" name
+
+let parse_json body =
+  match Jsonx.parse body with
+  | Ok j -> j
+  | Error e -> fail "bad JSON in response: %s" e
+
+(* Fetch a tenant's public key and return (params, h, bound_sq). *)
+let fetch_pubkey c ~tenant =
+  let r =
+    Client.request c ~meth:"GET" ~path:("/v1/pubkey?tenant=" ^ tenant) ()
+  in
+  if r.Client.status <> 200 then
+    fail "GET /v1/pubkey -> %d: %s" r.Client.status (String.trim r.Client.body);
+  let j = parse_json r.Client.body in
+  let n = int_exn "n" j in
+  let params = Serve.Daemon.params_of_n n in
+  let pk = Ctg_util.Hex.decode (str_exn "pk" j) in
+  match F.Codec.decode_public_key ~n pk with
+  | Some h -> (params, h, F.Sign.norm_bound_sq params)
+  | None -> fail "could not decode public key for %s" tenant
+
+let sign_once c ~tenant ~msg =
+  let r =
+    Client.request c ~meth:"POST" ~path:("/v1/sign?tenant=" ^ tenant)
+      ~body:(Bytes.to_string msg) ()
+  in
+  if r.Client.status <> 200 then
+    fail "POST /v1/sign -> %d: %s" r.Client.status (String.trim r.Client.body);
+  parse_json r.Client.body
+
+let verify_response ~params ~h ~bound_sq ~msg j =
+  let sig_bytes = Ctg_util.Hex.decode (str_exn "sig" j) in
+  match F.Codec.decode_signature ~params sig_bytes with
+  | None -> fail "undecodable signature in response"
+  | Some (salt, s2) ->
+    if not (F.Verify.verify ~params ~h ~bound_sq ~msg ~salt ~s2) then
+      fail "signature did NOT verify";
+    Bytes.length sig_bytes
+
+let client host port tenant message =
+  let c = Client.connect ~host ~port () in
+  let params, h, bound_sq = fetch_pubkey c ~tenant in
+  let msg = Bytes.of_string message in
+  let j = sign_once c ~tenant ~msg in
+  let bytes = verify_response ~params ~h ~bound_sq ~msg j in
+  Client.close c;
+  Format.printf
+    "tenant=%s verified OK: %d signature bytes, %d attempt(s), batch=%d@."
+    tenant bytes (int_exn "attempts" j) (int_exn "batch" j)
+
+let client_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Daemon address.")
+  in
+  let port =
+    Arg.(value & opt int 8732 & info [ "port"; "p" ] ~docv:"PORT"
+         ~doc:"Daemon port.")
+  in
+  let tenant =
+    Arg.(value & opt string "demo" & info [ "tenant"; "t" ] ~docv:"NAME"
+         ~doc:"Tenant to sign as.")
+  in
+  let message =
+    Arg.(value & opt string "hello, falcon" & info [ "message"; "m" ]
+         ~docv:"MSG" ~doc:"Message to sign.")
+  in
+  let doc = "sign one message over HTTP and verify the result locally" in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(const client $ host $ port $ tenant $ message)
+
+(* ------------------------------------------------------------------ *)
+(* smoke                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let smoke json_out =
+  let tenants = [| "alice"; "bob"; "carol" |] in
+  let per_tenant = 12 in
+  let config =
+    { Serve.Daemon.default_config with port = 0; n = 16; queue_capacity = 64;
+      max_batch = 8; linger = 0.01 }
+  in
+  Format.printf "booting daemon on an ephemeral port (n=%d)...@." config.n;
+  let d = Serve.Daemon.create config in
+  let port = Serve.Daemon.port d in
+  Format.printf "up on 127.0.0.1:%d; %d tenants x %d concurrent requests@."
+    port (Array.length tenants) per_tenant;
+  (* One domain per tenant, each with its own keep-alive connection, all
+     hammering concurrently so the linger window actually coalesces. *)
+  let failures = Atomic.make 0 in
+  let signers =
+    Array.map
+      (fun tenant ->
+        Domain.spawn (fun () ->
+            let c = Client.connect ~port () in
+            let params, h, bound_sq = fetch_pubkey c ~tenant in
+            for i = 1 to per_tenant do
+              let msg = Bytes.of_string (Printf.sprintf "%s-msg-%d" tenant i) in
+              let j = sign_once c ~tenant ~msg in
+              ignore (verify_response ~params ~h ~bound_sq ~msg j : int);
+              if str_exn "tenant" j <> tenant then Atomic.incr failures
+            done;
+            Client.close c))
+      tenants
+  in
+  Array.iter Domain.join signers;
+  (* Scrape and check the serving invariants. *)
+  let metrics = Client.one_shot ~port ~meth:"GET" ~path:"/metrics" () in
+  if metrics.Client.status <> 200 then fail "/metrics -> %d" metrics.Client.status;
+  let health = Client.one_shot ~port ~meth:"GET" ~path:"/healthz" () in
+  let requests = Serve.Daemon.requests d in
+  let batches = Serve.Daemon.batches d in
+  let shed = Serve.Daemon.batcher_shed d in
+  let mean_batch =
+    if batches = 0 then 0.0 else float_of_int requests /. float_of_int batches
+  in
+  Serve.Daemon.stop d;
+  let expected = Array.length tenants * per_tenant in
+  let checks =
+    [
+      ("all requests served", requests = expected && Atomic.get failures = 0);
+      ("coalescing (mean batch > 1)", mean_batch > 1.0);
+      ("no shedding at this load", shed = 0);
+      ("/healthz 200", health.Client.status = 200);
+      ( "per-tenant metrics exposed",
+        Array.for_all
+          (fun t ->
+            contains metrics.Client.body (Printf.sprintf "tenant=\"%s\"" t))
+          tenants );
+    ]
+  in
+  List.iter
+    (fun (name, ok) ->
+      Format.printf "  %s %s@." (if ok then "ok  " else "FAIL") name)
+    checks;
+  Format.printf
+    "served %d requests in %d batches (mean %.2f), %d shed, healthy=%b@."
+    requests batches mean_batch shed (Serve.Daemon.healthy d);
+  (match json_out with
+  | Some path ->
+    let j =
+      Jsonx.Obj
+        [
+          ("requests", Jsonx.Num (float_of_int requests));
+          ("batches", Jsonx.Num (float_of_int batches));
+          ("mean_batch", Jsonx.Num mean_batch);
+          ("shed", Jsonx.Num (float_of_int shed));
+          ("healthy", Jsonx.Bool (health.Client.status = 200));
+          ( "checks",
+            Jsonx.Obj (List.map (fun (n, ok) -> (n, Jsonx.Bool ok)) checks) );
+        ]
+    in
+    let oc = open_out path in
+    output_string oc (Jsonx.pretty j ^ "\n");
+    close_out oc;
+    Format.printf "wrote %s@." path
+  | None -> ());
+  if not (List.for_all snd checks) then exit 1
+
+let smoke_cmd =
+  let json_out =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+         ~doc:"Write the machine-readable verdict here.")
+  in
+  let doc =
+    "in-process e2e smoke: boot a daemon, sign concurrently from several \
+     tenants over HTTP, verify every signature, check batching and health"
+  in
+  Cmd.v (Cmd.info "smoke" ~doc) Term.(const smoke $ json_out)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "multi-tenant Falcon signing daemon with request batching" in
+  let info = Cmd.info "ctg_serve" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; client_cmd; smoke_cmd ]))

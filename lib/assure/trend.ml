@@ -28,6 +28,7 @@ let default_files =
     "BENCH_obs.json";
     "BENCH_fault.json";
     "BENCH_assure.json";
+    "BENCH_serve.json";
   ]
 
 (* Flatten every numeric leaf of a baseline file to (path, value).  List

@@ -1,0 +1,32 @@
+(** A persistent team of helper domains for successive parallel-for jobs —
+    the pool-submission seam the serving layer batches signatures through.
+
+    {!Pool.parallel_for} spawns and joins fresh domains per call; fine for
+    one CLI batch, too heavy for a daemon dispatching a small
+    [Sign.sign_many] batch every few milliseconds.  A workforce parks its
+    helpers between jobs, so submitting a job costs one broadcast instead
+    of [domains − 1] spawns.
+
+    Scheduling semantics match {!Pool.parallel_for} exactly: an atomic
+    cursor over [0 .. n-1], the calling domain participates, [f] must be
+    safe to run concurrently for distinct [i], the first error cancels
+    remaining iterations and is re-raised on the caller.  One job runs at
+    a time; concurrent {!run} calls serialize (daemon batches are already
+    serialized by the batcher). *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** Spawn [domains − 1] helper domains (default
+    [Domain.recommended_domain_count ()]); the caller's domain is the
+    remaining worker. *)
+
+val domains : t -> int
+
+val run : t -> n:int -> (int -> unit) -> unit
+(** Run [f i] for every [i < n] across the team, caller participating.
+    Deterministic in what is computed, not in who computes it.
+    @raise Invalid_argument when [n < 0] or after {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Join the helpers.  Idempotent; subsequent {!run} calls raise. *)

@@ -4,10 +4,10 @@ type kind =
   | Paper of Ctg_samplers.Sampler_sig.instance
   | Ideal
 
-type t = { kind : kind; mutable calls : int }
+type t = { kind : kind; observe : (int -> unit) option; mutable calls : int }
 
-let of_instance inst = { kind = Paper inst; calls = 0 }
-let ideal () = { kind = Ideal; calls = 0 }
+let of_instance ?observe inst = { kind = Paper inst; observe; calls = 0 }
+let ideal () = { kind = Ideal; observe = None; calls = 0 }
 
 let name t =
   match t.kind with
@@ -24,6 +24,7 @@ let sample_around t rng ~center ~sigma' =
   match t.kind with
   | Paper inst ->
     let base = Ctg_samplers.Sampler_sig.sample_signed inst rng in
+    (match t.observe with Some f -> f base | None -> ());
     Float.to_int (Float.round center) + base
   | Ideal ->
     (* Box-Muller, then round: a continuous-Gaussian stand-in for the

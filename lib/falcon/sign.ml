@@ -181,15 +181,30 @@ let sign ?fault_hook ?(check = true) kp base rng ~msg =
   in
   attempt 1
 
-let sign_many ?domains ?backend ?fault_hook ?check kp ~make_base ~seed ~msgs =
+let sign_many ?domains ?backend ?workforce ?lanes ?fault_hook ?check kp
+    ~make_base ~seed ~msgs =
   let n = Array.length msgs in
+  (match lanes with
+  | Some l when Array.length l <> n ->
+    invalid_arg "Sign.sign_many: lanes length must match msgs"
+  | _ -> ());
+  let lane_of i = match lanes with Some l -> l.(i) | None -> i in
   let out = Array.make n None in
   (* One lane and one fresh base sampler per message: the signature of
-     message i is independent of scheduling and of the domain count. *)
-  Ctg_engine.Pool.parallel_for ?domains ~n (fun i ->
-      let rng = Ctg_engine.Stream_fork.bitstream ?backend ~seed ~lane:i () in
-      let base = make_base () in
-      out.(i) <- Some (sign ?fault_hook ?check kp base rng ~msg:msgs.(i)));
+     message i is independent of scheduling and of the domain count.  A
+     serving batch passes explicit [lanes] (assigned at enqueue time), so
+     the signature of a request is also independent of which batch it
+     landed in. *)
+  let body i =
+    let rng =
+      Ctg_engine.Stream_fork.bitstream ?backend ~seed ~lane:(lane_of i) ()
+    in
+    let base = make_base () in
+    out.(i) <- Some (sign ?fault_hook ?check kp base rng ~msg:msgs.(i))
+  in
+  (match workforce with
+  | Some w -> Ctg_engine.Workforce.run w ~n body
+  | None -> Ctg_engine.Pool.parallel_for ?domains ~n body);
   Array.map
     (function Some s -> s | None -> failwith "Sign.sign_many: missing result")
     out

@@ -44,6 +44,8 @@ val sign :
 val sign_many :
   ?domains:int ->
   ?backend:Ctg_engine.Stream_fork.backend ->
+  ?workforce:Ctg_engine.Workforce.t ->
+  ?lanes:int array ->
   ?fault_hook:fault_hook ->
   ?check:bool ->
   Keygen.keypair ->
@@ -53,9 +55,13 @@ val sign_many :
   signature array
 (** Sign independent messages across domains (the Table 1 workload at
     service scale).  Message [i] always draws its salt and ffSampling
-    randomness from {!Ctg_engine.Stream_fork} lane [i] of [seed] and from a
-    fresh [make_base ()] instance, so the result array is identical for any
-    [domains] (default [Domain.recommended_domain_count ()]).  [make_base]
+    randomness from {!Ctg_engine.Stream_fork} lane [lanes.(i)] of [seed]
+    (default lane [i]) and from a fresh [make_base ()] instance, so the
+    result array is identical for any [domains] (default
+    [Domain.recommended_domain_count ()]) — and, with explicit [lanes],
+    independent of how a serving batch was composed.  [workforce] runs the
+    fan-out on a persistent {!Ctg_engine.Workforce} instead of spawning
+    fresh domains per call (the daemon's batching path).  [make_base]
     must return a fresh, unshared sampler on every call — pass e.g.
     [fun () -> Base_sampler.of_instance
        (Ctg_samplers.Sampler_sig.of_bitsliced (Ctgauss.Sampler.clone master))]

@@ -1,0 +1,45 @@
+(** Minimal HTTP/1.1 client over one keep-alive connection (blocking,
+    stdlib-[Unix]) — for the smoke clients, the serve bench and tests.
+    Not a general client: responses must be [Content-Length]-framed or
+    close-delimited, which is all {!Http} emits. *)
+
+type response = {
+  status : int;
+  headers : (string * string) list;  (** Names lowercased. *)
+  body : string;
+}
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** TCP connect (default host 127.0.0.1).
+    Raises [Unix.Unix_error] on failure. *)
+
+val close : t -> unit
+
+val request :
+  t ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  meth:string ->
+  path:string ->
+  unit ->
+  response
+(** One request/response on the connection; reusable while the server
+    keeps the connection alive.  [Content-Length] is added automatically
+    for non-empty bodies and every non-GET request.  Raises [Failure] on
+    protocol errors and [Unix.Unix_error] on transport errors. *)
+
+val one_shot :
+  ?host:string ->
+  port:int ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  meth:string ->
+  path:string ->
+  unit ->
+  response
+(** Connect, send one request, read the response, close. *)
+
+val get : ?host:string -> port:int -> string -> response
+val post : ?host:string -> port:int -> ?body:string -> string -> response

@@ -1,154 +1,7 @@
-type response = { status : int; content_type : string; body : string }
+(* Thin re-export: the HTTP server grew into the shared Ctg_net.Http stack
+   (keep-alive, request bodies, worker team, graceful drain) so the signing
+   daemon and the metrics endpoint serve from one implementation.  Existing
+   Obs.Http callers — Monitor.routes, ctg_stats serve, the tests — keep
+   working unchanged. *)
 
-let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body
-    =
-  { status; content_type; body }
-
-type route = string * (unit -> response)
-
-let status_text = function
-  | 200 -> "OK"
-  | 400 -> "Bad Request"
-  | 404 -> "Not Found"
-  | 405 -> "Method Not Allowed"
-  | 500 -> "Internal Server Error"
-  | _ -> "Status"
-
-let render_response r =
-  Printf.sprintf
-    "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
-     close\r\n\r\n%s"
-    r.status (status_text r.status) r.content_type
-    (String.length r.body)
-    r.body
-
-let handle ~routes path =
-  (* The query string never selects a route. *)
-  let path =
-    match String.index_opt path '?' with
-    | Some i -> String.sub path 0 i
-    | None -> path
-  in
-  match List.assoc_opt path routes with
-  | None ->
-    response ~status:404 (Printf.sprintf "no route for %s\n" path)
-  | Some f -> (
-    try f ()
-    with e ->
-      response ~status:500 (Printf.sprintf "handler error: %s\n" (Printexc.to_string e)))
-
-let handle_request ~routes raw =
-  let request_line =
-    match String.index_opt raw '\r' with
-    | Some i -> String.sub raw 0 i
-    | None -> ( match String.index_opt raw '\n' with
-      | Some i -> String.sub raw 0 i
-      | None -> raw)
-  in
-  match String.split_on_char ' ' request_line with
-  | [ "GET"; path; _version ] -> handle ~routes path
-  | [ meth; _; _ ] ->
-    response ~status:405 (Printf.sprintf "method %s not allowed\n" meth)
-  | _ -> response ~status:400 "malformed request line\n"
-
-(* ---------------------------------------------------------------- *)
-(* Server                                                            *)
-(* ---------------------------------------------------------------- *)
-
-type server = {
-  sock : Unix.file_descr;
-  port : int;
-  stopping : bool Atomic.t;
-  acceptor : unit Domain.t;
-}
-
-let read_request fd =
-  (* GET only, so the request ends at the blank line; cap the read so a
-     hostile peer cannot grow the buffer unboundedly. *)
-  let buf = Buffer.create 512 in
-  let chunk = Bytes.create 512 in
-  let rec go () =
-    let n = try Unix.read fd chunk 0 (Bytes.length chunk) with _ -> 0 in
-    if n > 0 then begin
-      Buffer.add_subbytes buf chunk 0 n;
-      let s = Buffer.contents buf in
-      let have_terminator =
-        let rec find i =
-          i + 3 < String.length s
-          && ((s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
-               && s.[i + 3] = '\n')
-             || find (i + 1))
-        in
-        find 0
-        || (match String.index_opt s '\n' with
-           | Some i -> String.length s > i + 1 && s.[i + 1] = '\n'
-           | None -> false)
-      in
-      if (not have_terminator) && Buffer.length buf < 8192 then go ()
-    end
-  in
-  go ();
-  Buffer.contents buf
-
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let n = Bytes.length b in
-  let pos = ref 0 in
-  while !pos < n do
-    match Unix.write fd b !pos (n - !pos) with
-    | 0 -> pos := n
-    | written -> pos := !pos + written
-    | exception _ -> pos := n
-  done
-
-let accept_loop sock stopping routes =
-  while not (Atomic.get stopping) do
-    match Unix.accept sock with
-    | client, _ ->
-      (try
-         let raw = read_request client in
-         if raw <> "" then
-           write_all client (render_response (handle_request ~routes raw))
-       with _ -> ());
-      (try Unix.close client with _ -> ())
-    | exception _ ->
-      (* [stop] closed the listening socket under us; the flag check
-         terminates the loop.  Transient accept errors just retry. *)
-      if not (Atomic.get stopping) then Unix.sleepf 0.01
-  done
-
-let start ?(host = "127.0.0.1") ?(backlog = 16) ~port ~routes () =
-  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  (try Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with e ->
-     (try Unix.close sock with _ -> ());
-     raise e);
-  Unix.listen sock backlog;
-  let port =
-    match Unix.getsockname sock with
-    | Unix.ADDR_INET (_, p) -> p
-    | _ -> port
-  in
-  let stopping = Atomic.make false in
-  let acceptor = Domain.spawn (fun () -> accept_loop sock stopping routes) in
-  { sock; port; stopping; acceptor }
-
-let port s = s.port
-
-let stop s =
-  if not (Atomic.exchange s.stopping true) then begin
-    (* Closing the socket aborts a blocked [accept]; a racing accept on
-       some platforms instead returns the next connection, so poke the
-       port once to guarantee a wakeup. *)
-    (try Unix.close s.sock with _ -> ());
-    (try
-       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-       (try
-          Unix.connect fd
-            (Unix.ADDR_INET (Unix.inet_addr_of_string "127.0.0.1", s.port))
-        with _ -> ());
-       Unix.close fd
-     with _ -> ());
-    Domain.join s.acceptor
-  end
+include Ctg_net.Http

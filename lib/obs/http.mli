@@ -1,38 +1,9 @@
-(** Minimal stdlib-[Unix] HTTP/1.1 server for metric exposition.
+(** HTTP endpoint for metric exposition — a thin re-export of the shared
+    {!Ctg_net.Http} server (keep-alive, bounded request bodies, worker-team
+    concurrency, graceful drain), kept under [Ctg_obs] so the observability
+    layer's callers and route tables are unaffected by the extraction.
+    Handlers run on worker domains and must be thread-safe — the ctg_obs
+    registry and the assure monitors already are. *)
 
-    Just enough protocol to let Prometheus (or [curl]) scrape [/metrics],
-    [/healthz] and [/drift.json]: GET only, one request per connection
-    ([Connection: close]), handlers run on a dedicated acceptor domain.
-    Handlers must therefore be thread-safe — the ctg_obs registry and the
-    assure monitors already are. *)
-
-type response = { status : int; content_type : string; body : string }
-
-val response : ?status:int -> ?content_type:string -> string -> response
-(** Defaults: status 200, [text/plain; charset=utf-8]. *)
-
-type route = string * (unit -> response)
-(** Exact path (query string stripped before matching) and its handler. *)
-
-val handle : routes:route list -> string -> response
-(** Pure routing step: look up the path, run the handler, wrap handler
-    exceptions as 500.  Unknown paths yield 404. *)
-
-val handle_request : routes:route list -> string -> response
-(** [handle] applied to a raw request text; non-GET methods yield 405 and
-    malformed request lines 400.  Exposed for in-process tests. *)
-
-type server
-
-val start :
-  ?host:string -> ?backlog:int -> port:int -> routes:route list -> unit ->
-  server
-(** Bind ([host] defaults to 127.0.0.1), listen, and serve on a fresh
-    domain.  Pass [port:0] to let the kernel pick a free port (tests);
-    read it back with {!port}.  Raises [Unix.Unix_error] if the bind
-    fails. *)
-
-val port : server -> int
-
-val stop : server -> unit
-(** Close the listening socket and join the acceptor domain.  Idempotent. *)
+include module type of Ctg_net.Http
+(** @inline *)

@@ -1,0 +1,195 @@
+(* The coalescing core of the signing daemon: concurrent submitters block
+   on a bounded pending queue while one runner domain drains it in batches.
+
+   Memory is bounded by construction: at most [capacity] queued requests
+   plus [max_batch] in flight inside the runner; a submit that finds the
+   queue full is *shed* (counted, never enqueued), which is what turns
+   overload into 429 responses instead of unbounded growth.
+
+   The runner lingers briefly after the first request of a cycle so that a
+   burst of concurrent submitters lands in one batch — the batch-size
+   histogram is the observable proof of coalescing. *)
+
+type 'res outcome = Done of 'res | Shed | Failed of exn
+
+type ('req, 'res) cell = {
+  req : 'req;
+  mutable state : 'res state;
+}
+
+and 'res state = Pending | Fulfilled of 'res | Errored of exn
+
+type ('req, 'res) t = {
+  capacity : int;
+  max_batch : int;
+  linger : float;  (* seconds *)
+  run : 'req array -> 'res array;
+  mu : Mutex.t;
+  work : Condition.t;  (* runner: queue became non-empty, or stopping *)
+  done_ : Condition.t;  (* submitters: some cells were filled *)
+  queue : ('req, 'res) cell Queue.t;
+  mutable stopping : bool;
+  mutable shed : int;
+  mutable batches : int;
+  mutable submitted : int;
+  runner : unit Domain.t option ref;
+  (* Metrics (optional): batch-size histogram, shed counter, depth gauge. *)
+  batch_histo : Ctg_obs.Registry.histo option;
+  shed_counter : Ctg_obs.Registry.counter option;
+  depth_gauge : Ctg_obs.Registry.gauge option;
+}
+
+let rec runner_loop t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.work t.mu
+  done;
+  if Queue.is_empty t.queue && t.stopping then Mutex.unlock t.mu
+  else begin
+    Mutex.unlock t.mu;
+    (* Coalesce: give concurrent submitters a beat to pile in.  Skipped
+       when draining — shutdown should not sleep per batch. *)
+    if t.linger > 0.0 && not t.stopping then Unix.sleepf t.linger;
+    Mutex.lock t.mu;
+    let k = min t.max_batch (Queue.length t.queue) in
+    let cells = Array.init k (fun _ -> Queue.pop t.queue) in
+    (match t.depth_gauge with
+    | Some g -> Ctg_obs.Registry.set_gauge g (float_of_int (Queue.length t.queue))
+    | None -> ());
+    Mutex.unlock t.mu;
+    let result =
+      try Ok (t.run (Array.map (fun c -> c.req) cells)) with e -> Error e
+    in
+    Mutex.lock t.mu;
+    (match result with
+    | Ok out when Array.length out = Array.length cells ->
+      Array.iteri (fun i c -> c.state <- Fulfilled out.(i)) cells
+    | Ok _ ->
+      let e = Failure "Batcher: run returned a wrong-sized array" in
+      Array.iter (fun c -> c.state <- Errored e) cells
+    | Error e -> Array.iter (fun c -> c.state <- Errored e) cells);
+    t.batches <- t.batches + 1;
+    Condition.broadcast t.done_;
+    Mutex.unlock t.mu;
+    (match t.batch_histo with
+    | Some h -> Ctg_obs.Registry.observe h k
+    | None -> ());
+    runner_loop t
+  end
+
+let create ?registry ?(labels = []) ?(linger = 0.002) ~capacity ~max_batch ~run
+    () =
+  if capacity < 1 then invalid_arg "Batcher.create: capacity must be >= 1";
+  if max_batch < 1 then invalid_arg "Batcher.create: max_batch must be >= 1";
+  let histo name =
+    Option.map (fun r -> Ctg_obs.Registry.histo r ~labels name) registry
+  in
+  let counter name =
+    Option.map (fun r -> Ctg_obs.Registry.counter r ~labels name) registry
+  in
+  let gauge name =
+    Option.map (fun r -> Ctg_obs.Registry.gauge r ~labels name) registry
+  in
+  let t =
+    {
+      capacity;
+      max_batch;
+      linger;
+      run;
+      mu = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      shed = 0;
+      batches = 0;
+      submitted = 0;
+      runner = ref None;
+      batch_histo = histo "serve_batch_size";
+      shed_counter = counter "serve_shed_total";
+      depth_gauge = gauge "serve_queue_depth";
+    }
+  in
+  t.runner := Some (Domain.spawn (fun () -> runner_loop t));
+  t
+
+let submit t req =
+  Mutex.lock t.mu;
+  if t.stopping then begin
+    Mutex.unlock t.mu;
+    Shed
+  end
+  else if Queue.length t.queue >= t.capacity then begin
+    t.shed <- t.shed + 1;
+    Mutex.unlock t.mu;
+    (match t.shed_counter with
+    | Some c -> Ctg_obs.Registry.incr c
+    | None -> ());
+    Shed
+  end
+  else begin
+    let cell = { req; state = Pending } in
+    Queue.push cell t.queue;
+    t.submitted <- t.submitted + 1;
+    (match t.depth_gauge with
+    | Some g -> Ctg_obs.Registry.set_gauge g (float_of_int (Queue.length t.queue))
+    | None -> ());
+    Condition.signal t.work;
+    let rec wait () =
+      match cell.state with
+      | Pending ->
+        Condition.wait t.done_ t.mu;
+        wait ()
+      | Fulfilled res ->
+        Mutex.unlock t.mu;
+        Done res
+      | Errored e ->
+        Mutex.unlock t.mu;
+        Failed e
+    in
+    wait ()
+  end
+
+let queue_depth t =
+  Mutex.lock t.mu;
+  let d = Queue.length t.queue in
+  Mutex.unlock t.mu;
+  d
+
+let shed_count t =
+  Mutex.lock t.mu;
+  let s = t.shed in
+  Mutex.unlock t.mu;
+  s
+
+let batches t =
+  Mutex.lock t.mu;
+  let b = t.batches in
+  Mutex.unlock t.mu;
+  b
+
+let submitted t =
+  Mutex.lock t.mu;
+  let s = t.submitted in
+  Mutex.unlock t.mu;
+  s
+
+let stopping t =
+  Mutex.lock t.mu;
+  let s = t.stopping in
+  Mutex.unlock t.mu;
+  s
+
+let shutdown t =
+  Mutex.lock t.mu;
+  if t.stopping then Mutex.unlock t.mu
+  else begin
+    t.stopping <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mu;
+    match !(t.runner) with
+    | Some d ->
+      Domain.join d;
+      t.runner := None
+    | None -> ()
+  end

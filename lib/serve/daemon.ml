@@ -1,0 +1,404 @@
+(* The multi-tenant Falcon signing daemon: HTTP request path (shared
+   Ctg_net stack), per-tenant keyring, request batching onto a persistent
+   Workforce, and the PR-5 assurance monitors fed from *live* signing
+   traffic — /healthz guards a real request path now.
+
+   Randomness discipline: every accepted request is assigned a lane of the
+   daemon's master seed from an atomic counter at submit time, and
+   Sign.sign_many is called with those explicit lanes.  A request's
+   signature is therefore a pure function of (seed, lane, key, message) —
+   independent of which batch the scheduler packed it into, which is what
+   the bit-identity test pins. *)
+
+module Obs = Ctg_obs
+module Assure = Ctg_assure
+module F = Ctg_falcon
+module Sig = Ctg_samplers.Sampler_sig
+module Jsonx = Obs.Jsonx
+module Http = Ctg_net.Http
+
+type config = {
+  n : int;
+  sigma : string;
+  precision : int;
+  tail_cut : int;
+  host : string;
+  port : int;
+  http_workers : int;
+  queue_capacity : int;
+  max_batch : int;
+  linger : float;
+  sign_domains : int option;
+  check : bool;
+  drift_window : int;
+  leak_steps : int;
+  seed : string;
+  key_seed : string;
+}
+
+let default_config =
+  {
+    n = 64;
+    sigma = "2";
+    precision = 16;
+    tail_cut = 13;
+    host = "127.0.0.1";
+    port = 8732;
+    http_workers = 8;
+    queue_capacity = 64;
+    max_batch = 16;
+    linger = 0.002;
+    sign_domains = None;
+    check = true;
+    drift_window = 50_000;
+    leak_steps = 8;
+    seed = "ctg-serve";
+    key_seed = "ctg-serve-key";
+  }
+
+type sign_request = { tenant : string; msg : bytes; lane : int; t_submit : int }
+
+type sign_result = {
+  tenant : string;
+  signature : F.Sign.signature;
+  encoded : bytes;
+  lane : int;
+  batch : int;  (** Size of the batch this request was coalesced into. *)
+}
+
+type t = {
+  config : config;
+  params : F.Params.t;
+  registry : Obs.Registry.t;
+  monitor : Assure.Monitor.t;
+  leak : Assure.Leak.t;
+  keyring : Keyring.t;
+  workforce : Ctg_engine.Workforce.t;
+  master : Ctgauss.Sampler.t;
+  batcher : (sign_request, sign_result) Batcher.t;
+  lane_counter : int Atomic.t;
+  mutable server : Http.server option;
+  mutable stopped : bool;
+  stop_mu : Mutex.t;
+  (* Metric handles that are not per-tenant. *)
+  requests_histo_mu : Mutex.t;
+  mutable tenant_handles :
+    (string * (Obs.Registry.counter * Obs.Registry.histo)) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Live drift feed                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Each base-sampler instance buffers its raw signed draws and folds them
+   into the drift monitor a block at a time (Drift.observe_sub locks a
+   mutex — amortize it).  The partial tail of an instance is dropped,
+   which is value-independent and therefore unbiased; the monitor just
+   sees a slightly smaller sample volume.  The block is capped at the
+   draws of one signing attempt (2n) so small ring degrees still flush —
+   an instance that never fills its buffer would feed the monitor
+   nothing. *)
+let observed_base ~n drift master =
+  let inst = Sig.of_bitsliced (Ctgauss.Sampler.clone master) in
+  let cap = max 16 (min 64 (2 * n)) in
+  let buf = Array.make cap 0 in
+  let fill = ref 0 in
+  let observe v =
+    buf.(!fill) <- v;
+    incr fill;
+    if !fill = cap then begin
+      Assure.Drift.observe_sub drift buf ~pos:0 ~len:cap;
+      fill := 0
+    end
+  in
+  F.Base_sampler.of_instance ~observe inst
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_batch t (reqs : sign_request array) : sign_result array =
+  let drift = Assure.Monitor.drift t.monitor in
+  let batch = Array.length reqs in
+  (* Group by tenant, preserving submission order inside each group. *)
+  let groups = Hashtbl.create 4 in
+  let order = ref [] in
+  Array.iteri
+    (fun i (r : sign_request) ->
+      match Hashtbl.find_opt groups r.tenant with
+      | Some l -> l := i :: !l
+      | None ->
+        Hashtbl.replace groups r.tenant (ref [ i ]);
+        order := r.tenant :: !order)
+    reqs;
+  let out = Array.make batch None in
+  List.iter
+    (fun tenant ->
+      let idxs = List.rev !(Hashtbl.find groups tenant) in
+      let kp = Keyring.lookup t.keyring ~tenant in
+      let msgs = Array.of_list (List.map (fun i -> reqs.(i).msg) idxs) in
+      let lanes = Array.of_list (List.map (fun i -> reqs.(i).lane) idxs) in
+      let sigs =
+        F.Sign.sign_many ~workforce:t.workforce ~lanes ~check:t.config.check kp
+          ~make_base:(fun () ->
+            observed_base ~n:t.params.F.Params.n drift t.master)
+          ~seed:t.config.seed ~msgs
+      in
+      List.iteri
+        (fun j i ->
+          let s = sigs.(j) in
+          out.(i) <-
+            Some
+              {
+                tenant;
+                signature = s;
+                encoded =
+                  F.Codec.encode_signature ~salt:s.F.Sign.salt ~s2:s.F.Sign.s2;
+                lane = reqs.(i).lane;
+                batch;
+              })
+        idxs)
+    (List.rev !order);
+  (* Interleave the background leak probes with real work, Soak-style. *)
+  if t.config.leak_steps > 0 then Assure.Leak.step ~n:t.config.leak_steps t.leak;
+  Array.map
+    (function Some r -> r | None -> failwith "Daemon.run_batch: missing result")
+    out
+
+(* ------------------------------------------------------------------ *)
+(* Per-tenant metrics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tenant_handles t tenant =
+  Mutex.lock t.requests_histo_mu;
+  let h =
+    match List.assoc_opt tenant t.tenant_handles with
+    | Some h -> h
+    | None ->
+      let labels = [ ("tenant", tenant) ] in
+      let h =
+        ( Obs.Registry.counter t.registry ~labels "serve_requests_total",
+          Obs.Registry.histo t.registry ~labels "serve_request_latency_ns" )
+      in
+      t.tenant_handles <- (tenant, h) :: t.tenant_handles;
+      h
+  in
+  Mutex.unlock t.requests_histo_mu;
+  h
+
+(* ------------------------------------------------------------------ *)
+(* HTTP surface                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let json ?(status = 200) j =
+  Http.response ~status ~content_type:"application/json"
+    (Jsonx.pretty j ^ "\n")
+
+let error ~status msg = json ~status (Jsonx.Obj [ ("error", Jsonx.Str msg) ])
+
+let tenant_of_request req =
+  match Http.query_param req "tenant" with
+  | Some tname -> Some tname
+  | None -> Http.header req "x-tenant"
+
+let sign_response (r : sign_result) ~latency_ns =
+  Jsonx.Obj
+    [
+      ("tenant", Str r.tenant);
+      ("sig", Str (Ctg_util.Hex.encode r.encoded));
+      ("attempts", Num (float_of_int r.signature.F.Sign.attempts));
+      ("lane", Num (float_of_int r.lane));
+      ("batch", Num (float_of_int r.batch));
+      ("latency_ns", Num (float_of_int latency_ns));
+    ]
+
+let handle_sign t req =
+  match tenant_of_request req with
+  | None -> error ~status:400 "missing tenant (query ?tenant= or X-Tenant)"
+  | Some tenant when not (Keyring.valid_tenant tenant) ->
+    error ~status:400 "invalid tenant name"
+  | Some tenant ->
+    let counter, histo = tenant_handles t tenant in
+    let t_submit = Obs.Clock.now_ns () in
+    let sreq =
+      {
+        tenant;
+        msg = Bytes.of_string req.Http.body;
+        lane = Atomic.fetch_and_add t.lane_counter 1;
+        t_submit;
+      }
+    in
+    (match Batcher.submit t.batcher sreq with
+    | Batcher.Done r ->
+      let latency_ns = Obs.Clock.now_ns () - t_submit in
+      Obs.Registry.incr counter;
+      Obs.Registry.observe histo latency_ns;
+      json (sign_response r ~latency_ns)
+    | Batcher.Shed ->
+      if Batcher.stopping t.batcher then
+        error ~status:503 "draining: daemon is shutting down"
+      else error ~status:429 "overloaded: signing queue is full"
+    | Batcher.Failed e ->
+      error ~status:500 (Printf.sprintf "signing failed: %s" (Printexc.to_string e)))
+
+let handle_pubkey t req =
+  match tenant_of_request req with
+  | None -> error ~status:400 "missing tenant (query ?tenant= or X-Tenant)"
+  | Some tenant when not (Keyring.valid_tenant tenant) ->
+    error ~status:400 "invalid tenant name"
+  | Some tenant ->
+    let kp = Keyring.lookup t.keyring ~tenant in
+    json
+      (Jsonx.Obj
+         [
+           ("tenant", Str tenant);
+           ("n", Num (float_of_int t.params.F.Params.n));
+           ( "pk",
+             Str
+               (Ctg_util.Hex.encode (F.Codec.encode_public_key kp.F.Keygen.h))
+           );
+           ( "norm_bound_sq",
+             Num (F.Sign.norm_bound_sq t.params) );
+         ])
+
+let handle_tenants t =
+  json
+    (Jsonx.Obj
+       [
+         ( "tenants",
+           Jsonx.List
+             (List.map (fun s -> Jsonx.Str s) (Keyring.tenants t.keyring)) );
+       ])
+
+let handler t : Http.handler =
+  let monitor_routes = Assure.Monitor.routes t.monitor ~registry:t.registry in
+  fun req ->
+    match (req.Http.meth, req.Http.path) with
+    | "POST", "/v1/sign" -> handle_sign t req
+    | "GET", "/v1/pubkey" -> handle_pubkey t req
+    | "GET", "/v1/tenants" -> handle_tenants t
+    | "GET", path -> (
+      match List.assoc_opt path monitor_routes with
+      | Some f -> (
+        try f ()
+        with e ->
+          Http.response ~status:500
+            (Printf.sprintf "handler error: %s\n" (Printexc.to_string e)))
+      | None ->
+        Http.response ~status:404 (Printf.sprintf "no route for %s\n" path))
+    | "POST", _ ->
+      Http.response ~status:404
+        (Printf.sprintf "no route for %s\n" req.Http.path)
+    | meth, _ ->
+      Http.response ~status:405 (Printf.sprintf "method %s not allowed\n" meth)
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let params_of_n n =
+  match n with
+  | 256 -> F.Params.level1
+  | 512 -> F.Params.level2
+  | 1024 -> F.Params.level3
+  | _ -> F.Params.custom ~n
+
+let create ?(listen = true) config =
+  let params = params_of_n config.n in
+  let registry = Obs.Registry.create () in
+  let master =
+    Ctg_engine.Registry.lookup Ctg_engine.Registry.global ~sigma:config.sigma
+      ~precision:config.precision ~tail_cut:config.tail_cut ()
+  in
+  let labels = [ ("sigma", config.sigma) ] in
+  let leak =
+    Assure.Leak.create ~registry ~labels
+      ~probe:
+        (Assure.Leak.ops_probe (Sig.of_bitsliced (Ctgauss.Sampler.clone master)))
+      ()
+  in
+  let drift_config =
+    { Assure.Drift.default_config with window = config.drift_window }
+  in
+  let monitor =
+    Assure.Monitor.create ~config:drift_config ~registry ~labels ~leak
+      ~matrix:(Ctgauss.Sampler.matrix master) ()
+  in
+  let keyring =
+    Keyring.create ~registry ~seed_prefix:config.key_seed ~params ()
+  in
+  let workforce = Ctg_engine.Workforce.create ?domains:config.sign_domains () in
+  (* The batcher's run-function needs the daemon record; tie the knot with
+     a ref rather than [lazy] (OCaml 5 [Lazy.force] is not domain-safe and
+     the runner domain would race the main domain's force).  The ref is
+     written before any request can be submitted, and the batcher's mutex
+     publishes it to the runner domain. *)
+  let self = ref None in
+  let run reqs =
+    match !self with
+    | Some t -> run_batch t reqs
+    | None -> failwith "Daemon: batch before initialisation"
+  in
+  let batcher =
+    Batcher.create ~registry ~linger:config.linger
+      ~capacity:config.queue_capacity ~max_batch:config.max_batch ~run ()
+  in
+  let t =
+    {
+      config;
+      params;
+      registry;
+      monitor;
+      leak;
+      keyring;
+      workforce;
+      master;
+      batcher;
+      lane_counter = Atomic.make 0;
+      server = None;
+      stopped = false;
+      stop_mu = Mutex.create ();
+      requests_histo_mu = Mutex.create ();
+      tenant_handles = [];
+    }
+  in
+  self := Some t;
+  if listen then
+    t.server <-
+      Some
+        (Http.start_handler ~host:config.host ~workers:config.http_workers
+           ~port:config.port (handler t));
+  t
+
+let port t =
+  match t.server with Some s -> Http.port s | None -> t.config.port
+
+let registry t = t.registry
+let monitor t = t.monitor
+let keyring t = t.keyring
+let batcher_shed t = Batcher.shed_count t.batcher
+let batches t = Batcher.batches t.batcher
+let requests t = Batcher.submitted t.batcher
+let config t = t.config
+
+let healthy t = Assure.Monitor.healthy t.monitor
+
+let stop t =
+  Mutex.lock t.stop_mu;
+  if t.stopped then Mutex.unlock t.stop_mu
+  else begin
+    t.stopped <- true;
+    Mutex.unlock t.stop_mu;
+    (* Order matters: the HTTP drain needs the batcher alive (in-flight
+       requests are blocked in submit), the batcher drain needs the
+       workforce alive.  Then flush the partial drift window so the final
+       /metrics state reflects everything the daemon sampled. *)
+    (match t.server with
+    | Some s ->
+      Http.stop s;
+      t.server <- None
+    | None -> ());
+    Batcher.shutdown t.batcher;
+    ignore (Assure.Drift.flush (Assure.Monitor.drift t.monitor));
+    Ctg_engine.Workforce.shutdown t.workforce
+  end

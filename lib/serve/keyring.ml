@@ -1,0 +1,122 @@
+(* Per-tenant Falcon keypair registry with single-flight generation,
+   mirroring Engine.Registry: concurrent lookups of the same tenant block
+   until the one in-flight keygen finishes and then all receive the same
+   keypair (physical equality).  Keygen at serving parameters costs tens of
+   milliseconds to seconds, so it must be paid once per tenant, not once
+   per racing request. *)
+
+module F = Ctg_falcon
+module Bs = Ctg_prng.Bitstream
+
+type entry = Ready of F.Keygen.keypair | Building
+
+type t = {
+  params : F.Params.t;
+  seed_prefix : string;
+  mu : Mutex.t;
+  cond : Condition.t;
+  tbl : (string, entry) Hashtbl.t;
+  mutable keygens : int;
+  keygen_counter : Ctg_obs.Registry.counter;
+}
+
+let max_tenant_len = 32
+
+let valid_tenant name =
+  let n = String.length name in
+  n >= 1 && n <= max_tenant_len
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> true | _ -> false)
+       name
+
+let create ?(registry = Ctg_obs.Registry.default) ?(seed_prefix = "ctg-serve-key")
+    ~params () =
+  {
+    params;
+    seed_prefix;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    tbl = Hashtbl.create 8;
+    keygens = 0;
+    keygen_counter =
+      Ctg_obs.Registry.counter registry "serve_keyring_keygens_total";
+  }
+
+let generate t tenant =
+  (* Deterministic per-tenant key material: lets a restarted daemon serve
+     the same demo keys, and lets tests pin expected signatures. *)
+  let rng =
+    Bs.of_chacha (Ctg_prng.Chacha20.of_seed (t.seed_prefix ^ ":" ^ tenant))
+  in
+  F.Keygen.generate t.params rng
+
+let lookup t ~tenant =
+  if not (valid_tenant tenant) then
+    invalid_arg (Printf.sprintf "Keyring.lookup: invalid tenant %S" tenant);
+  Mutex.lock t.mu;
+  let rec wait () =
+    match Hashtbl.find_opt t.tbl tenant with
+    | Some (Ready kp) ->
+      Mutex.unlock t.mu;
+      kp
+    | Some Building ->
+      Condition.wait t.cond t.mu;
+      wait ()
+    | None ->
+      Hashtbl.replace t.tbl tenant Building;
+      Mutex.unlock t.mu;
+      let result =
+        try Ok (generate t tenant) with e -> Error e
+      in
+      Mutex.lock t.mu;
+      (match result with
+      | Ok kp ->
+        Hashtbl.replace t.tbl tenant (Ready kp);
+        t.keygens <- t.keygens + 1
+      | Error _ -> Hashtbl.remove t.tbl tenant);
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mu;
+      (match result with
+      | Ok kp ->
+        Ctg_obs.Registry.incr t.keygen_counter;
+        kp
+      | Error e -> raise e)
+  in
+  wait ()
+
+let add t ~tenant kp =
+  if not (valid_tenant tenant) then
+    invalid_arg (Printf.sprintf "Keyring.add: invalid tenant %S" tenant);
+  Mutex.lock t.mu;
+  Hashtbl.replace t.tbl tenant (Ready kp);
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu
+
+let mem t ~tenant =
+  Mutex.lock t.mu;
+  let r =
+    match Hashtbl.find_opt t.tbl tenant with
+    | Some (Ready _) -> true
+    | Some Building | None -> false
+  in
+  Mutex.unlock t.mu;
+  r
+
+let tenants t =
+  Mutex.lock t.mu;
+  let names =
+    Hashtbl.fold
+      (fun name entry acc ->
+        match entry with Ready _ -> name :: acc | Building -> acc)
+      t.tbl []
+  in
+  Mutex.unlock t.mu;
+  List.sort compare names
+
+let keygens t =
+  Mutex.lock t.mu;
+  let k = t.keygens in
+  Mutex.unlock t.mu;
+  k
+
+let params t = t.params

@@ -1,0 +1,41 @@
+(** Per-tenant Falcon keypair registry with single-flight generation.
+
+    Mirrors {!Ctg_engine.Registry}: concurrent {!lookup}s of the same
+    tenant block until the one in-flight keygen finishes and then all
+    receive the {e same} keypair (physical equality); a failed keygen
+    releases the claim so a later lookup retries.  Key material is derived
+    deterministically from [seed_prefix ^ ":" ^ tenant], so a restarted
+    daemon serves the same demo keys; {!add} installs externally loaded
+    keys over that default. *)
+
+type t
+
+val valid_tenant : string -> bool
+(** [[A-Za-z0-9_-]{1,32}] — tenant names reach metric labels and URLs,
+    so both the charset and the cardinality are bounded. *)
+
+val create :
+  ?registry:Ctg_obs.Registry.t ->
+  ?seed_prefix:string ->
+  params:Ctg_falcon.Params.t ->
+  unit ->
+  t
+(** Key generations are counted on [serve_keyring_keygens_total] in
+    [registry] (default the process registry). *)
+
+val lookup : t -> tenant:string -> Ctg_falcon.Keygen.keypair
+(** The tenant's keypair, generated on first use (single-flight).
+    @raise Invalid_argument on an invalid tenant name. *)
+
+val add : t -> tenant:string -> Ctg_falcon.Keygen.keypair -> unit
+(** Install (or replace) a tenant's keypair without generation. *)
+
+val mem : t -> tenant:string -> bool
+val tenants : t -> string list
+(** Tenants with a ready keypair, sorted. *)
+
+val keygens : t -> int
+(** Generations actually performed — with single-flight this stays at one
+    per tenant no matter how many lookups raced. *)
+
+val params : t -> Ctg_falcon.Params.t

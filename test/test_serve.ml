@@ -1,0 +1,482 @@
+(* The serving stack: shared HTTP server/client, tenant keyring,
+   batching queue, and the daemon end to end over live sockets. *)
+
+module Http = Ctg_net.Http
+module Client = Ctg_net.Client
+module Serve = Ctg_serve
+module Obs = Ctg_obs
+module Registry = Obs.Registry
+module Promtext = Obs.Promtext
+module Jsonx = Obs.Jsonx
+module F = Ctg_falcon
+module Sig = Ctg_samplers.Sampler_sig
+
+(* ------------------------------------------------------------------ *)
+(* net: server + client                                                *)
+(* ------------------------------------------------------------------ *)
+
+let echo_handler (req : Http.request) =
+  match (req.Http.meth, req.Http.path) with
+  | "POST", "/echo" -> Http.response req.Http.body
+  | "GET", "/greet" ->
+    let who =
+      match Http.query_param req "who" with Some w -> w | None -> "nobody"
+    in
+    Http.response ("hello " ^ who)
+  | "GET", _ -> Http.response ~status:404 "not found\n"
+  | _ -> Http.response ~status:405 "method not allowed\n"
+
+let test_keepalive_and_bodies () =
+  let srv = Http.start_handler ~port:0 ~workers:2 echo_handler in
+  let port = Http.port srv in
+  let c = Client.connect ~port () in
+  (* Several requests over ONE connection: keep-alive must hold. *)
+  let r1 = Client.request c ~meth:"GET" ~path:"/greet?who=a%20b" () in
+  Alcotest.(check int) "greet 200" 200 r1.Client.status;
+  Alcotest.(check string) "query percent-decoded" "hello a b" r1.Client.body;
+  let big = String.init 50_000 (fun i -> Char.chr (32 + (i mod 90))) in
+  let r2 = Client.request c ~meth:"POST" ~path:"/echo" ~body:big () in
+  Alcotest.(check int) "echo 200" 200 r2.Client.status;
+  Alcotest.(check bool) "50k body round-trips intact" true (r2.Client.body = big);
+  let r3 = Client.request c ~meth:"GET" ~path:"/missing" () in
+  Alcotest.(check int) "404 after big POST on same conn" 404 r3.Client.status;
+  let r4 = Client.request c ~meth:"PUT" ~path:"/echo" ~body:"x" () in
+  Alcotest.(check int) "405 for unknown method" 405 r4.Client.status;
+  Client.close c;
+  Http.stop srv
+
+(* A raw socket lets us exercise the chunked decoder, which the client
+   never emits. *)
+let raw_roundtrip ~port payload =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let b = Bytes.of_string payload in
+  let n = Unix.write fd b 0 (Bytes.length b) in
+  assert (n = Bytes.length b);
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | k ->
+      Buffer.add_subbytes buf chunk 0 k;
+      drain ()
+  in
+  drain ();
+  Unix.close fd;
+  Buffer.contents buf
+
+let test_chunked_body () =
+  let srv = Http.start_handler ~port:0 ~workers:1 echo_handler in
+  let port = Http.port srv in
+  let raw =
+    "POST /echo HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n"
+    ^ "5\r\nhello\r\n8;ext=1\r\n, chunks\r\n0\r\nTrailer: x\r\n\r\n"
+  in
+  let reply = raw_roundtrip ~port raw in
+  Alcotest.(check bool) "chunked POST got 200" true
+    (String.length reply > 12 && String.sub reply 9 3 = "200");
+  let body_ok =
+    let needle = "hello, chunks" in
+    let nh = String.length reply and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub reply i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "chunks reassembled in order" true body_ok;
+  Http.stop srv
+
+let test_oversized_body_rejected () =
+  let srv = Http.start_handler ~port:0 ~workers:1 ~max_body:100 echo_handler in
+  let port = Http.port srv in
+  let r =
+    Client.one_shot ~port ~meth:"POST" ~path:"/echo"
+      ~body:(String.make 200 'x') ()
+  in
+  Alcotest.(check int) "413 over max_body" 413 r.Client.status;
+  Http.stop srv
+
+let test_stop_is_clean () =
+  let srv = Http.start_handler ~port:0 ~workers:2 echo_handler in
+  let port = Http.port srv in
+  let r = Client.one_shot ~port ~meth:"GET" ~path:"/greet" () in
+  Alcotest.(check int) "served before stop" 200 r.Client.status;
+  Http.stop srv;
+  (match Client.connect ~port () with
+  | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET), _, _) ->
+    ()
+  | c ->
+    (* A connect that sneaks in must at least not be served. *)
+    (match Client.request c ~meth:"GET" ~path:"/greet" () with
+    | exception _ -> ()
+    | r -> Alcotest.failf "served after stop: %d" r.Client.status));
+  Http.stop srv (* idempotent *)
+
+(* ------------------------------------------------------------------ *)
+(* keyring                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_keyring_single_flight () =
+  let registry = Registry.create () in
+  let kr =
+    Serve.Keyring.create ~registry ~params:(F.Params.custom ~n:8) ()
+  in
+  let racers =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () -> Serve.Keyring.lookup kr ~tenant:"alice"))
+  in
+  let kps = Array.map Domain.join racers in
+  Array.iter
+    (fun kp ->
+      Alcotest.(check bool) "all racers share one keypair" true (kp == kps.(0)))
+    kps;
+  Alcotest.(check int) "exactly one keygen" 1 (Serve.Keyring.keygens kr);
+  ignore (Serve.Keyring.lookup kr ~tenant:"bob" : F.Keygen.keypair);
+  Alcotest.(check (list string)) "tenants sorted" [ "alice"; "bob" ]
+    (Serve.Keyring.tenants kr);
+  Alcotest.(check bool) "mem" true (Serve.Keyring.mem kr ~tenant:"alice");
+  Alcotest.check_raises "invalid tenant rejected"
+    (Invalid_argument "Keyring.lookup: invalid tenant \"no/slash\"") (fun () ->
+      ignore (Serve.Keyring.lookup kr ~tenant:"no/slash"))
+
+let test_keyring_deterministic () =
+  let params = F.Params.custom ~n:8 in
+  let kr1 = Serve.Keyring.create ~registry:(Registry.create ()) ~params () in
+  let kr2 = Serve.Keyring.create ~registry:(Registry.create ()) ~params () in
+  let k1 = Serve.Keyring.lookup kr1 ~tenant:"t" in
+  let k2 = Serve.Keyring.lookup kr2 ~tenant:"t" in
+  Alcotest.(check bool) "same tenant, same derived key" true
+    (k1.F.Keygen.h = k2.F.Keygen.h)
+
+(* ------------------------------------------------------------------ *)
+(* batcher                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_batcher_backpressure_and_shed () =
+  let gate_mu = Mutex.create () in
+  let gate_cond = Condition.create () in
+  let go = ref false in
+  let run reqs =
+    Mutex.lock gate_mu;
+    while not !go do
+      Condition.wait gate_cond gate_mu
+    done;
+    Mutex.unlock gate_mu;
+    Array.map (fun x -> x * 2) reqs
+  in
+  let b = Serve.Batcher.create ~linger:0.0 ~capacity:2 ~max_batch:1 ~run () in
+  (* First submit; wait until the runner has it in flight (popped). *)
+  let first = Domain.spawn (fun () -> Serve.Batcher.submit b 100) in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while
+    (Serve.Batcher.queue_depth b > 0 || Serve.Batcher.submitted b < 1)
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.002
+  done;
+  (* Runner is blocked in [run]; capacity 2 means exactly two of the next
+     five enqueue and three are shed — regardless of arrival order. *)
+  let late =
+    Array.init 5 (fun i -> Domain.spawn (fun () -> Serve.Batcher.submit b i))
+  in
+  while Serve.Batcher.shed_count b < 3 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  Alcotest.(check int) "bounded queue" 2 (Serve.Batcher.queue_depth b);
+  Mutex.lock gate_mu;
+  go := true;
+  Condition.broadcast gate_cond;
+  Mutex.unlock gate_mu;
+  let outcomes = Array.map Domain.join late in
+  (match Domain.join first with
+  | Serve.Batcher.Done v -> Alcotest.(check int) "first served" 200 v
+  | _ -> Alcotest.fail "first submit must be served");
+  let served, shed =
+    Array.fold_left
+      (fun (d, s) -> function
+        | Serve.Batcher.Done _ -> (d + 1, s)
+        | Serve.Batcher.Shed -> (d, s + 1)
+        | Serve.Batcher.Failed e -> raise e)
+      (0, 0) outcomes
+  in
+  Alcotest.(check int) "two late submits served" 2 served;
+  Alcotest.(check int) "three shed" 3 shed;
+  Alcotest.(check int) "shed counted" 3 (Serve.Batcher.shed_count b);
+  Serve.Batcher.shutdown b;
+  Alcotest.(check bool) "submit after shutdown sheds" true
+    (Serve.Batcher.submit b 9 = Serve.Batcher.Shed);
+  Alcotest.(check int) "post-stop shed not counted" 3
+    (Serve.Batcher.shed_count b)
+
+let test_batcher_results_match_requests () =
+  let b =
+    Serve.Batcher.create ~linger:0.001 ~capacity:64 ~max_batch:8
+      ~run:(Array.map (fun x -> x * x))
+      ()
+  in
+  let workers =
+    Array.init 20 (fun i -> Domain.spawn (fun () -> Serve.Batcher.submit b i))
+  in
+  Array.iteri
+    (fun i d ->
+      match Domain.join d with
+      | Serve.Batcher.Done v ->
+        Alcotest.(check int) "each caller gets its own square" (i * i) v
+      | _ -> Alcotest.fail "unexpected non-Done")
+    workers;
+  Alcotest.(check bool) "some coalescing happened" true
+    (Serve.Batcher.batches b < 20);
+  Serve.Batcher.shutdown b
+
+let test_batcher_run_errors_propagate () =
+  let b =
+    Serve.Batcher.create ~linger:0.0 ~capacity:4 ~max_batch:4
+      ~run:(fun _ -> [||])
+      ()
+  in
+  (match Serve.Batcher.submit b 1 with
+  | Serve.Batcher.Failed (Failure m) ->
+    Alcotest.(check string) "wrong-sized run flagged"
+      "Batcher: run returned a wrong-sized array" m
+  | _ -> Alcotest.fail "expected Failed");
+  Serve.Batcher.shutdown b
+
+(* ------------------------------------------------------------------ *)
+(* daemon, end to end                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_config =
+  {
+    Serve.Daemon.default_config with
+    n = 16;
+    port = 0;
+    http_workers = 4;
+    max_batch = 8;
+    linger = 0.005;
+  }
+
+let decode_sign_response ~params body =
+  match Jsonx.parse body with
+  | Error e -> Alcotest.failf "bad sign JSON: %s" e
+  | Ok j ->
+    let str name =
+      match Jsonx.member name j with
+      | Some (Jsonx.Str s) -> s
+      | _ -> Alcotest.failf "missing %s" name
+    in
+    let num name =
+      match Option.bind (Jsonx.member name j) Jsonx.to_int with
+      | Some v -> v
+      | None -> Alcotest.failf "missing %s" name
+    in
+    let sig_bytes = Ctg_util.Hex.decode (str "sig") in
+    match F.Codec.decode_signature ~params sig_bytes with
+    | None -> Alcotest.fail "undecodable signature"
+    | Some (salt, s2) -> (salt, s2, num "lane", num "batch", sig_bytes)
+
+let test_daemon_live_e2e () =
+  let d = Serve.Daemon.create test_config in
+  let port = Serve.Daemon.port d in
+  let params = Serve.Daemon.params_of_n test_config.Serve.Daemon.n in
+  let bound_sq = F.Sign.norm_bound_sq params in
+  let per_tenant = 6 in
+  let tenants = [| "alice"; "bob" |] in
+  (* Concurrent tenants over live HTTP; every signature verified and its
+     lane recorded for the bit-identity replay below. *)
+  let results =
+    Array.map
+      (fun tenant ->
+        Domain.spawn (fun () ->
+            let c = Client.connect ~port () in
+            let out =
+              Array.init per_tenant (fun i ->
+                  let msg = Printf.sprintf "%s message %d" tenant i in
+                  let r =
+                    Client.request c ~meth:"POST"
+                      ~path:("/v1/sign?tenant=" ^ tenant)
+                      ~body:msg ()
+                  in
+                  Alcotest.(check int) "sign 200" 200 r.Client.status;
+                  let salt, s2, lane, batch, sig_bytes =
+                    decode_sign_response ~params r.Client.body
+                  in
+                  let kp = Serve.Keyring.lookup (Serve.Daemon.keyring d) ~tenant in
+                  Alcotest.(check bool) "signature verifies" true
+                    (F.Verify.verify ~params ~h:kp.F.Keygen.h ~bound_sq
+                       ~msg:(Bytes.of_string msg) ~salt ~s2);
+                  ignore (batch : int);
+                  (msg, lane, sig_bytes))
+            in
+            Client.close c;
+            (tenant, out)))
+      tenants
+    |> Array.map Domain.join
+  in
+  (* Scrape /metrics over the wire: Promtext round-trip plus per-tenant
+     counters and latency histograms. *)
+  let metrics = Client.one_shot ~port ~meth:"GET" ~path:"/metrics" () in
+  Alcotest.(check int) "/metrics 200" 200 metrics.Client.status;
+  (match Promtext.parse metrics.Client.body with
+  | Error e -> Alcotest.failf "metrics not parseable: %s" e
+  | Ok items ->
+    Alcotest.(check string) "promtext render inverts parse"
+      metrics.Client.body (Promtext.render items);
+    Array.iter
+      (fun tenant ->
+        Alcotest.(check (option (float 0.0)))
+          (tenant ^ " request counter")
+          (Some (float_of_int per_tenant))
+          (Promtext.value items ~name:"serve_requests_total"
+             ~labels:[ ("tenant", tenant) ]);
+        Alcotest.(check bool)
+          (tenant ^ " latency histogram exposed")
+          true
+          (Promtext.value items ~name:"serve_request_latency_ns_p50"
+             ~labels:[ ("tenant", tenant) ]
+           <> None))
+      tenants;
+    Alcotest.(check bool) "batch histogram exposed" true
+      (Promtext.value items ~name:"serve_batch_size_count" ~labels:[] <> None));
+  let health = Client.one_shot ~port ~meth:"GET" ~path:"/healthz" () in
+  Alcotest.(check int) "healthz 200 on clean traffic" 200 health.Client.status;
+  let tl = Client.one_shot ~port ~meth:"GET" ~path:"/v1/tenants" () in
+  Alcotest.(check bool) "both tenants listed" true
+    (match Jsonx.parse tl.Client.body with
+    | Ok j ->
+      (match Jsonx.member "tenants" j with
+      | Some (Jsonx.List l) -> List.length l = 2
+      | _ -> false)
+    | Error _ -> false);
+  Alcotest.(check bool) "live drift samples observed" true
+    (Ctg_assure.Drift.samples
+       (Ctg_assure.Monitor.drift (Serve.Daemon.monitor d))
+     > 0);
+  Serve.Daemon.stop d;
+  Serve.Daemon.stop d (* idempotent *);
+  (* Bit-identity: replay every (msg, lane) through a direct sign_many on
+     the same master sampler and key — batched daemon output must match
+     byte for byte, whatever batches the scheduler formed. *)
+  let master =
+    Ctg_engine.Registry.lookup Ctg_engine.Registry.global
+      ~sigma:test_config.Serve.Daemon.sigma
+      ~precision:test_config.Serve.Daemon.precision
+      ~tail_cut:test_config.Serve.Daemon.tail_cut ()
+  in
+  let make_base () =
+    F.Base_sampler.of_instance (Sig.of_bitsliced (Ctgauss.Sampler.clone master))
+  in
+  let kr =
+    Serve.Keyring.create
+      ~registry:(Registry.create ())
+      ~seed_prefix:test_config.Serve.Daemon.key_seed ~params ()
+  in
+  Array.iter
+    (fun (tenant, out) ->
+      let kp = Serve.Keyring.lookup kr ~tenant in
+      Array.iter
+        (fun (msg, lane, sig_bytes) ->
+          let sigs =
+            F.Sign.sign_many ~lanes:[| lane |] ~check:false kp ~make_base
+              ~seed:test_config.Serve.Daemon.seed
+              ~msgs:[| Bytes.of_string msg |]
+          in
+          let replay =
+            F.Codec.encode_signature ~salt:sigs.(0).F.Sign.salt
+              ~s2:sigs.(0).F.Sign.s2
+          in
+          Alcotest.(check bool)
+            "batched signature = sequential replay" true (replay = sig_bytes))
+        out)
+    results
+
+let test_daemon_healthz_flips_on_alarm () =
+  let config = { test_config with drift_window = 512 } in
+  let d = Serve.Daemon.create ~listen:false config in
+  let handler = Serve.Daemon.handler d in
+  let get path =
+    handler
+      { Http.meth = "GET"; path; query = []; headers = []; body = "" }
+  in
+  Alcotest.(check int) "healthz 200 before" 200 (get "/healthz").Http.status;
+  (* Inject a grossly biased window into the daemon's own drift monitor —
+     the wiring under test is alarm -> verdict -> 503. *)
+  let drift = Ctg_assure.Monitor.drift (Serve.Daemon.monitor d) in
+  Ctg_assure.Drift.observe drift (Array.make 512 3);
+  Alcotest.(check bool) "alarm recorded" true (Ctg_assure.Drift.alarms drift > 0);
+  Alcotest.(check int) "healthz 503 after alarm" 503 (get "/healthz").Http.status;
+  Alcotest.(check bool) "daemon reports unhealthy" false (Serve.Daemon.healthy d);
+  Serve.Daemon.stop d
+
+let test_daemon_rejects_bad_tenants () =
+  let d = Serve.Daemon.create ~listen:false test_config in
+  let handler = Serve.Daemon.handler d in
+  let post path body =
+    handler { Http.meth = "POST"; path; query = []; headers = []; body }
+  in
+  Alcotest.(check int) "missing tenant 400" 400
+    (post "/v1/sign" "hi").Http.status;
+  let bad =
+    handler
+      {
+        Http.meth = "POST";
+        path = "/v1/sign";
+        query = [ ("tenant", "../etc") ];
+        headers = [];
+        body = "hi";
+      }
+  in
+  Alcotest.(check int) "invalid tenant 400" 400 bad.Http.status;
+  Alcotest.(check int) "unknown path 404" 404
+    (post "/v1/nope" "").Http.status;
+  Serve.Daemon.stop d;
+  let after =
+    handler
+      {
+        Http.meth = "POST";
+        path = "/v1/sign";
+        query = [ ("tenant", "alice") ];
+        headers = [];
+        body = "hi";
+      }
+  in
+  Alcotest.(check int) "draining daemon answers 503" 503 after.Http.status
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "net",
+        [
+          Alcotest.test_case "keep-alive, bodies, errors" `Quick
+            test_keepalive_and_bodies;
+          Alcotest.test_case "chunked request body" `Quick test_chunked_body;
+          Alcotest.test_case "oversized body rejected" `Quick
+            test_oversized_body_rejected;
+          Alcotest.test_case "stop is clean and idempotent" `Quick
+            test_stop_is_clean;
+        ] );
+      ( "keyring",
+        [
+          Alcotest.test_case "single-flight keygen" `Quick
+            test_keyring_single_flight;
+          Alcotest.test_case "deterministic derivation" `Quick
+            test_keyring_deterministic;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "backpressure bound and shed" `Quick
+            test_batcher_backpressure_and_shed;
+          Alcotest.test_case "results match requests" `Quick
+            test_batcher_results_match_requests;
+          Alcotest.test_case "run errors propagate" `Quick
+            test_batcher_run_errors_propagate;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "live e2e: sign, verify, scrape" `Quick
+            test_daemon_live_e2e;
+          Alcotest.test_case "healthz flips on drift alarm" `Quick
+            test_daemon_healthz_flips_on_alarm;
+          Alcotest.test_case "request validation" `Quick
+            test_daemon_rejects_bad_tenants;
+        ] );
+    ]
