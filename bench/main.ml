@@ -883,6 +883,77 @@ let cmd_sign_many () =
   printf "is identical for every domain count — test_engine proves it)@."
 
 (* -------------------------------------------------------------------- *)
+(* Sync: the race-checker shim must be compiled out of release benches   *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_sync () =
+  section "Sync: checked-mode shim overhead on raw atomic traffic";
+  (* Hard guard first: a release bench run with the recording scheduler
+     active would gate garbage numbers.  [is_active] must be false in
+     every production process. *)
+  if Ctg_sync.Sync.Internal.is_active () then begin
+    printf "FAIL: Ctg_sync checked mode is active in a release bench@.";
+    exit 1
+  end;
+  let ops = 2_000_000 in
+  let shim_pass () =
+    let open Ctg_sync.Shim in
+    let a = Atomic.make 0 in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to ops - 1 do
+      Atomic.incr a;
+      if Atomic.get a land 65535 = 0 then Atomic.set a (Sys.opaque_identity i)
+    done;
+    ignore (Sys.opaque_identity (Atomic.get a));
+    Unix.gettimeofday () -. t0
+  in
+  let raw_pass () =
+    let a = Stdlib.Atomic.make 0 in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to ops - 1 do
+      Stdlib.Atomic.incr a;
+      if Stdlib.Atomic.get a land 65535 = 0 then
+        Stdlib.Atomic.set a (Sys.opaque_identity i)
+    done;
+    ignore (Sys.opaque_identity (Stdlib.Atomic.get a));
+    Unix.gettimeofday () -. t0
+  in
+  (* Warm both paths, then interleave paired passes so drift hits both
+     sides equally; the median pass absorbs outliers. *)
+  ignore (shim_pass ());
+  ignore (raw_pass ());
+  let rounds = 9 in
+  let deltas =
+    List.init rounds (fun _ ->
+        let r = raw_pass () in
+        let s = shim_pass () in
+        (s -. r) /. float_of_int ops *. 1e9)
+  in
+  let sorted = List.sort compare deltas in
+  let median = List.nth sorted (rounds / 2) in
+  printf "shim minus raw, median of %d paired passes: %.2f ns/op@." rounds
+    median;
+  (* The gate is on *absolute* per-op cost, not a ratio: without flambda
+     the wrapper is an un-inlined call around a ~5 ns atomic instruction,
+     so a bare back-to-back atomic loop shows a large relative factor
+     that no production path ever sees (the pipeline touches an atomic
+     once per 63-sample batch or 1008-sample chunk, i.e. nanoseconds per
+     microseconds of work).  The end-to-end proof that the shim is free
+     on real paths is the unchanged BENCH_obs/fault/assure budgets over
+     the migrated tree; this bench pins the per-op bound that argument
+     rests on. *)
+  let gate_ns = 15.0 in
+  if median <= gate_ns then
+    printf "OK: production shim costs %.2f ns/op (<= %.0f ns gate);@."
+      median gate_ns
+  else begin
+    printf "FAIL: shim overhead %.2f ns/op exceeds %.0f ns gate@." median
+      gate_ns;
+    exit 1
+  end;
+  printf "end-to-end: BENCH_obs/fault/assure budgets gate the hot paths@."
+
+(* -------------------------------------------------------------------- *)
 (* Bechamel micro-benchmarks: one Test per table/figure family           *)
 (* -------------------------------------------------------------------- *)
 
@@ -968,7 +1039,7 @@ let usage () =
     "usage: main.exe [all|table1|table2|fig1|fig2|fig3|fig4|fig5|delta|@.";
   printf "                 prng-overhead|dudect|ablation-min|ablation-chain|@.";
   printf "                 precision|large-sigma|sampler-quality|engine|@.";
-  printf "                 gates|sign-many|obs|fault|assure|serve|history|micro]@.";
+  printf "                 gates|sign-many|obs|fault|assure|serve|history|micro|sync]@.";
   printf "        [--full]        (fig5 at the paper's 64x10^7 samples)@.";
   printf
     "        [--smoke]       (obs/fault/assure/serve: CI-sized windows -> \
@@ -1024,6 +1095,7 @@ let () =
   | "serve" -> cmd_serve ~smoke ()
   | "history" -> cmd_history ()
   | "micro" -> cmd_micro ()
+  | "sync" -> cmd_sync ()
   | "all" ->
     cmd_fig1 ();
     cmd_fig2 ();

@@ -1,0 +1,217 @@
+(* ctg_race: DPOR model checking of the engine's concurrency protocols.
+
+     ctg_race list                    # catalogue of bundled harnesses
+     ctg_race check                   # CI gate: all harnesses + mutants
+     ctg_race check --json            # machine-readable report
+     ctg_race explore seqlock         # one harness, with statistics
+     ctg_race explore seqlock --replay 0,1,1,0   # force a schedule
+     ctg_race stats                   # exploration counts per harness
+
+   Exit status 0 iff every non-mutant harness passes within budget and
+   every mutant is flagged.  A violation prints its kind, the replay
+   schedule (the seed: pass it to --replay to reproduce the identical
+   interleaving) and the step-by-step trace. *)
+
+open Cmdliner
+module Model = Ctg_race.Model
+module Harness = Ctg_race.Harness
+module Jsonx = Ctg_obs.Jsonx
+
+type result = {
+  h : Harness.harness;
+  outcome : Model.outcome;
+  elapsed : float;
+}
+
+let run_harness (h : Harness.harness) =
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    Model.check ~max_execs:h.h_max_execs ~spin_limit:h.h_spin_limit h.h_fn
+  in
+  { h; outcome; elapsed = Unix.gettimeofday () -. t0 }
+
+(* A harness is green when it meets its expectation: plain harnesses
+   must pass exhaustively, mutants must be flagged. *)
+let green r =
+  match (r.outcome, r.h.h_expect_violation) with
+  | Model.Passed _, false -> true
+  | Model.Flagged _, true -> true
+  | _ -> false
+
+let outcome_json (o : Model.outcome) =
+  let stats_fields (s : Model.stats) =
+    [
+      ("executions", Jsonx.Num (float_of_int s.Model.execs));
+      ("steps", Jsonx.Num (float_of_int s.Model.steps));
+      ("max_depth", Jsonx.Num (float_of_int s.Model.max_depth));
+    ]
+  in
+  match o with
+  | Model.Passed s -> Jsonx.Obj (("status", Jsonx.Str "passed") :: stats_fields s)
+  | Model.Budget_exceeded s ->
+    Jsonx.Obj (("status", Jsonx.Str "budget_exceeded") :: stats_fields s)
+  | Model.Flagged v ->
+    Jsonx.Obj
+      [
+        ("status", Jsonx.Str "flagged");
+        ("kind", Jsonx.Str (Model.vkind_to_string v.Model.v_kind));
+        ("schedule", Jsonx.Str (Model.schedule_to_string v.Model.v_schedule));
+        ("executions", Jsonx.Num (float_of_int v.Model.v_execs));
+        ("trace", Jsonx.List (List.map (fun l -> Jsonx.Str l) v.Model.v_trace));
+      ]
+
+let result_json r =
+  Jsonx.Obj
+    [
+      ("name", Jsonx.Str r.h.Harness.h_name);
+      ("description", Jsonx.Str r.h.Harness.h_descr);
+      ("mutant", Jsonx.Bool r.h.Harness.h_expect_violation);
+      ("ok", Jsonx.Bool (green r));
+      ("elapsed_s", Jsonx.Num r.elapsed);
+      ("outcome", outcome_json r.outcome);
+    ]
+
+let print_result r =
+  let status =
+    match r.outcome with
+    | Model.Passed s ->
+      Printf.sprintf "passed   %7d interleavings" s.Model.execs
+    | Model.Budget_exceeded s ->
+      Printf.sprintf "BUDGET   %7d interleavings (limit hit)" s.Model.execs
+    | Model.Flagged v ->
+      Printf.sprintf "flagged  %s after %d interleavings"
+        (Model.vkind_to_string v.Model.v_kind)
+        v.Model.v_execs
+  in
+  Printf.printf "%-18s %s  %s  [%.2fs]\n" r.h.Harness.h_name
+    (if green r then "ok " else "FAIL")
+    status r.elapsed;
+  match r.outcome with
+  | Model.Flagged v when not r.h.Harness.h_expect_violation ->
+    Printf.printf "  schedule (replay seed): %s\n"
+      (Model.schedule_to_string v.Model.v_schedule);
+    List.iter (fun l -> Printf.printf "    %s\n" l) v.Model.v_trace
+  | _ -> ()
+
+let json_arg =
+  let doc = "Emit a JSON report instead of human output." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let check_cmd =
+  let doc = "run every bundled harness and mutant (the CI gate)" in
+  let run json =
+    let results = List.map run_harness Harness.all in
+    let all_ok = List.for_all green results in
+    if json then
+      print_string
+        (Jsonx.pretty
+           (Jsonx.Obj
+              [
+                ("tool", Jsonx.Str "ctg_race");
+                ("ok", Jsonx.Bool all_ok);
+                ("harnesses", Jsonx.List (List.map result_json results));
+              ]))
+    else begin
+      List.iter print_result results;
+      Printf.printf "%s\n"
+        (if all_ok then
+           "OK: all harnesses explored exhaustively, all mutants flagged"
+         else "FAILED: see above")
+    end;
+    if all_ok then 0 else 1
+  in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ json_arg)
+
+let harness_arg =
+  let doc = "Harness name (see `ctg_race list`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"HARNESS" ~doc)
+
+let replay_arg =
+  let doc =
+    "Comma-separated fiber schedule from a previous violation: replays \
+     that exact interleaving and prints the trace."
+  in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"SCHEDULE" ~doc)
+
+let explore_cmd =
+  let doc = "explore (or replay) a single harness, with statistics" in
+  let run name replay json =
+    match Harness.find name with
+    | None ->
+      Printf.eprintf "ctg_race: unknown harness %S (try `ctg_race list`)\n"
+        name;
+      2
+    | Some h -> (
+      match replay with
+      | Some sched ->
+        let schedule = Model.schedule_of_string sched in
+        let kind, trace = Model.replay h.Harness.h_fn schedule in
+        List.iter (fun l -> Printf.printf "%s\n" l) trace;
+        (match kind with
+        | Some k ->
+          Printf.printf "replay reproduced: %s\n" (Model.vkind_to_string k);
+          0
+        | None ->
+          Printf.printf "replay completed without violation\n";
+          0)
+      | None ->
+        let r = run_harness h in
+        if json then print_string (Jsonx.pretty (result_json r))
+        else print_result r;
+        if green r then 0 else 1)
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const run $ harness_arg $ replay_arg $ json_arg)
+
+let stats_cmd =
+  let doc = "exploration statistics per harness (interleavings, steps)" in
+  let run json =
+    let results = List.map run_harness Harness.all in
+    if json then
+      print_string
+        (Jsonx.pretty (Jsonx.List (List.map result_json results)))
+    else begin
+      Printf.printf "%-18s %-7s %12s %10s %9s\n" "harness" "mutant"
+        "interleavings" "steps" "depth";
+      List.iter
+        (fun r ->
+          let s =
+            match r.outcome with
+            | Model.Passed s | Model.Budget_exceeded s -> s
+            | Model.Flagged v ->
+              {
+                Model.execs = v.Model.v_execs;
+                steps = 0;
+                max_depth = List.length v.Model.v_trace;
+              }
+          in
+          Printf.printf "%-18s %-7s %12d %10d %9d\n" r.h.Harness.h_name
+            (if r.h.Harness.h_expect_violation then "yes" else "no")
+            s.Model.execs s.Model.steps s.Model.max_depth)
+        results
+    end;
+    0
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ json_arg)
+
+let list_cmd =
+  let doc = "list the bundled harnesses and mutants" in
+  let run () =
+    List.iter
+      (fun (h : Harness.harness) ->
+        Printf.printf "%-18s %s%s\n" h.Harness.h_name h.Harness.h_descr
+          (if h.Harness.h_expect_violation then "  [mutant]" else ""))
+      Harness.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let cmd =
+  let doc =
+    "model-check the engine's concurrency protocols (DPOR over the \
+     Ctg_sync shim)"
+  in
+  Cmd.group (Cmd.info "ctg_race" ~version:"1.0" ~doc)
+    [ check_cmd; explore_cmd; stats_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' cmd)

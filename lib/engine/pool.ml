@@ -1,3 +1,4 @@
+open Ctg_sync.Shim
 module Bs = Ctg_prng.Bitstream
 module Clock = Ctg_obs.Clock
 module Trace = Ctg_obs.Trace
@@ -17,53 +18,169 @@ exception Stalled of { waited_ns : int }
    order at any moment.  Both waits are abortable: a failed job must not
    leave a producer blocked on a full queue or the consumer blocked on an
    empty one, so the loops re-check [should_abort] on every wakeup and the
-   aborting thread (plus the watchdog, when one runs) broadcasts [q_cond]. *)
-type chunk_queue = {
-  q_mutex : Mutex.t;
-  q_cond : Condition.t;
-  items : (int * int array) Queue.t;
-  capacity : int;
-}
+   aborting thread (plus the watchdog, when one runs) broadcasts [q_cond].
 
-let queue_push q ~should_abort item =
-  Mutex.lock q.q_mutex;
-  while Queue.length q.items >= q.capacity && not (should_abort ()) do
-    Condition.wait q.q_cond q.q_mutex
-  done;
-  if not (should_abort ()) then Queue.add item q.items;
-  Condition.broadcast q.q_cond;
-  Mutex.unlock q.q_mutex
+   A standalone module (not inlined in the pool) so the ctg_race model
+   checker can drive exactly this code in a bounded harness. *)
+module Chunkq = struct
+  type 'a t = {
+    q_mutex : Mutex.t;
+    q_cond : Condition.t;
+    items : 'a Queue.t;
+    capacity : int;
+  }
 
-let queue_pop q ~should_abort =
-  Mutex.lock q.q_mutex;
-  while Queue.is_empty q.items && not (should_abort ()) do
-    Condition.wait q.q_cond q.q_mutex
-  done;
-  let item =
-    if Queue.is_empty q.items then None else Some (Queue.take q.items)
-  in
-  Condition.broadcast q.q_cond;
-  Mutex.unlock q.q_mutex;
-  item
+  let create ~capacity =
+    {
+      q_mutex = Mutex.create ();
+      q_cond = Condition.create ();
+      items = Queue.create ();
+      capacity;
+    }
 
-let queue_wake q =
-  Mutex.lock q.q_mutex;
-  Condition.broadcast q.q_cond;
-  Mutex.unlock q.q_mutex
+  let push q ~should_abort item =
+    Mutex.lock q.q_mutex;
+    while Queue.length q.items >= q.capacity && not (should_abort ()) do
+      Condition.wait q.q_cond q.q_mutex
+    done;
+    if not (should_abort ()) then Queue.add item q.items;
+    Condition.broadcast q.q_cond;
+    Mutex.unlock q.q_mutex
 
-type sink = Array_sink of int array | Queue_sink of chunk_queue
+  let pop q ~should_abort =
+    Mutex.lock q.q_mutex;
+    while Queue.is_empty q.items && not (should_abort ()) do
+      Condition.wait q.q_cond q.q_mutex
+    done;
+    let item =
+      if Queue.is_empty q.items then None else Some (Queue.take q.items)
+    in
+    Condition.broadcast q.q_cond;
+    Mutex.unlock q.q_mutex;
+    item
+
+  let wake q =
+    Mutex.lock q.q_mutex;
+    Condition.broadcast q.q_cond;
+    Mutex.unlock q.q_mutex
+end
+
+(* The per-job work-accounting core, extracted so the model checker can
+   verify the exactly-once protocol (cursor + orphan re-queue + first
+   failure wins + completion wakeup) in isolation from RNG and sampler
+   machinery.  The pool's lock hierarchy is [t.mutex] -> [wq mutex]:
+   Workq operations never take a pool lock. *)
+module Workq = struct
+  type t = {
+    total : int;
+    cursor : int Atomic.t;  (* next unclaimed chunk *)
+    done_ : int Atomic.t;  (* chunks completed *)
+    aborted : bool Atomic.t;
+    last_progress : int Atomic.t;  (* caller-supplied stamp *)
+    mutex : Mutex.t;  (* guards orphans + failure + the wait below *)
+    cond : Condition.t;  (* the submitting caller waits for done/failed *)
+    orphans : int Queue.t;  (* chunks claimed by crashed workers *)
+    mutable failure : exn option;  (* first permanent error *)
+  }
+
+  let create ~total ~stamp =
+    {
+      total;
+      cursor = Atomic.make 0;
+      done_ = Atomic.make 0;
+      aborted = Atomic.make false;
+      last_progress = Atomic.make stamp;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      orphans = Queue.create ();
+      failure = None;
+    }
+
+  let total q = q.total
+  let aborted q = Atomic.get q.aborted
+  let done_count q = Atomic.get q.done_
+  let last_progress q = Atomic.get q.last_progress
+
+  (* Orphans are served before the cursor so a crashed worker's chunk is
+     re-run promptly (by the respawned or any other domain). *)
+  let claim q =
+    Mutex.lock q.mutex;
+    let orphan =
+      if Queue.is_empty q.orphans then None else Some (Queue.take q.orphans)
+    in
+    Mutex.unlock q.mutex;
+    match orphan with
+    | Some _ as c -> c
+    | None ->
+      if Atomic.get q.aborted then None
+      else
+        let c = Atomic.fetch_and_add q.cursor 1 in
+        if c >= q.total then None else Some c
+
+  (* The finisher of the last chunk wakes the submitting caller. *)
+  let complete q ~stamp =
+    Atomic.set q.last_progress stamp;
+    if Atomic.fetch_and_add q.done_ 1 + 1 = q.total then begin
+      Mutex.lock q.mutex;
+      Condition.broadcast q.cond;
+      Mutex.unlock q.mutex
+    end
+
+  let orphan q c =
+    Mutex.lock q.mutex;
+    Queue.add c q.orphans;
+    Mutex.unlock q.mutex
+
+  (* Record the first permanent error and wake the waiting caller. *)
+  let fail q e =
+    Mutex.lock q.mutex;
+    if q.failure = None then q.failure <- Some e;
+    Atomic.set q.aborted true;
+    Condition.broadcast q.cond;
+    Mutex.unlock q.mutex
+
+  let failure q =
+    Mutex.lock q.mutex;
+    let f = q.failure in
+    Mutex.unlock q.mutex;
+    f
+
+  (* Watchdog seam: wake the waiter so its stall predicate re-runs. *)
+  let wake q =
+    Mutex.lock q.mutex;
+    Condition.broadcast q.cond;
+    Mutex.unlock q.mutex
+
+  (* Block until every chunk completed or the job failed.  [stall] is
+     re-checked on each wakeup; returning [Some e] fails the job with
+     [e].  Returns the failure, if any. *)
+  let wait q ~stall =
+    Mutex.lock q.mutex;
+    let rec go () =
+      if q.failure <> None then ()
+      else if Atomic.get q.done_ >= q.total then ()
+      else
+        match stall () with
+        | Some e ->
+          q.failure <- Some e;
+          Atomic.set q.aborted true
+        | None ->
+          Condition.wait q.cond q.mutex;
+          go ()
+    in
+    go ();
+    let f = q.failure in
+    Mutex.unlock q.mutex;
+    f
+end
+
+type sink = Array_sink of int array | Queue_sink of (int * int array) Chunkq.t
 
 type job = {
   epoch : int;
-  total_chunks : int;
   n : int;  (* total samples requested *)
   lane_base : int;  (* chunk c draws from Stream_fork lane lane_base + c *)
-  next_chunk : int Atomic.t;  (* work cursor *)
-  chunks_done : int Atomic.t;
-  aborted : bool Atomic.t;
-  last_progress : int Atomic.t;  (* ns stamp of the latest chunk completion *)
-  orphans : int Queue.t;  (* chunks claimed by crashed workers; t.mutex *)
-  mutable failure : exn option;  (* first permanent error; t.mutex *)
+  wq : Workq.t;  (* cursor, orphans, completion and failure accounting *)
   sink : sink;
 }
 
@@ -114,18 +231,14 @@ let add_chunk_observer t f = t.chunk_observers <- t.chunk_observers @ [ f ]
 let stalled t (j : job) =
   match t.stall_timeout_ns with
   | None -> false
-  | Some limit -> Clock.now_ns () - Atomic.get j.last_progress > limit
+  | Some limit -> Clock.now_ns () - Workq.last_progress j.wq > limit
 
 (* Record the first permanent error and wake everyone: the caller (waiting
-   on t.cond), workers parked between jobs, and any producer/consumer
-   blocked on the chunk queue. *)
-let abort_job t (j : job) err =
-  Mutex.lock t.mutex;
-  if j.failure = None then j.failure <- Some err;
-  Atomic.set j.aborted true;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.mutex;
-  match j.sink with Queue_sink q -> queue_wake q | Array_sink _ -> ()
+   on the workq cond) and any producer/consumer blocked on the chunk
+   queue. *)
+let abort_job (j : job) err =
+  Workq.fail j.wq err;
+  match j.sink with Queue_sink q -> Chunkq.wake q | Array_sink _ -> ()
 
 (* Fill [count] samples of chunk [c] from the chunk's own forked lane.
    Everything here depends only on (seed, lane, sampler program, count):
@@ -224,17 +337,8 @@ let run_chunk t ~worker ~clone (j : job) c =
   | Array_sink _ -> ()
   | Queue_sink q ->
     let t_q = Clock.now_ns () in
-    queue_push q ~should_abort:(fun () -> Atomic.get j.aborted) (c, out);
+    Chunkq.push q ~should_abort:(fun () -> Workq.aborted j.wq) (c, out);
     Metrics.observe_queue_wait t.metrics (Clock.now_ns () - t_q)
-
-(* The finisher of the last chunk wakes the submitting caller. *)
-let complete_chunk t (j : job) =
-  Atomic.set j.last_progress (Clock.now_ns ());
-  if Atomic.fetch_and_add j.chunks_done 1 + 1 = j.total_chunks then begin
-    Mutex.lock t.mutex;
-    Condition.broadcast t.cond;
-    Mutex.unlock t.mutex
-  end
 
 (* Bounded in-place retry with exponential backoff.  A transient chunk
    failure (entropy health trip, injected fault) is retried on the same
@@ -250,33 +354,19 @@ let rec attempt_chunk t ~worker ~clone (j : job) c attempt =
     | None -> ());
     run_chunk t ~worker ~clone j c
   with
-  | () -> complete_chunk t j
+  | () -> Workq.complete j.wq ~stamp:(Clock.now_ns ())
   | exception Kill_worker -> raise Kill_worker
   | exception e ->
     (match e with
     | Ctg_prng.Health.Entropy_failure _ -> Metrics.add_health_failure t.metrics
     | _ -> ());
-    if attempt < t.max_chunk_retries && not (Atomic.get j.aborted) then begin
+    if attempt < t.max_chunk_retries && not (Workq.aborted j.wq) then begin
       Metrics.add_chunk_retry t.metrics;
       Unix.sleepf (0.001 *. float_of_int (1 lsl attempt));
       attempt_chunk t ~worker ~clone j c (attempt + 1)
     end
     else
-      abort_job t j (Chunk_failed { chunk = c; attempts = attempt + 1; error = e })
-
-let claim_chunk t (j : job) =
-  Mutex.lock t.mutex;
-  let orphan =
-    if Queue.is_empty j.orphans then None else Some (Queue.take j.orphans)
-  in
-  Mutex.unlock t.mutex;
-  match orphan with
-  | Some _ as c -> c
-  | None ->
-    if Atomic.get j.aborted then None
-    else
-      let c = Atomic.fetch_and_add j.next_chunk 1 in
-      if c >= j.total_chunks then None else Some c
+      abort_job j (Chunk_failed { chunk = c; attempts = attempt + 1; error = e })
 
 let rec worker_loop t worker =
   (* Clones are only needed by the bitsliced path; a degraded pool never
@@ -302,7 +392,7 @@ let rec worker_loop t worker =
       Mutex.unlock t.mutex;
       let continue = ref true in
       while !continue do
-        match claim_chunk t j with
+        match Workq.claim j.wq with
         | None -> continue := false
         | Some c -> (
           try attempt_chunk t ~worker ~clone j c 0
@@ -321,7 +411,8 @@ let rec worker_loop t worker =
    Past the budget the job is failed rather than silently under-manned. *)
 and handle_kill t ~worker (j : job) c =
   Mutex.lock t.mutex;
-  Queue.add c j.orphans;
+  (* Lock order is t.mutex -> wq.mutex, everywhere. *)
+  Workq.orphan j.wq c;
   let respawn = (not t.stopped) && t.respawns < t.max_respawns in
   if respawn then begin
     t.respawns <- t.respawns + 1;
@@ -331,8 +422,7 @@ and handle_kill t ~worker (j : job) c =
   Mutex.unlock t.mutex;
   if respawn then Metrics.add_worker_respawn t.metrics
   else
-    abort_job t j
-      (Chunk_failed { chunk = c; attempts = 0; error = Kill_worker })
+    abort_job j (Chunk_failed { chunk = c; attempts = 0; error = Kill_worker })
 
 (* The watchdog exists because OCaml's [Condition] has no timed wait: it
    periodically wakes anyone sleeping on the pool or queue conditions so
@@ -347,8 +437,10 @@ let watchdog_loop t interval =
     else begin
       Condition.broadcast t.cond;
       match t.job with
-      | Some { sink = Queue_sink q; _ } -> queue_wake q
-      | _ -> ()
+      | Some j -> (
+        Workq.wake j.wq;
+        match j.sink with Queue_sink q -> Chunkq.wake q | Array_sink _ -> ())
+      | None -> ()
     end;
     Mutex.unlock t.mutex
   done
@@ -473,15 +565,9 @@ let submit t ~n ~make_sink =
   let j =
     {
       epoch = t.epoch;
-      total_chunks;
       n;
       lane_base = t.next_lane;
-      next_chunk = Atomic.make 0;
-      chunks_done = Atomic.make 0;
-      aborted = Atomic.make false;
-      last_progress = Atomic.make (Clock.now_ns ());
-      orphans = Queue.create ();
-      failure = None;
+      wq = Workq.create ~total:total_chunks ~stamp:(Clock.now_ns ());
       sink = make_sink ~total_chunks;
     }
   in
@@ -494,28 +580,19 @@ let submit t ~n ~make_sink =
   j
 
 let finish_job t (j : job) =
-  Mutex.lock t.mutex;
-  let rec wait () =
-    if j.failure <> None then ()
-    else if Atomic.get j.chunks_done >= j.total_chunks then ()
-    else if stalled t j then begin
-      j.failure <-
-        Some
-          (Stalled
-             { waited_ns = Clock.now_ns () - Atomic.get j.last_progress });
-      Atomic.set j.aborted true
-    end
-    else begin
-      Condition.wait t.cond t.mutex;
-      wait ()
-    end
+  let failure =
+    Workq.wait j.wq ~stall:(fun () ->
+        if stalled t j then
+          Some
+            (Stalled
+               { waited_ns = Clock.now_ns () - Workq.last_progress j.wq })
+        else None)
   in
-  wait ();
-  let failure = j.failure in
+  Mutex.lock t.mutex;
   t.job <- None;
   Mutex.unlock t.mutex;
   (match (j.sink, failure) with
-  | Queue_sink q, Some _ -> queue_wake q
+  | Queue_sink q, Some _ -> Chunkq.wake q
   | _ -> ());
   match failure with Some e -> raise e | None -> ()
 
@@ -534,14 +611,7 @@ let iter_batches t ~n f =
   let queue = ref None in
   let j =
     submit t ~n ~make_sink:(fun ~total_chunks:_ ->
-        let q =
-          {
-            q_mutex = Mutex.create ();
-            q_cond = Condition.create ();
-            items = Queue.create ();
-            capacity = t.queue_capacity;
-          }
-        in
+        let q = Chunkq.create ~capacity:t.queue_capacity in
         queue := Some q;
         Queue_sink q)
   in
@@ -553,25 +623,25 @@ let iter_batches t ~n f =
           batch_parallel array; the pending table holds early finishers.
           The pop is abortable: a failed or stalled job unblocks the
           consumer here, and [finish_job] below re-raises its error. *)
-       let should_abort () = Atomic.get j.aborted || stalled t j in
+       let should_abort () = Workq.aborted j.wq || stalled t j in
        let pending = Hashtbl.create 16 in
        let next = ref 0 in
        (try
-          while !next < j.total_chunks do
+          while !next < Workq.total j.wq do
             match Hashtbl.find_opt pending !next with
             | Some chunk ->
               Hashtbl.remove pending !next;
               incr next;
               f chunk
             | None -> (
-              match queue_pop q ~should_abort with
+              match Chunkq.pop q ~should_abort with
               | None ->
-                if (not (Atomic.get j.aborted)) && stalled t j then
-                  abort_job t j
+                if (not (Workq.aborted j.wq)) && stalled t j then
+                  abort_job j
                     (Stalled
                        {
                          waited_ns =
-                           Clock.now_ns () - Atomic.get j.last_progress;
+                           Clock.now_ns () - Workq.last_progress j.wq;
                        });
                 raise Exit
               | Some (c, chunk) ->
@@ -585,7 +655,7 @@ let iter_batches t ~n f =
    with e ->
      (* The consumer callback itself raised: fail the job so workers
         unblock, then fall through to finish_job, which re-raises. *)
-     abort_job t j e);
+     abort_job j e);
   finish_job t j
 
 let shutdown t =

@@ -42,6 +42,69 @@
 
 type t
 
+(** The bounded producer/consumer chunk queue behind {!iter_batches},
+    exposed (like {!Workq}) so the ctg_race model checker can explore the
+    exact production protocol in bounded harnesses.  Both waits re-check
+    [should_abort] on every wakeup, so a failed job can never leave a
+    producer or the consumer parked. *)
+module Chunkq : sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+
+  val push : 'a t -> should_abort:(unit -> bool) -> 'a -> unit
+  (** Block while [capacity] items are in flight, unless aborting. *)
+
+  val pop : 'a t -> should_abort:(unit -> bool) -> 'a option
+  (** Block while empty; [None] only when aborting. *)
+
+  val wake : 'a t -> unit
+  (** Broadcast so parked producers/consumers re-check [should_abort]. *)
+end
+
+(** Per-job work accounting: the atomic claim cursor, the orphan re-queue
+    for chunks lost to crashed workers, first-failure-wins abort, and the
+    completion wakeup for the submitting caller.  The pool guarantees the
+    lock order pool-mutex -> workq-mutex; Workq itself never takes a pool
+    lock.  All time stamps are supplied by the caller, keeping the module
+    deterministic under the ctg_race checker. *)
+module Workq : sig
+  type t
+
+  val create : total:int -> stamp:int -> t
+
+  val total : t -> int
+  val aborted : t -> bool
+  val done_count : t -> int
+
+  val last_progress : t -> int
+  (** Stamp passed to the most recent {!complete} (or {!create}). *)
+
+  val claim : t -> int option
+  (** Next chunk to run: orphans first, then the cursor; [None] once the
+      job is exhausted or aborted. *)
+
+  val complete : t -> stamp:int -> unit
+  (** Mark one chunk done; the finisher of the last chunk wakes the
+      {!wait}ing caller. *)
+
+  val orphan : t -> int -> unit
+  (** Re-queue a chunk whose worker crashed at a chunk boundary. *)
+
+  val fail : t -> exn -> unit
+  (** Record the first permanent error, set aborted and wake the waiter. *)
+
+  val failure : t -> exn option
+
+  val wake : t -> unit
+  (** Watchdog seam: wake the waiter so its [stall] predicate re-runs. *)
+
+  val wait : t -> stall:(unit -> exn option) -> exn option
+  (** Park until all chunks complete or the job fails; [stall] is
+      re-evaluated on every wakeup and may fail the job by returning an
+      exception.  Returns the failure, if any. *)
+end
+
 exception Kill_worker
 (** Raise from a fault hook to simulate a worker-domain crash at a chunk
     boundary: the chunk is orphaned and re-run elsewhere, the domain exits

@@ -1,3 +1,4 @@
+open Ctg_sync.Shim
 module Obs = Ctg_obs
 
 type key = {
@@ -10,21 +11,21 @@ type key = {
 (* Cache traffic and compile latency go to the process-wide registry:
    the compile cache is effectively a singleton ([global]), and exposing
    its counters there lets [ctg_stats expose] show them without a handle
-   on the engine. *)
-let hits_counter = lazy (Obs.Registry.counter Obs.Registry.default "registry_cache_hits_total")
+   on the engine.  Eager, not lazy: [Lazy.force] is not domain-safe in
+   OCaml 5 (two domains forcing concurrently can raise [Undefined]), and
+   these were forced from worker domains on the first cache access. *)
+let hits_counter = Obs.Registry.counter Obs.Registry.default "registry_cache_hits_total"
 
 let misses_counter =
-  lazy (Obs.Registry.counter Obs.Registry.default "registry_cache_misses_total")
+  Obs.Registry.counter Obs.Registry.default "registry_cache_misses_total"
 
 let evictions_counter =
-  lazy
-    (Obs.Registry.counter Obs.Registry.default
-       "registry_selftest_evictions_total")
+  Obs.Registry.counter Obs.Registry.default
+    "registry_selftest_evictions_total"
 
 let selftest_failures_counter =
-  lazy
-    (Obs.Registry.counter Obs.Registry.default
-       "registry_selftest_failures_total")
+  Obs.Registry.counter Obs.Registry.default
+    "registry_selftest_failures_total"
 
 let compile_histo sigma =
   Obs.Registry.histo Obs.Registry.default
@@ -71,10 +72,10 @@ let lookup t ?(method_ = Ctgauss.Sampler.Split_minimized) ?(self_test = true)
   in
   match claim () with
   | `Done s ->
-    Obs.Registry.incr (Lazy.force hits_counter);
+    Obs.Registry.incr hits_counter;
     s
   | `Compile -> (
-    Obs.Registry.incr (Lazy.force misses_counter);
+    Obs.Registry.incr misses_counter;
     let t_compile = Obs.Clock.now_ns () in
     (* Compile outside the lock so unrelated keys stay responsive. *)
     match
@@ -96,7 +97,7 @@ let lookup t ?(method_ = Ctgauss.Sampler.Split_minimized) ?(self_test = true)
         Mutex.unlock t.mutex;
         s
       | exception e ->
-        Obs.Registry.incr (Lazy.force selftest_failures_counter);
+        Obs.Registry.incr selftest_failures_counter;
         Mutex.lock t.mutex;
         Hashtbl.remove t.table key;
         Condition.broadcast t.cond;
@@ -147,7 +148,7 @@ let revalidate ?strings t =
       in
       Mutex.unlock t.mutex;
       if evicted then begin
-        Obs.Registry.incr (Lazy.force evictions_counter);
+        Obs.Registry.incr evictions_counter;
         Some (key, f)
       end
       else None)

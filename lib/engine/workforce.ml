@@ -12,6 +12,8 @@
    the remaining iterations.  Only one job runs at a time; concurrent
    [run] calls serialize on an internal job mutex. *)
 
+open Ctg_sync.Shim
+
 type job = {
   n : int;
   f : int -> unit;

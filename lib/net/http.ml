@@ -5,6 +5,8 @@
    with keep-alive, Content-Length and chunked request bodies, and a
    graceful drain on stop. *)
 
+open Ctg_sync.Shim
+
 type request = {
   meth : string;
   path : string;
@@ -397,6 +399,11 @@ let serve_connection st ~handler ~max_body fd =
 let worker_loop st ~handler ~max_body =
   let rec next () =
     Mutex.lock st.mu;
+    (* Missed-wakeup audit (ctg_race): the wait is predicate-first and
+       re-checked on every wakeup while holding [st.mu], and both
+       producers of the predicate (accept_loop pushing to the queue,
+       stop broadcasting after setting [stopping]) signal under the
+       same mutex — a wakeup can be spurious but never lost. *)
     let rec wait () =
       if not (Queue.is_empty st.queue) then Some (Queue.pop st.queue)
       else if Atomic.get st.stopping then None

@@ -1,3 +1,5 @@
+open Ctg_sync.Shim
+
 type t = {
   expected : int Atomic.t; (* bits per batch; 0 = not learned yet *)
   violations : Registry.counter;

@@ -1,3 +1,5 @@
+open Ctg_sync.Shim
+
 type labels = (string * string) list
 
 (* The outer Atomic is the reset indirection: handles survive a reset, the

@@ -1,3 +1,5 @@
+open Ctg_sync.Shim
+
 type event = {
   name : string;
   cat : string;
@@ -7,20 +9,81 @@ type event = {
   args : (string * string) list;
 }
 
-(* head counts events ever written; slot i lives at [i mod capacity].  The
-   owner domain is the only writer; readers (export) see a consistent
-   prefix through the atomic head publish, and may observe a slot mid-
-   overwrite only when the ring has already wrapped — an accepted tracing
-   race (the event read is a whole immutable record either way). *)
+(* Single-writer ring with an index-attributed reader protocol, verified
+   under the ctg_race model checker (harness `trace_ring`).
+
+   Indices count events ever written; slot [i] lives at [i mod capacity].
+   The pre-PR-7 protocol published only [head] (bumped after the slot
+   write) and let a reader racing a wrap misattribute a *newer* event to
+   an old index — the documented "accepted tracing race".  The window is
+   closed by a second counter: [reserved] is bumped past [i] *before*
+   slot [i mod cap] is rewritten, so a reader that loads [reserved]
+   *after* gathering can discard exactly the indices whose slot may have
+   been overwritten mid-read (they become drops, never misattributed).
+   Slot cells are atomic so the checker sees every access; each holds a
+   whole immutable record. *)
+module Ring = struct
+  type 'a t = {
+    r_slots : 'a option Atomic.t array;
+    r_reserved : int Atomic.t;  (* bumped before the slot write *)
+    r_head : int Atomic.t;  (* bumped after: published prefix *)
+  }
+
+  let create cap =
+    if cap < 1 then invalid_arg "Trace.Ring.create: capacity must be >= 1";
+    {
+      r_slots = Array.init cap (fun _ -> Atomic.make None);
+      r_reserved = Atomic.make 0;
+      r_head = Atomic.make 0;
+    }
+
+  let capacity r = Array.length r.r_slots
+  let head r = Atomic.get r.r_head
+
+  (* Owner domain only. *)
+  let push r v =
+    let i = Atomic.get r.r_head in
+    Atomic.set r.r_reserved (i + 1);
+    Atomic.set r.r_slots.(i mod Array.length r.r_slots) (Some v);
+    Atomic.set r.r_head (i + 1)
+
+  (* Any domain.  Returns (oldest-first [(index, value)] whose
+     attribution is certain, dropped-event count). *)
+  let read r =
+    let cap = Array.length r.r_slots in
+    let h = Atomic.get r.r_head in
+    let lo = max 0 (h - cap) in
+    let gathered = ref [] in
+    for i = h - 1 downto lo do
+      match Atomic.get r.r_slots.(i mod cap) with
+      | Some v -> gathered := (i, v) :: !gathered
+      | None -> ()
+    done;
+    (* Loaded after the gather loop: slot [i] is only rewritten by push
+       [i + cap], which bumps reserved past [i + cap] first — so any
+       index still >= reserved - cap was read unraced. *)
+    let res = Atomic.get r.r_reserved in
+    let live = List.filter (fun (i, _) -> i >= res - cap) !gathered in
+    let drops = lo + (List.length !gathered - List.length live) in
+    (live, drops)
+
+  let reset r =
+    Atomic.set r.r_head 0;
+    Atomic.set r.r_reserved 0;
+    Array.iter (fun c -> Atomic.set c None) r.r_slots
+end
+
 type ring = {
   tid : int;
-  slots : event option array;
-  head : int Atomic.t;
+  ring : event Ring.t;
 }
 
 let enabled = Atomic.make false
-let default_capacity = ref 16384
+let default_capacity = Atomic.make 16384
+
 let rings : ring list ref = ref []
+  [@@race.guarded "rings_mutex"]
+
 let rings_mutex = Mutex.create ()
 
 let dls_key : ring option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
@@ -33,8 +96,7 @@ let ring_for_self () =
     let r =
       {
         tid = (Domain.self () :> int);
-        slots = Array.make !default_capacity None;
-        head = Atomic.make 0;
+        ring = Ring.create (Atomic.get default_capacity);
       }
     in
     Mutex.lock rings_mutex;
@@ -45,15 +107,13 @@ let ring_for_self () =
 
 let record ev =
   let r = ring_for_self () in
-  let i = Atomic.get r.head in
-  r.slots.(i mod Array.length r.slots) <- Some ev;
-  Atomic.set r.head (i + 1)
+  Ring.push r.ring ev
 
 let enable ?capacity () =
   (match capacity with
   | Some c ->
     if c < 1 then invalid_arg "Trace.enable: capacity must be >= 1";
-    default_capacity := c
+    Atomic.set default_capacity c
   | None -> ());
   Atomic.set enabled true
 
@@ -62,11 +122,7 @@ let is_enabled () = Atomic.get enabled
 
 let reset () =
   Mutex.lock rings_mutex;
-  List.iter
-    (fun r ->
-      Atomic.set r.head 0;
-      Array.fill r.slots 0 (Array.length r.slots) None)
-    !rings;
+  List.iter (fun r -> Ring.reset r.ring) !rings;
   Mutex.unlock rings_mutex
 
 let eval_args = function None -> [] | Some f -> f ()
@@ -117,14 +173,9 @@ let collect () =
   let acc = ref [] and drops = ref 0 in
   List.iter
     (fun r ->
-      let head = Atomic.get r.head in
-      let cap = Array.length r.slots in
-      drops := !drops + max 0 (head - cap);
-      for i = max 0 (head - cap) to head - 1 do
-        match r.slots.(i mod cap) with
-        | Some ev -> acc := ev :: !acc
-        | None -> ()
-      done)
+      let live, d = Ring.read r.ring in
+      drops := !drops + d;
+      List.iter (fun (_, ev) -> acc := ev :: !acc) live)
     (snapshot_rings ());
   (!acc, !drops)
 

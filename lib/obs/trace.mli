@@ -23,6 +23,36 @@ type event = {
   args : (string * string) list;
 }
 
+(** The single-writer ring protocol, exposed so the ctg_race model
+    checker can drive it directly (harness [trace_ring]).
+
+    Two counters close the historical torn-read window on wrap:
+    [reserved] is bumped past index [i] {e before} slot [i mod cap] is
+    rewritten, [head] after.  A reader gathers \[[head - cap], [head])
+    and then loads [reserved]: any gathered index below
+    [reserved - cap] may have been overwritten mid-read and is
+    discarded as a drop — never misattributed. *)
+module Ring : sig
+  type 'a t
+
+  val create : int -> 'a t
+  (** [create capacity]; capacity must be >= 1. *)
+
+  val capacity : 'a t -> int
+
+  val head : 'a t -> int
+  (** Events ever pushed. *)
+
+  val push : 'a t -> 'a -> unit
+  (** Owner domain only. *)
+
+  val read : 'a t -> (int * 'a) list * int
+  (** Any domain: (oldest-first [(index, value)] list whose attribution
+      is certain, dropped-event count). *)
+
+  val reset : 'a t -> unit
+end
+
 val enable : ?capacity:int -> unit -> unit
 (** Start recording.  [capacity] (default 16384) sizes rings created from
     now on; existing rings keep their size. *)

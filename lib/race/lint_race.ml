@@ -1,0 +1,258 @@
+(* Source-level concurrency lint: the static half of ctg_race.
+
+   The model checker (Model/Harness) can only vouch for code routed
+   through the Ctg_sync.Shim — a naked [Stdlib.Atomic] escapes it
+   silently.  This lint closes that hole by parsing the concurrent
+   subsystems (lib/engine, lib/net, lib/serve, lib/obs) with
+   compiler-libs and enforcing:
+
+   R1 shim-coverage   — any use of [Atomic]/[Mutex]/[Condition], or the
+                        shimmed [Domain] operations (spawn, join,
+                        cpu_relax), requires [open Ctg_sync.Shim] in the
+                        file; [Stdlib.]-qualified uses are flagged
+                        unconditionally (they bypass an open on purpose).
+   R2 predicate-loop  — every [Condition.wait] must sit inside a
+                        [while] loop or a [let rec] body, the two shapes
+                        of a predicate re-check; a straight-line wait is
+                        the missed-wakeup bug the checker catches
+                        dynamically (harness [wait_no_predicate]).
+   R3 guarded-global  — module-level mutable state (a top-level [ref],
+                        [Queue.create], [Hashtbl.create], [Buffer.create],
+                        [Bytes.create], [Array.make]) must carry a
+                        [@@race.guarded "lock-name"] attribute naming the
+                        mutex that guards it.
+   R4 no-global-lazy  — module-level [lazy] is flagged: [Lazy.force] is
+                        not domain-safe in OCaml 5 (concurrent forcing
+                        can raise [Undefined]); make it eager or guard it.
+
+   [Domain.self], [self_index], [is_main_domain],
+   [recommended_domain_count] and [Domain.DLS] are allowlisted: they are
+   scheduling-neutral and pass through the shim unchanged. *)
+
+module Jsonx = Ctg_obs.Jsonx
+
+type rule = Shim_coverage | Predicate_loop | Guarded_global | Global_lazy
+
+let rule_id = function
+  | Shim_coverage -> "R1-shim-coverage"
+  | Predicate_loop -> "R2-predicate-loop"
+  | Guarded_global -> "R3-guarded-global"
+  | Global_lazy -> "R4-no-global-lazy"
+
+type finding = { f_file : string; f_line : int; f_rule : rule; f_msg : string }
+
+let finding_to_json f =
+  Jsonx.Obj
+    [
+      ("file", Jsonx.Str f.f_file);
+      ("line", Jsonx.Num (float_of_int f.f_line));
+      ("rule", Jsonx.Str (rule_id f.f_rule));
+      ("message", Jsonx.Str f.f_msg);
+    ]
+
+let shimmed_domain_ops = [ "spawn"; "join"; "cpu_relax" ]
+
+(* Longident shapes we police.  Returns a display name when the ident is
+   a shimmable primitive operation. *)
+let prim_of_longident lid =
+  match lid with
+  | Longident.Ldot (Lident (("Atomic" | "Mutex" | "Condition") as m), op) ->
+    Some (false, m ^ "." ^ op)
+  | Ldot (Lident "Domain", op) when List.mem op shimmed_domain_ops ->
+    Some (false, "Domain." ^ op)
+  | Ldot (Ldot (Lident "Stdlib", (("Atomic" | "Mutex" | "Condition") as m)), op)
+    ->
+    Some (true, "Stdlib." ^ m ^ "." ^ op)
+  | Ldot (Ldot (Lident "Stdlib", "Domain"), op)
+    when List.mem op shimmed_domain_ops ->
+    Some (true, "Stdlib.Domain." ^ op)
+  | _ -> None
+
+let is_condition_wait lid =
+  match lid with
+  | Longident.Ldot (Lident "Condition", "wait")
+  | Ldot (Ldot (Lident "Stdlib", "Condition"), "wait") ->
+    true
+  | _ -> false
+
+let is_shim_open lid =
+  match lid with
+  | Longident.Ldot (Lident "Ctg_sync", "Shim") -> true
+  | Lident "Shim" -> true  (* after [module Shim = Ctg_sync.Shim] etc. *)
+  | _ -> false
+
+(* Does this binding directly construct mutable state (not a function
+   that constructs some when called)? *)
+let rec mutable_ctor (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+    match txt with
+    | Lident "ref" | Ldot (Lident "Stdlib", "ref") -> Some "ref"
+    | Ldot (Lident (("Queue" | "Hashtbl" | "Buffer") as m), "create") ->
+      Some (m ^ ".create")
+    | Ldot (Lident (("Bytes" | "Array") as m), (("create" | "make") as f)) ->
+      Some (m ^ "." ^ f)
+    | _ -> None)
+  | Pexp_constraint (e, _) -> mutable_ctor e
+  | _ -> None
+
+let has_guard_attr (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) -> a.attr_name.txt = "race.guarded")
+    attrs
+
+let scan_structure ~file (str : Parsetree.structure) =
+  let findings = ref [] in
+  let add loc rule msg =
+    findings :=
+      {
+        f_file = file;
+        f_line = loc.Location.loc_start.Lexing.pos_lnum;
+        f_rule = rule;
+        f_msg = msg;
+      }
+      :: !findings
+  in
+  let has_shim_open =
+    List.exists
+      (fun (si : Parsetree.structure_item) ->
+        match si.pstr_desc with
+        | Pstr_open { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ }
+          ->
+          is_shim_open txt
+        | _ -> false)
+      str
+  in
+  (* Expression walk with a predicate-loop depth: inside a [while] body
+     or a [let rec] right-hand side, a Condition.wait is re-checked. *)
+  let loop_depth = ref 0 in
+  let naked = Hashtbl.create 8 in  (* dedup: one finding per primitive *)
+  let open Ast_iterator in
+  let iter =
+    {
+      default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; loc } -> (
+            match prim_of_longident txt with
+            | Some (stdlib_qualified, name) ->
+              if stdlib_qualified || not has_shim_open then
+                if not (Hashtbl.mem naked name) then begin
+                  Hashtbl.add naked name ();
+                  add loc Shim_coverage
+                    (Printf.sprintf
+                       "%s used %s - route it through Ctg_sync.Shim" name
+                       (if stdlib_qualified then
+                          "with an explicit Stdlib path (bypasses the shim)"
+                        else "without `open Ctg_sync.Shim`"))
+                end
+            | None -> ())
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _)
+            when is_condition_wait txt ->
+            if !loop_depth = 0 then
+              add loc Predicate_loop
+                "Condition.wait outside a while loop or let-rec body: the \
+                 predicate is not re-checked, so a wakeup racing the park \
+                 is lost"
+          | _ -> ());
+          match e.pexp_desc with
+          | Pexp_while (cond, body) ->
+            it.expr it cond;
+            incr loop_depth;
+            it.expr it body;
+            decr loop_depth
+          | Pexp_let (Recursive, vbs, rest) ->
+            incr loop_depth;
+            List.iter (fun vb -> it.value_binding it vb) vbs;
+            decr loop_depth;
+            it.expr it rest
+          | _ -> default_iterator.expr it e);
+    }
+  in
+  (* Module-level bindings: R3/R4, then descend for R1/R2. *)
+  List.iter
+    (fun (si : Parsetree.structure_item) ->
+      (match si.pstr_desc with
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            if not (has_guard_attr vb.pvb_attributes) then begin
+              (match mutable_ctor vb.pvb_expr with
+              | Some ctor ->
+                add vb.pvb_loc Guarded_global
+                  (Printf.sprintf
+                     "module-level mutable state (%s) without [@@race.guarded \
+                      \"lock-name\"]"
+                     ctor)
+              | None -> ());
+              match vb.pvb_expr.pexp_desc with
+              | Pexp_lazy _ ->
+                add vb.pvb_loc Global_lazy
+                  "module-level lazy: Lazy.force is not domain-safe in OCaml \
+                   5 - make it eager or guard the force"
+              | _ -> ()
+            end)
+          vbs
+      | _ -> ());
+      iter.structure_item iter si)
+    str;
+  List.rev !findings
+
+let scan_string ~filename source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf filename;
+  match Parse.implementation lexbuf with
+  | str -> Ok (scan_structure ~file:filename str)
+  | exception e ->
+    Error (Printf.sprintf "%s: parse error: %s" filename (Printexc.to_string e))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The concurrent subsystems this lint gates.  lib/sync itself is
+   excluded by construction: it is the one place allowed to touch the
+   raw primitives. *)
+let default_dirs = [ "lib/engine"; "lib/net"; "lib/serve"; "lib/obs" ]
+
+let scan_dirs ?(dirs = default_dirs) ?(root = ".") () =
+  let files =
+    List.concat_map
+      (fun dir ->
+        let abs = Filename.concat root dir in
+        if Sys.file_exists abs && Sys.is_directory abs then
+          Sys.readdir abs |> Array.to_list |> List.sort compare
+          |> List.filter (fun f -> Filename.check_suffix f ".ml")
+          |> List.map (fun f -> (Filename.concat dir f, Filename.concat abs f))
+        else [])
+      dirs
+  in
+  let errors = ref [] in
+  let findings =
+    List.concat_map
+      (fun (rel, abs) ->
+        match scan_string ~filename:rel (read_file abs) with
+        | Ok fs -> fs
+        | Error e ->
+          errors := e :: !errors;
+          [])
+      files
+  in
+  (findings, List.rev !errors, List.length files)
+
+let report_to_json ~files ~errors findings =
+  Jsonx.Obj
+    [
+      ("tool", Jsonx.Str "ctg_lint race");
+      ("files_scanned", Jsonx.Num (float_of_int files));
+      ("ok", Jsonx.Bool (findings = [] && errors = []));
+      ("findings", Jsonx.List (List.map finding_to_json findings));
+      ("errors", Jsonx.List (List.map (fun e -> Jsonx.Str e) errors));
+    ]
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d: [%s] %s" f.f_file f.f_line (rule_id f.f_rule)
+    f.f_msg

@@ -1,0 +1,50 @@
+(** DPOR-style stateless model checker for code using the [Ctg_sync]
+    shim.  Runs a [unit -> unit] harness as cooperative fibers on one
+    domain and exhaustively explores interleavings at shared-memory
+    granularity, pruned by vector-clock happens-before (dscheck-like,
+    Flanagan–Godefroid backtrack sets).
+
+    Harnesses must be deterministic (no time, randomness, or I/O in
+    control flow) and must join every fiber they spawn. *)
+
+type vkind =
+  | Assertion of string  (** a fiber died with an uncaught exception *)
+  | Deadlock  (** nobody runnable: missed wakeup or lock cycle *)
+  | Livelock  (** all runnable fibers stuck in a read spin *)
+  | Lock_misuse of string  (** unlock/wait without holding the mutex *)
+  | Too_long  (** one execution exceeded [max_steps] *)
+
+val vkind_to_string : vkind -> string
+
+type stats = {
+  execs : int;  (** distinct interleavings fully executed *)
+  steps : int;  (** total shim operations across all executions *)
+  max_depth : int;  (** longest single execution, in operations *)
+}
+
+type violation = {
+  v_kind : vkind;
+  v_schedule : int list;
+      (** the replay seed: fiber id chosen at each step *)
+  v_trace : string list;  (** human-readable step-by-step trace *)
+  v_execs : int;  (** executions run before the violation surfaced *)
+}
+
+type outcome = Passed of stats | Budget_exceeded of stats | Flagged of violation
+
+val check :
+  ?max_execs:int -> ?max_steps:int -> ?spin_limit:int -> (unit -> unit) -> outcome
+(** Explore all interleavings of [fn].  Stops at the first violation,
+    returning its schedule and trace. *)
+
+val replay :
+  ?max_steps:int ->
+  ?spin_limit:int ->
+  (unit -> unit) ->
+  int list ->
+  vkind option * string list
+(** Re-run [fn] forcing the given schedule prefix (default policy after
+    it runs out); returns the violation, if any, and the full trace. *)
+
+val schedule_to_string : int list -> string
+val schedule_of_string : string -> int list

@@ -10,6 +10,8 @@
    burst of concurrent submitters lands in one batch — the batch-size
    histogram is the observable proof of coalescing. *)
 
+open Ctg_sync.Shim
+
 type 'res outcome = Done of 'res | Shed | Failed of exn
 
 type ('req, 'res) cell = {
@@ -41,15 +43,22 @@ type ('req, 'res) t = {
 
 let rec runner_loop t =
   Mutex.lock t.mu;
+  (* Missed-wakeup audit (ctg_race): predicate re-checked under [t.mu]
+     on each wakeup; submit signals [t.work] under the same mutex after
+     enqueueing, shutdown broadcasts after setting [stopping]. *)
   while Queue.is_empty t.queue && not t.stopping do
     Condition.wait t.work t.mu
   done;
-  if Queue.is_empty t.queue && t.stopping then Mutex.unlock t.mu
+  let draining = t.stopping in
+  if Queue.is_empty t.queue && draining then Mutex.unlock t.mu
   else begin
     Mutex.unlock t.mu;
     (* Coalesce: give concurrent submitters a beat to pile in.  Skipped
-       when draining — shutdown should not sleep per batch. *)
-    if t.linger > 0.0 && not t.stopping then Unix.sleepf t.linger;
+       when draining — shutdown should not sleep per batch.  [draining]
+       was captured under [t.mu] above: the old code re-read the plain
+       [t.stopping] field here without the lock, a data race flagged by
+       ctg_lint race. *)
+    if t.linger > 0.0 && not draining then Unix.sleepf t.linger;
     Mutex.lock t.mu;
     let k = min t.max_batch (Queue.length t.queue) in
     let cells = Array.init k (fun _ -> Queue.pop t.queue) in
@@ -135,6 +144,10 @@ let submit t req =
     | Some g -> Ctg_obs.Registry.set_gauge g (float_of_int (Queue.length t.queue))
     | None -> ());
     Condition.signal t.work;
+    (* Missed-wakeup audit (ctg_race): [cell.state] only changes under
+       [t.mu] (runner fills cells and broadcasts [done_] while holding
+       it), and this loop re-checks it under the same mutex — a
+       broadcast between the check and the wait is impossible. *)
     let rec wait () =
       match cell.state with
       | Pending ->

@@ -10,6 +10,7 @@
    independent of which batch the scheduler packed it into, which is what
    the bit-identity test pins. *)
 
+open Ctg_sync.Shim
 module Obs = Ctg_obs
 module Assure = Ctg_assure
 module F = Ctg_falcon

@@ -5,6 +5,7 @@
    milliseconds to seconds, so it must be paid once per tenant, not once
    per racing request. *)
 
+open Ctg_sync.Shim
 module F = Ctg_falcon
 module Bs = Ctg_prng.Bitstream
 

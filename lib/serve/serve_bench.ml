@@ -6,6 +6,7 @@
    bounded multiple of the raw signing cost on queueing, coalescing and
    HTTP, wherever it runs. *)
 
+open Ctg_sync.Shim
 module Obs = Ctg_obs
 module Jsonx = Obs.Jsonx
 module F = Ctg_falcon

@@ -1,0 +1,9 @@
+(* One-line migration surface: `open Ctg_sync.Shim` at the top of a
+   module shadows Atomic/Mutex/Condition/Domain with the checked
+   wrappers.  Kept separate from Sync so call sites don't accidentally
+   shadow Internal. *)
+
+module Atomic = Sync.Atomic
+module Mutex = Sync.Mutex
+module Condition = Sync.Condition
+module Domain = Sync.Domain

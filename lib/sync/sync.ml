@@ -1,0 +1,156 @@
+(* The concurrency shim the whole engine/net/serve/obs stack goes through.
+
+   Production mode (the default, [Internal.active] = false): every wrapper
+   compiles to the raw stdlib primitive behind one predictable branch on a
+   never-written ref — the paired-pass bench gates (`bench sync`) verify
+   the overhead is not measurable on the hot paths.
+
+   Checked mode (set only by the ctg_race model checker, single-domain):
+   every operation first performs an effect carrying the identity of the
+   touched primitive, so a recorded scheduler can (a) pick which fiber
+   runs at every shared-memory event and (b) model blocking primitives
+   (Mutex/Condition/Domain.join) without ever really blocking — the whole
+   harness runs cooperatively on one domain, which is what makes
+   exhaustive interleaving exploration possible.
+
+   The mode flag is a plain ref on purpose: it is only ever written by
+   the checker while no other domain exists in the process (checked
+   harnesses are fibers, not domains), so production reads race with
+   nothing. *)
+
+module Internal = struct
+  let active = ref false
+
+  let set_active b = active := b
+  let is_active () = !active
+
+  type kind = Read | Write | Rmw | Relax
+
+  type _ Effect.t +=
+    | Op : kind * Obj.t -> unit Effect.t
+    | Lock_op : Obj.t -> unit Effect.t
+    | Try_lock_op : Obj.t -> bool Effect.t
+    | Unlock_op : Obj.t -> unit Effect.t
+    | Wait_op : Obj.t * Obj.t -> unit Effect.t  (* cond, mutex *)
+    | Signal_op : Obj.t -> unit Effect.t
+    | Broadcast_op : Obj.t -> unit Effect.t
+    | Spawn_op : (unit -> unit) -> int Effect.t
+    | Join_op : int -> unit Effect.t
+
+  (* Identity token for operations with no meaningful object (cpu_relax). *)
+  let relax_token = Obj.repr (ref 0)
+end
+
+module I = Internal
+
+module Atomic = struct
+  type 'a t = 'a Stdlib.Atomic.t
+
+  let make = Stdlib.Atomic.make
+
+  (* The effect performs live in [@inline never] slow paths so the fast
+     wrappers stay below the cross-module inlining threshold: production
+     callers then compile each op to the raw atomic instruction behind
+     one predicted-not-taken branch (gated by `bench sync`). *)
+  let[@inline never] announce k a = Effect.perform (I.Op (k, Obj.repr a))
+
+  let[@inline] get a =
+    if !I.active then announce I.Read a;
+    Stdlib.Atomic.get a
+
+  let[@inline] set a v =
+    if !I.active then announce I.Write a;
+    Stdlib.Atomic.set a v
+
+  let[@inline] exchange a v =
+    if !I.active then announce I.Rmw a;
+    Stdlib.Atomic.exchange a v
+
+  let[@inline] compare_and_set a old new_ =
+    if !I.active then announce I.Rmw a;
+    Stdlib.Atomic.compare_and_set a old new_
+
+  let[@inline] fetch_and_add a n =
+    if !I.active then announce I.Rmw a;
+    Stdlib.Atomic.fetch_and_add a n
+
+  let[@inline] incr a = ignore (fetch_and_add a 1)
+  let[@inline] decr a = ignore (fetch_and_add a (-1))
+end
+
+module Mutex = struct
+  type t = Stdlib.Mutex.t
+
+  let create = Stdlib.Mutex.create
+
+  let lock m =
+    if !I.active then Effect.perform (I.Lock_op (Obj.repr m))
+    else Stdlib.Mutex.lock m
+
+  let try_lock m =
+    if !I.active then Effect.perform (I.Try_lock_op (Obj.repr m))
+    else Stdlib.Mutex.try_lock m
+
+  let unlock m =
+    if !I.active then Effect.perform (I.Unlock_op (Obj.repr m))
+    else Stdlib.Mutex.unlock m
+
+  let protect m f =
+    lock m;
+    Fun.protect ~finally:(fun () -> unlock m) f
+end
+
+module Condition = struct
+  type t = Stdlib.Condition.t
+
+  let create = Stdlib.Condition.create
+
+  let wait c m =
+    if !I.active then Effect.perform (I.Wait_op (Obj.repr c, Obj.repr m))
+    else Stdlib.Condition.wait c m
+
+  let signal c =
+    if !I.active then Effect.perform (I.Signal_op (Obj.repr c))
+    else Stdlib.Condition.signal c
+
+  let broadcast c =
+    if !I.active then Effect.perform (I.Broadcast_op (Obj.repr c))
+    else Stdlib.Condition.broadcast c
+end
+
+module Domain = struct
+  (* The [Model] arm exists only under the checker; production spawns pay
+     one constructor allocation per domain spawn, which is noise next to
+     the spawn itself. *)
+  type 'a t =
+    | Real of 'a Stdlib.Domain.t
+    | Model of int * 'a option ref
+
+  let spawn (type a) (f : unit -> a) : a t =
+    if not !I.active then Real (Stdlib.Domain.spawn f)
+    else begin
+      let cell = ref None in
+      let id = Effect.perform (I.Spawn_op (fun () -> cell := Some (f ()))) in
+      Model (id, cell)
+    end
+
+  let join (type a) (d : a t) : a =
+    match d with
+    | Real d -> Stdlib.Domain.join d
+    | Model (id, cell) -> (
+      Effect.perform (I.Join_op id);
+      (* A model join only resumes after the fiber finished; if it raised,
+         the scheduler re-raises into us instead of resuming. *)
+      match !cell with Some v -> v | None -> assert false)
+
+  let self = Stdlib.Domain.self
+  let self_index () = (Stdlib.Domain.self () :> int)
+  let is_main_domain = Stdlib.Domain.is_main_domain
+  let recommended_domain_count = Stdlib.Domain.recommended_domain_count
+
+  let cpu_relax () =
+    if !I.active then Effect.perform (I.Op (I.Relax, I.relax_token))
+    else Stdlib.Domain.cpu_relax ()
+
+  module DLS = Stdlib.Domain.DLS
+end
