@@ -704,6 +704,38 @@ let cmd_obs ?(smoke = false) () =
   end
 
 (* -------------------------------------------------------------------- *)
+(* Alloc: allocation baselines + profiling overhead (BENCH_alloc.json)   *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_alloc ?(smoke = false) () =
+  section
+    (if smoke then "Alloc: allocation baselines + profiling overhead (smoke run)"
+     else "Alloc: words/sample, words/signature, ctg_prof overhead gate");
+  let set =
+    if smoke then [ ("2", 16); ("215", 16) ]
+    else Ctg_prof.Alloc_bench.default_set
+  in
+  let samples = if smoke then 63 * 400 else 63 * 1000 in
+  let msgs = if smoke then 8 else 16 in
+  let rounds = if smoke then 3 else 5 in
+  let min_time = if smoke then 1.0 else 0.4 in
+  printf "plain vs profiling-armed fill loops, median of paired passes@.@.";
+  let entries =
+    Ctg_prof.Alloc_bench.run ~samples ~msgs ~rounds ~min_time ~set ()
+  in
+  List.iter (fun e -> printf "  %a@." Ctg_prof.Alloc_bench.pp_entry e) entries;
+  let path = if smoke then "BENCH_alloc_smoke.json" else "BENCH_alloc.json" in
+  Ctg_prof.Alloc_bench.save path entries;
+  printf "@.wrote %s@." path;
+  if Ctg_prof.Alloc_bench.ok entries then
+    printf "OK: profiling overhead < %.1f%%@."
+      Ctg_prof.Alloc_bench.threshold_pct
+  else begin
+    printf "FAIL: profiling overhead budget exceeded@.";
+    exit 1
+  end
+
+(* -------------------------------------------------------------------- *)
 (* Fault: always-on defense overhead budget (and BENCH_fault.json)       *)
 (* -------------------------------------------------------------------- *)
 
@@ -1039,11 +1071,11 @@ let usage () =
     "usage: main.exe [all|table1|table2|fig1|fig2|fig3|fig4|fig5|delta|@.";
   printf "                 prng-overhead|dudect|ablation-min|ablation-chain|@.";
   printf "                 precision|large-sigma|sampler-quality|engine|@.";
-  printf "                 gates|sign-many|obs|fault|assure|serve|history|micro|sync]@.";
+  printf "                 gates|sign-many|obs|alloc|fault|assure|serve|history|micro|sync]@.";
   printf "        [--full]        (fig5 at the paper's 64x10^7 samples)@.";
   printf
-    "        [--smoke]       (obs/fault/assure/serve: CI-sized windows -> \
-     BENCH_*_smoke.json)@.";
+    "        [--smoke]       (obs/alloc/fault/assure/serve: CI-sized windows \
+     -> BENCH_*_smoke.json)@.";
   printf "        [--trace FILE]  (record spans, write Chrome trace JSON)@."
 
 let () =
@@ -1090,6 +1122,7 @@ let () =
   | "gates" -> cmd_gates ()
   | "sign-many" -> cmd_sign_many ()
   | "obs" -> cmd_obs ~smoke ()
+  | "alloc" -> cmd_alloc ~smoke ()
   | "fault" -> cmd_fault ~smoke ()
   | "assure" -> cmd_assure ~smoke ()
   | "serve" -> cmd_serve ~smoke ()

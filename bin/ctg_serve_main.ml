@@ -1,7 +1,8 @@
 (* ctg_serve: the multi-tenant Falcon signing daemon.
 
-     ctg_serve run [--port 8732] [--n 64] ...   # serve until SIGINT/SIGTERM
+     ctg_serve run [--port 8732] [--trace] ...  # serve until SIGINT/SIGTERM
      ctg_serve client --tenant alice -m "msg"   # sign over HTTP and verify
+     ctg_serve client --trace req.json          # + merged causal trace
      ctg_serve smoke [--json FILE]              # in-process e2e for CI
 
    [run] drains gracefully on SIGINT/SIGTERM: the listener closes,
@@ -23,7 +24,7 @@ module Client = Ctg_net.Client
 (* ------------------------------------------------------------------ *)
 
 let config_of ~n ~sigma ~port ~host ~queue ~batch ~linger ~domains ~workers
-    ~no_check =
+    ~no_check ~trace =
   {
     Serve.Daemon.default_config with
     n;
@@ -36,6 +37,7 @@ let config_of ~n ~sigma ~port ~host ~queue ~batch ~linger ~domains ~workers
     sign_domains = domains;
     http_workers = workers;
     check = not no_check;
+    trace;
   }
 
 let common_args =
@@ -54,10 +56,10 @@ let common_args =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run n sigma host port queue batch linger domains workers no_check =
+let run n sigma host port queue batch linger domains workers no_check trace =
   let config =
     config_of ~n ~sigma ~port ~host ~queue ~batch ~linger ~domains ~workers
-      ~no_check
+      ~no_check ~trace
   in
   Format.printf "compiling sigma=%s sampler and starting daemon...@." sigma;
   let d = Serve.Daemon.create config in
@@ -65,6 +67,8 @@ let run n sigma host port queue batch linger domains workers no_check =
     host (Serve.Daemon.port d) n queue batch;
   Format.printf "  POST /v1/sign?tenant=T   GET /v1/pubkey?tenant=T@.";
   Format.printf "  GET /metrics /healthz /drift.json /v1/tenants@.";
+  if trace then
+    Format.printf "  GET /v1/trace[?request_id=R]  (tracing enabled)@.";
   let stop_flag = Atomic.make false in
   let request_stop _ = Atomic.set stop_flag true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
@@ -114,10 +118,16 @@ let run_cmd =
     Arg.(value & flag
          & info [ "no-check" ] ~doc:"Skip verify-after-sign in the batch run.")
   in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Enable span tracing and serve GET /v1/trace (per-request \
+                   Chrome trace slices).")
+  in
   let doc = "serve Falcon signatures over HTTP until SIGINT/SIGTERM" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ n $ sigma $ host $ port $ queue $ batch $ linger
-          $ domains $ workers $ no_check)
+          $ domains $ workers $ no_check $ trace)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -160,14 +170,14 @@ let fetch_pubkey c ~tenant =
   | Some h -> (params, h, F.Sign.norm_bound_sq params)
   | None -> fail "could not decode public key for %s" tenant
 
-let sign_once c ~tenant ~msg =
+let sign_once ?(headers = []) c ~tenant ~msg =
   let r =
-    Client.request c ~meth:"POST" ~path:("/v1/sign?tenant=" ^ tenant)
+    Client.request c ~headers ~meth:"POST" ~path:("/v1/sign?tenant=" ^ tenant)
       ~body:(Bytes.to_string msg) ()
   in
   if r.Client.status <> 200 then
     fail "POST /v1/sign -> %d: %s" r.Client.status (String.trim r.Client.body);
-  parse_json r.Client.body
+  (parse_json r.Client.body, r.Client.headers)
 
 let verify_response ~params ~h ~bound_sq ~msg j =
   let sig_bytes = Ctg_util.Hex.decode (str_exn "sig" j) in
@@ -178,12 +188,71 @@ let verify_response ~params ~h ~bound_sq ~msg j =
       fail "signature did NOT verify";
     Bytes.length sig_bytes
 
-let client host port tenant message =
+(* Merge the daemon's per-request trace slice with the client's own span:
+   daemon events keep pid 1, client events are re-homed to pid 2, so the
+   viewer shows both processes of the one causal request. *)
+let merged_trace ~daemon_json rid =
+  let patch_pid = function
+    | Jsonx.Obj fields ->
+      Jsonx.Obj
+        (List.map
+           (fun (k, v) -> if k = "pid" then (k, Jsonx.Num 2.0) else (k, v))
+           fields)
+    | j -> j
+  in
+  let events_of = function
+    | Jsonx.Obj fields -> (
+      match List.assoc_opt "traceEvents" fields with
+      | Some (Jsonx.List l) -> l
+      | _ -> [])
+    | _ -> []
+  in
+  let client_events = List.map patch_pid (events_of (Obs.Trace.export ())) in
+  let daemon_events = events_of daemon_json in
+  if daemon_events = [] then fail "daemon trace slice has no traceEvents";
+  Jsonx.Obj
+    [
+      ("traceEvents", Jsonx.List (daemon_events @ client_events));
+      ("displayTimeUnit", Jsonx.Str "ms");
+      ("ctg_request_id", Jsonx.Str rid);
+    ]
+
+let client host port tenant message trace_out =
+  (match trace_out with Some _ -> Obs.Trace.enable () | None -> ());
   let c = Client.connect ~host ~port () in
   let params, h, bound_sq = fetch_pubkey c ~tenant in
   let msg = Bytes.of_string message in
-  let j = sign_once c ~tenant ~msg in
+  let rid = Ctg_net.Http.gen_request_id () in
+  let headers =
+    match trace_out with Some _ -> [ ("X-Request-Id", rid) ] | None -> []
+  in
+  let j, resp_headers =
+    Obs.Trace.with_span "client_request" ~cat:"client"
+      ~args:(fun () -> [ ("request_id", rid); ("tenant", tenant) ])
+      (fun () -> sign_once ~headers c ~tenant ~msg)
+  in
   let bytes = verify_response ~params ~h ~bound_sq ~msg j in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    (match List.assoc_opt "x-request-id" resp_headers with
+    | Some echoed when echoed = rid -> ()
+    | Some echoed -> fail "daemon echoed request id %S, expected %S" echoed rid
+    | None -> fail "daemon response carried no X-Request-Id");
+    let r =
+      Client.request c ~meth:"GET" ~path:("/v1/trace?request_id=" ^ rid) ()
+    in
+    if r.Client.status <> 200 then
+      fail "GET /v1/trace -> %d (daemon not running with --trace?): %s"
+        r.Client.status (String.trim r.Client.body);
+    let daemon_json = parse_json r.Client.body in
+    Obs.Trace.disable ();
+    let merged = merged_trace ~daemon_json rid in
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Jsonx.to_string merged);
+        output_char oc '\n');
+    Format.printf "wrote %s (daemon slice + client span, request_id=%s)@."
+      path rid);
   Client.close c;
   Format.printf
     "tenant=%s verified OK: %d signature bytes, %d attempt(s), batch=%d@."
@@ -206,9 +275,15 @@ let client_cmd =
     Arg.(value & opt string "hello, falcon" & info [ "message"; "m" ]
          ~docv:"MSG" ~doc:"Message to sign.")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Pre-assign an X-Request-Id, fetch the daemon's trace slice \
+               for it (the daemon must run with $(b,--trace)) and write the \
+               merged client+daemon Chrome trace here.")
+  in
   let doc = "sign one message over HTTP and verify the result locally" in
   Cmd.v (Cmd.info "client" ~doc)
-    Term.(const client $ host $ port $ tenant $ message)
+    Term.(const client $ host $ port $ tenant $ message $ trace_out)
 
 (* ------------------------------------------------------------------ *)
 (* smoke                                                               *)
@@ -242,7 +317,7 @@ let smoke json_out =
             let params, h, bound_sq = fetch_pubkey c ~tenant in
             for i = 1 to per_tenant do
               let msg = Bytes.of_string (Printf.sprintf "%s-msg-%d" tenant i) in
-              let j = sign_once c ~tenant ~msg in
+              let j, _ = sign_once c ~tenant ~msg in
               ignore (verify_response ~params ~h ~bound_sq ~msg j : int);
               if str_exn "tenant" j <> tenant then Atomic.incr failures
             done;

@@ -5,6 +5,7 @@
      ctg_stats expose --sigma 2 -n 100000 [--format json]
      ctg_stats ctmon                     # CT monitor across the sampler zoo
      ctg_stats trace -o trace.json       # demo trace: sign + engine chunks
+     ctg_stats prof [--json FILE] [--trace FILE]  # alloc-by-span profile
 
    Exit codes: [overhead] fails (1) when any entry exceeds the budget or
    reports a CT violation; [ctmon] fails when a claimed-CT sampler
@@ -281,6 +282,85 @@ let trace_cmd =
      ffSampling, NTT, encode) plus a 2-domain engine job."
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const trace_demo $ output)
+
+(* ------------------------------------------------------------------ *)
+(* prof                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prof_run json_out trace_out =
+  let registry = Obs.Registry.create () in
+  Ctg_prof.Prof.enable ~registry ();
+  Ctg_prof.Prof.reset ();
+  Obs.Trace.reset ();
+  (* The same demo workload as [trace], now profiled: a Falcon signing
+     batch (per-message "sign" spans) and a 2-domain engine job whose
+     chunk spans are flow-linked to the submitting span. *)
+  let params = F.Params.custom ~n:64 in
+  let rng = Bs.of_chacha (Ctg_prng.Chacha20.of_seed "ctg-stats-prof") in
+  let kp = F.Keygen.generate params rng in
+  let sampler =
+    Ctg_engine.Registry.lookup Ctg_engine.Registry.global ~sigma:"2"
+      ~precision:16 ~tail_cut:13 ()
+  in
+  let msgs = Array.init 4 (fun i -> Bytes.of_string (Printf.sprintf "prof %d" i)) in
+  ignore
+    (F.Sign.sign_many ~domains:2 kp
+       ~make_base:(fun () ->
+         F.Base_sampler.of_instance
+           (Sig.of_bitsliced (Ctgauss.Sampler.clone sampler)))
+       ~seed:"ctg-stats-prof" ~msgs);
+  let pool = Ctg_engine.Pool.create ~domains:2 ~seed:"ctg-stats-prof" sampler in
+  Obs.Trace.with_span "job" ~cat:"stats" (fun () ->
+      Obs.Trace.flow_start ~id:424242 "job";
+      ignore (Ctg_engine.Pool.batch_parallel ~flow:424242 pool ~n:(63 * 64)));
+  Ctg_engine.Pool.shutdown pool;
+  Format.printf "allocation by span label (minor words, descending):@.@.";
+  Format.printf "%a" Ctg_prof.Prof.pp_report ();
+  let cycles =
+    Obs.Registry.value (Obs.Registry.counter registry "gc_major_cycles_total")
+  in
+  let gap =
+    Obs.Registry.histo_summary
+      (Obs.Registry.histo registry "gc_major_cycle_gap_ns")
+  in
+  Format.printf "@.gc major cycles: %d" cycles;
+  if gap.Obs.Histo.count > 0 then
+    Format.printf " (cycle gap p50 %d ns, max %d ns)" gap.Obs.Histo.p50
+      gap.Obs.Histo.max;
+  Format.printf "@.";
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Obs.Jsonx.pretty (Ctg_prof.Prof.report_json ()));
+        output_char oc '\n');
+    Format.printf "wrote %s@." path);
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    Obs.Trace.write path;
+    Format.printf "wrote %s: %d events (%d dropped)@." path
+      (List.length (Obs.Trace.events ()))
+      (Obs.Trace.dropped ()));
+  Ctg_prof.Prof.disable ();
+  Obs.Trace.disable ()
+
+let prof_cmd =
+  let json_out =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the allocation report as JSON.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the gc-annotated Chrome trace (span args carry \
+                 alloc_minor_words etc.).")
+  in
+  let doc =
+    "Profile allocation by span: run a demo signing + engine workload with \
+     the ctg_prof layer armed and print span labels ranked by words \
+     allocated, plus the GC major-cycle cadence."
+  in
+  Cmd.v (Cmd.info "prof" ~doc) Term.(const prof_run $ json_out $ trace_out)
 
 (* ------------------------------------------------------------------ *)
 (* watch / serve / assure: the continuous-assurance commands            *)
@@ -603,6 +683,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            overhead_cmd; expose_cmd; ctmon_cmd; trace_cmd; watch_cmd;
-            serve_cmd; assure_cmd;
+            overhead_cmd; expose_cmd; ctmon_cmd; trace_cmd; prof_cmd;
+            watch_cmd; serve_cmd; assure_cmd;
           ]))

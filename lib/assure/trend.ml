@@ -29,6 +29,7 @@ let default_files =
     "BENCH_fault.json";
     "BENCH_assure.json";
     "BENCH_serve.json";
+    "BENCH_alloc.json";
   ]
 
 (* Flatten every numeric leaf of a baseline file to (path, value).  List
@@ -189,11 +190,14 @@ let deltas ~baseline current =
         Some { key; base; current = cur; pct })
     current.metrics
 
-(* Only latency-like series gate the build: a "_ns"-suffixed metric that
-   grew past the tolerance is a regression.  Counters, percentages and
-   gate counts move for legitimate reasons and stay advisory. *)
+(* Only latency-like series gate the build — plus the allocation
+   baselines, where growth past the tolerance means a stage started
+   allocating more per unit of work.  Counters, percentages and gate
+   counts move for legitimate reasons and stay advisory. *)
 let is_latency_key key =
-  let suffixes = [ "_ns"; "_ns_per_sample" ] in
+  let suffixes =
+    [ "_ns"; "_ns_per_sample"; "_words_per_sample"; "_words_per_signature" ]
+  in
   List.exists
     (fun s ->
       String.length key >= String.length s

@@ -182,6 +182,7 @@ type job = {
   lane_base : int;  (* chunk c draws from Stream_fork lane lane_base + c *)
   wq : Workq.t;  (* cursor, orphans, completion and failure accounting *)
   sink : sink;
+  flow : int option;  (* trace flow id: each chunk span emits a flow step *)
 }
 
 (* Degraded pools serve from the constant-time linear-search CDT instead of
@@ -271,6 +272,9 @@ let run_chunk t ~worker ~clone (j : job) c =
           ("mode", "degraded-cdt");
         ])
       (fun () ->
+        (match j.flow with
+        | Some id -> Trace.flow_step ~id "job"
+        | None -> ());
         for i = 0 to count - 1 do
           out.(out_pos + i) <- Ctg_samplers.Sampler_sig.sample_signed inst rng
         done);
@@ -298,6 +302,9 @@ let run_chunk t ~worker ~clone (j : job) c =
           ("batches", string_of_int !batches);
         ])
       (fun () ->
+        (match j.flow with
+        | Some id -> Trace.flow_step ~id "job"
+        | None -> ());
         while !filled < count do
           let bits0 = Bs.bits_consumed rng in
           let res0 = Ctgauss.Sampler.resamples clone in
@@ -549,7 +556,7 @@ let create ?domains ?(backend = Stream_fork.Chacha) ?(chunk_batches = 16)
   t
 
 (* Publish a job to the workers; returns it with the lane range claimed. *)
-let submit t ~n ~make_sink =
+let submit ?flow t ~n ~make_sink =
   if n < 0 then invalid_arg "Pool: n must be >= 0";
   Mutex.lock t.mutex;
   if t.stopped then begin
@@ -569,6 +576,7 @@ let submit t ~n ~make_sink =
       lane_base = t.next_lane;
       wq = Workq.create ~total:total_chunks ~stamp:(Clock.now_ns ());
       sink = make_sink ~total_chunks;
+      flow;
     }
   in
   (* Lanes are consumed per call, so successive jobs draw fresh
@@ -596,10 +604,10 @@ let finish_job t (j : job) =
   | _ -> ());
   match failure with Some e -> raise e | None -> ()
 
-let batch_parallel t ~n =
+let batch_parallel ?flow t ~n =
   let out = ref [||] in
   let j =
-    submit t ~n ~make_sink:(fun ~total_chunks:_ ->
+    submit ?flow t ~n ~make_sink:(fun ~total_chunks:_ ->
         let a = Array.make n 0 in
         out := a;
         Array_sink a)
@@ -607,10 +615,10 @@ let batch_parallel t ~n =
   finish_job t j;
   !out
 
-let iter_batches t ~n f =
+let iter_batches ?flow t ~n f =
   let queue = ref None in
   let j =
-    submit t ~n ~make_sink:(fun ~total_chunks:_ ->
+    submit ?flow t ~n ~make_sink:(fun ~total_chunks:_ ->
         let q = Chunkq.create ~capacity:t.queue_capacity in
         queue := Some q;
         Queue_sink q)

@@ -189,14 +189,18 @@ val add_chunk_observer : t -> chunk_observer -> unit
 (** Append an observer.  Like {!set_fault_hook}, set while the pool is
     idle. *)
 
-val batch_parallel : t -> n:int -> int array
+val batch_parallel : ?flow:int -> t -> n:int -> int array
 (** [n] signed samples, produced in parallel, deterministic in the master
     seed and the sequence of calls (each call consumes fresh lanes).
+    [flow] is a trace flow id: when given (and tracing is on), every
+    worker chunk span emits a {!Ctg_obs.Trace.flow_step} with that id, so
+    an exported trace draws the causal arrows from the submitting span to
+    the per-domain chunks.  No effect on the samples produced.
     @raise Invalid_argument when [n < 0] or the pool is shut down.
     @raise Chunk_failed when a chunk fails permanently.
     @raise Stalled when [stall_timeout] elapses without progress. *)
 
-val iter_batches : t -> n:int -> (int array -> unit) -> unit
+val iter_batches : ?flow:int -> t -> n:int -> (int array -> unit) -> unit
 (** Stream the same deterministic output as {!batch_parallel} to [f] chunk
     by chunk, in order, while workers keep producing ahead under the
     bounded-queue backpressure.  [f] runs in the calling domain.  Raises

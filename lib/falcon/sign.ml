@@ -196,11 +196,20 @@ let sign_many ?domains ?backend ?workforce ?lanes ?fault_hook ?check kp
      the signature of a request is also independent of which batch it
      landed in. *)
   let body i =
-    let rng =
-      Ctg_engine.Stream_fork.bitstream ?backend ~seed ~lane:(lane_of i) ()
-    in
-    let base = make_base () in
-    out.(i) <- Some (sign ?fault_hook ?check kp base rng ~msg:msgs.(i))
+    let lane = lane_of i in
+    Obs.Trace.with_span "sign" ~cat:"falcon"
+      ~args:(fun () -> [ ("lane", string_of_int lane) ])
+      (fun () ->
+        (* Terminates the request's causal flow: the serving path starts a
+           flow with id = lane at enqueue time, so the arrow lands on this
+           per-message slice on whichever domain signed it. *)
+        Obs.Trace.flow_end ~id:lane "sig"
+          ~args:(fun () -> [ ("lane", string_of_int lane) ]);
+        let rng =
+          Ctg_engine.Stream_fork.bitstream ?backend ~seed ~lane ()
+        in
+        let base = make_base () in
+        out.(i) <- Some (sign ?fault_hook ?check kp base rng ~msg:msgs.(i)))
   in
   (match workforce with
   | Some w -> Ctg_engine.Workforce.run w ~n body

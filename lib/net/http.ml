@@ -15,11 +15,75 @@ type request = {
   body : string;
 }
 
-type response = { status : int; content_type : string; body : string }
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;
+  body : string;
+}
 
-let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8") body
-    =
-  { status; content_type; body }
+let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
+    ?(headers = []) body =
+  { status; content_type; headers; body }
+
+(* ---------------------------------------------------------------- *)
+(* Request ids                                                       *)
+(* ---------------------------------------------------------------- *)
+
+(* Every request carries an id: the client's [X-Request-Id] when it sent
+   a well-formed one, a generated one otherwise.  The id is inserted
+   into [req.headers] before the handler runs and echoed on *every*
+   response this connection writes — including 400/413 parse failures
+   and the handler's own 429/503 error bodies — so a shed or failed
+   request stays joinable to its trace. *)
+let request_id_header = "x-request-id"
+
+let rid_seq = Atomic.make 0
+
+(* Eager module-level init (no [lazy]: not domain-safe under OCaml 5).
+   The prefix makes ids from successive daemon processes distinct. *)
+let rid_prefix =
+  Printf.sprintf "%04x%04x"
+    (Unix.getpid () land 0xffff)
+    (Hashtbl.hash (Unix.gettimeofday ()) land 0xffff)
+
+let gen_request_id () =
+  Printf.sprintf "r-%s-%06x" rid_prefix (Atomic.fetch_and_add rid_seq 1)
+
+let valid_request_id s =
+  let n = String.length s in
+  n >= 1 && n <= 64
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true | _ -> false)
+       s
+
+let request_id (req : request) =
+  match List.assoc_opt request_id_header req.headers with
+  | Some id -> id
+  | None -> ""
+
+(* The id of a parsed head, when the client sent a usable one. *)
+let claimed_request_id (req : request) =
+  match List.assoc_opt request_id_header req.headers with
+  | Some id when valid_request_id id -> Some id
+  | _ -> None
+
+let ensure_request_id (req : request) =
+  match claimed_request_id req with
+  | Some id -> (id, req)
+  | None ->
+    let id = gen_request_id () in
+    (* Shadow any malformed client value: [header] lookups find the
+       accepted id first. *)
+    (id, { req with headers = (request_id_header, id) :: req.headers })
+
+let with_request_id id resp =
+  if
+    List.exists
+      (fun (k, _) -> String.lowercase_ascii k = request_id_header)
+      resp.headers
+  then resp
+  else { resp with headers = ("X-Request-Id", id) :: resp.headers }
 
 type handler = request -> response
 
@@ -90,7 +154,8 @@ let split_target target =
     ( String.sub target 0 i,
       parse_query (String.sub target (i + 1) (String.length target - i - 1)) )
 
-let header req name = List.assoc_opt (String.lowercase_ascii name) req.headers
+let header (req : request) name =
+  List.assoc_opt (String.lowercase_ascii name) req.headers
 
 let parse_header_line line =
   match String.index_opt line ':' with
@@ -268,7 +333,9 @@ let read_chunked cb ~limit =
 type read_result =
   | Request of request * string  (** parsed request, HTTP version *)
   | Closed  (** clean EOF before any byte of a new request *)
-  | Malformed of response
+  | Malformed of response * string option
+      (** error response, plus the client's request id when the head
+          parsed far enough to recover one — echoed even on 400/413 *)
 
 let rec read_request_conn ?(max_body = default_max_body) cb =
   if cb.pending = "" && not (refill cb) then Closed
@@ -280,15 +347,17 @@ let rec read_request_conn ?(max_body = default_max_body) cb =
     | None -> (
       (* Accept bare-\n framing from hand-rolled clients. *)
       match read_until cb "\n\n" ~limit:max_head_bytes with
-      | None -> Malformed (response ~status:400 "oversized or truncated head\n")
+      | None ->
+        Malformed (response ~status:400 "oversized or truncated head\n", None)
       | Some i ->
         let head = take cb (i + 2) in
         request_of_head cb (String.sub head 0 i) ~max_body)
 
 and request_of_head cb head ~max_body =
   match parse_head head with
-  | Error e -> Malformed (response ~status:400 (e ^ "\n"))
+  | Error e -> Malformed (response ~status:400 (e ^ "\n"), None)
   | Ok (req, version) -> (
+    let rid = claimed_request_id req in
     let chunked =
       match List.assoc_opt "transfer-encoding" req.headers with
       | Some v ->
@@ -298,32 +367,38 @@ and request_of_head cb head ~max_body =
     in
     if chunked then (
       match read_chunked cb ~limit:max_body with
-      | Too_large -> Malformed (response ~status:413 "request body too large\n")
-      | Bad e -> Malformed (response ~status:400 (e ^ "\n"))
+      | Too_large ->
+        Malformed (response ~status:413 "request body too large\n", rid)
+      | Bad e -> Malformed (response ~status:400 (e ^ "\n"), rid)
       | Body b -> Request ({ req with body = b }, version))
     else
       match List.assoc_opt "content-length" req.headers with
       | None -> Request (req, version)
       | Some v -> (
         match int_of_string_opt (String.trim v) with
-        | None -> Malformed (response ~status:400 "bad content-length\n")
+        | None -> Malformed (response ~status:400 "bad content-length\n", rid)
         | Some n when n < 0 ->
-          Malformed (response ~status:400 "bad content-length\n")
+          Malformed (response ~status:400 "bad content-length\n", rid)
         | Some n when n > max_body ->
-          Malformed (response ~status:413 "request body too large\n")
+          Malformed (response ~status:413 "request body too large\n", rid)
         | Some n -> (
           match read_exactly cb n ~limit:max_body with
-          | None -> Malformed (response ~status:400 "truncated body\n")
+          | None -> Malformed (response ~status:400 "truncated body\n", rid)
           | Some b -> Request ({ req with body = b }, version))))
 
 let render_response ~keep_alive r =
+  let extra =
+    List.fold_left
+      (fun acc (k, v) -> acc ^ Printf.sprintf "%s: %s\r\n" k v)
+      "" r.headers
+  in
   Printf.sprintf
     "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
-     %s\r\n\r\n%s"
+     %s\r\n%s\r\n%s"
     r.status (status_text r.status) r.content_type
     (String.length r.body)
     (if keep_alive then "keep-alive" else "close")
-    r.body
+    extra r.body
 
 let write_all fd s =
   let b = Bytes.of_string s in
@@ -376,16 +451,19 @@ let serve_connection st ~handler ~max_body fd =
   while !continue do
     match read_request_conn ~max_body cb with
     | Closed -> continue := false
-    | Malformed resp ->
-      write_all fd (render_response ~keep_alive:false resp);
+    | Malformed (resp, rid) ->
+      let rid = match rid with Some r -> r | None -> gen_request_id () in
+      write_all fd (render_response ~keep_alive:false (with_request_id rid resp));
       continue := false
     | Request (req, version) ->
+      let rid, req = ensure_request_id req in
       let resp =
         try handler req
         with e ->
           response ~status:500
             (Printf.sprintf "handler error: %s\n" (Printexc.to_string e))
       in
+      let resp = with_request_id rid resp in
       let wants_close =
         match List.assoc_opt "connection" req.headers with
         | Some v -> String.lowercase_ascii v = "close"

@@ -21,10 +21,17 @@ type request = {
   body : string;
 }
 
-type response = { status : int; content_type : string; body : string }
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;  (** Extra response headers, as-is. *)
+  body : string;
+}
 
-val response : ?status:int -> ?content_type:string -> string -> response
-(** Defaults: status 200, [text/plain; charset=utf-8]. *)
+val response :
+  ?status:int -> ?content_type:string -> ?headers:(string * string) list ->
+  string -> response
+(** Defaults: status 200, [text/plain; charset=utf-8], no extra headers. *)
 
 val status_text : int -> string
 (** Reason phrase for the status codes this stack emits. *)
@@ -43,6 +50,20 @@ val handler_of_routes : route list -> handler
 val query_param : request -> string -> string option
 val header : request -> string -> string option
 (** Case-insensitive header lookup. *)
+
+val request_id : request -> string
+(** The request's trace id.  Inside a handler run by {!start_handler}
+    this is never empty: the server adopts a well-formed client
+    [X-Request-Id] (1–64 chars of [\[A-Za-z0-9._-\]]) or generates one
+    before dispatch, and echoes it on {e every} response the connection
+    writes — 200s, handler errors, and 400/413 parse failures alike.
+    Empty only for requests built by hand (tests). *)
+
+val gen_request_id : unit -> string
+(** A fresh process-unique id (what the server assigns when the client
+    sent none) — also usable client-side to pre-assign an id. *)
+
+val valid_request_id : string -> bool
 
 val percent_decode : string -> string
 val parse_query : string -> (string * string) list

@@ -7,7 +7,18 @@ type labels = (string * string) list
    cell and be dropped with it — readers are protected by the seqlock. *)
 type counter = int Atomic.t Atomic.t
 type gauge = float Atomic.t Atomic.t
-type histo = { h_mutex : Mutex.t; mutable cell : Histo.t }
+
+(* [h_ex] are the histogram's exemplars: the ids (request ids, in the
+   serving path) of the largest observations seen since the last reset,
+   value-descending — the link from a p99 outlier in /metrics to its
+   trace.  Kept tiny and updated under the same mutex as the cell. *)
+type histo = {
+  h_mutex : Mutex.t;
+  mutable cell : Histo.t;
+  mutable h_ex : (int * string) list;
+}
+
+let max_exemplars = 4
 
 type metric = C of counter | G of gauge | H of histo
 type kind = Kcounter | Kgauge | Khisto
@@ -82,13 +93,36 @@ let gauge_value (g : gauge) = Atomic.get (Atomic.get g)
 
 let histo t ?(labels = []) name =
   find_or_create t name labels Khisto
-    (fun () -> H { h_mutex = Mutex.create (); cell = Histo.create () })
+    (fun () -> H { h_mutex = Mutex.create (); cell = Histo.create (); h_ex = [] })
     (function H h -> Some h | _ -> None)
 
 let observe (h : histo) v =
   Mutex.lock h.h_mutex;
   Histo.add h.cell v;
   Mutex.unlock h.h_mutex
+
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+
+let observe_exemplar (h : histo) v id =
+  Mutex.lock h.h_mutex;
+  Histo.add h.cell v;
+  if id <> "" then begin
+    (* Insert-sorted, value-descending, recency breaking ties — so the
+       retained set is always the current maxima and a repeated max keeps
+       its newest id first. *)
+    let ex = (v, id) :: h.h_ex in
+    let ex = List.stable_sort (fun (a, _) (b, _) -> compare b a) ex in
+    h.h_ex <- take max_exemplars ex
+  end;
+  Mutex.unlock h.h_mutex
+
+let exemplars (h : histo) =
+  Mutex.lock h.h_mutex;
+  let ex = h.h_ex in
+  Mutex.unlock h.h_mutex;
+  ex
 
 let histo_summary (h : histo) =
   Mutex.lock h.h_mutex;
@@ -107,6 +141,7 @@ let reset t =
       | H h ->
         Mutex.lock h.h_mutex;
         h.cell <- Histo.create ();
+        h.h_ex <- [];
         Mutex.unlock h.h_mutex)
     t.table;
   Atomic.incr t.gen;
@@ -213,20 +248,37 @@ let to_json t =
           | G g -> [ ("value", Jsonx.Num (gauge_value g)) ]
           | H h ->
             let s = histo_summary h in
-            [
-              ( "histogram",
-                Jsonx.Obj
-                  [
-                    ("count", Jsonx.Num (float_of_int s.Histo.count));
-                    ("sum", Jsonx.Num (float_of_int s.Histo.sum));
-                    ("mean", Jsonx.Num s.Histo.mean);
-                    ("min", Jsonx.Num (float_of_int s.Histo.min));
-                    ("max", Jsonx.Num (float_of_int s.Histo.max));
-                    ("p50", Jsonx.Num (float_of_int s.Histo.p50));
-                    ("p90", Jsonx.Num (float_of_int s.Histo.p90));
-                    ("p99", Jsonx.Num (float_of_int s.Histo.p99));
-                  ] );
-            ]
+            let ex = exemplars h in
+            let fields =
+              [
+                ("count", Jsonx.Num (float_of_int s.Histo.count));
+                ("sum", Jsonx.Num (float_of_int s.Histo.sum));
+                ("mean", Jsonx.Num s.Histo.mean);
+                ("min", Jsonx.Num (float_of_int s.Histo.min));
+                ("max", Jsonx.Num (float_of_int s.Histo.max));
+                ("p50", Jsonx.Num (float_of_int s.Histo.p50));
+                ("p90", Jsonx.Num (float_of_int s.Histo.p90));
+                ("p99", Jsonx.Num (float_of_int s.Histo.p99));
+              ]
+            in
+            let fields =
+              if ex = [] then fields
+              else
+                fields
+                @ [
+                    ( "exemplars",
+                      Jsonx.List
+                        (List.map
+                           (fun (v, id) ->
+                             Jsonx.Obj
+                               [
+                                 ("value", Jsonx.Num (float_of_int v));
+                                 ("id", Jsonx.Str id);
+                               ])
+                           ex) );
+                  ]
+            in
+            [ ("histogram", Jsonx.Obj fields) ]
         in
         Jsonx.Obj (base @ payload)
       in

@@ -48,6 +48,19 @@ val histo : t -> ?labels:labels -> string -> histo
 val observe : histo -> int -> unit
 val histo_summary : histo -> Histo.summary
 
+val observe_exemplar : histo -> int -> string -> unit
+(** [observe_exemplar h v id]: {!observe} plus exemplar retention — the
+    ids attached to the largest observed values (at most 4, value-
+    descending, newest first on ties) survive until the next reset.  The
+    serving path passes the request id, which is what links a latency
+    outlier in the exposition to its [/v1/trace] slice.  An empty [id]
+    degrades to a plain {!observe}. *)
+
+val exemplars : histo -> (int * string) list
+(** Current [(value, id)] exemplars, value-descending.  Also exposed in
+    {!to_json} as the histogram's ["exemplars"] list (the Prometheus text
+    format predates exemplars, so {!expose_text} is unchanged). *)
+
 val reset : t -> unit
 (** Zero every metric (gauges to 0, histograms to empty), atomically with
     respect to {!read_consistent} readers. *)

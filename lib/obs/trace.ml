@@ -1,11 +1,15 @@
 open Ctg_sync.Shim
 
+type phase = Complete | Instant | Flow_start | Flow_step | Flow_end
+
 type event = {
   name : string;
   cat : string;
+  ph : phase;
   ts_ns : int;
   dur_ns : int;
   tid : int;
+  id : int;
   args : (string * string) list;
 }
 
@@ -127,19 +131,60 @@ let reset () =
 
 let eval_args = function None -> [] | Some f -> f ()
 
+(* Allocation capture: when [gc_capture] is set (and tracing is enabled —
+   the disabled fast path stays one atomic load), every span additionally
+   samples [Gc.counters] on entry and exit and appends the per-domain
+   word deltas to its args.  The counters are per-domain and monotonic,
+   and a span starts and finishes on the same domain, so the deltas are
+   non-negative by construction.  [gc_observer] is the hook the ctg_prof
+   aggregation layer installs; it runs on the recording domain. *)
+let gc_capture = Atomic.make false
+
+type gc_observer =
+  name:string -> minor:float -> promoted:float -> major:float ->
+  dur_ns:int -> unit
+
+let gc_observer : gc_observer option Atomic.t = Atomic.make None
+
+let set_gc_capture on = Atomic.set gc_capture on
+let gc_capture_enabled () = Atomic.get gc_capture
+let set_gc_observer obs = Atomic.set gc_observer obs
+
+let words w = Printf.sprintf "%.0f" w
+
 let with_span ?(cat = "ctg") ?args name f =
   if not (Atomic.get enabled) then f ()
   else begin
+    let gc = Atomic.get gc_capture in
+    let m0, p0, j0 = if gc then Gc.counters () else (0.0, 0.0, 0.0) in
     let t0 = Clock.now_ns () in
     let finish () =
+      let dur_ns = Clock.now_ns () - t0 in
+      let gc_args =
+        if not gc then []
+        else begin
+          let m1, p1, j1 = Gc.counters () in
+          let minor = m1 -. m0 and promoted = p1 -. p0 and major = j1 -. j0 in
+          (match Atomic.get gc_observer with
+          | Some obs -> obs ~name ~minor ~promoted ~major ~dur_ns
+          | None -> ());
+          [
+            ("alloc_minor_words", words minor);
+            ("alloc_promoted_words", words promoted);
+            ("alloc_major_words", words major);
+          ]
+        end
+      in
       record
         {
           name;
           cat;
+          ph = Complete;
           ts_ns = t0;
-          dur_ns = Clock.now_ns () - t0;
+          dur_ns;
           tid = (Domain.self () :> int);
-          args = eval_args args;
+          id = -1;
+          args = eval_args args @ gc_args;
         }
     in
     match f () with
@@ -157,11 +202,36 @@ let instant ?(cat = "ctg") ?args name =
       {
         name;
         cat;
+        ph = Instant;
         ts_ns = Clock.now_ns ();
         dur_ns = -1;
         tid = (Domain.self () :> int);
+        id = -1;
         args = eval_args args;
       }
+
+(* Flow events: the causal arrows binding a request span to the batch and
+   per-domain chunk/sign spans that serve it.  Chrome/Perfetto attach a
+   flow event to the slice enclosing its timestamp on the same track, so
+   emit these *inside* the relevant [with_span] thunk; events sharing an
+   [id] (and name/cat) are drawn as one arrow chain. *)
+let flow_event ph ?(cat = "flow") ?args ~id name =
+  if Atomic.get enabled then
+    record
+      {
+        name;
+        cat;
+        ph;
+        ts_ns = Clock.now_ns ();
+        dur_ns = 0;
+        tid = (Domain.self () :> int);
+        id;
+        args = eval_args args;
+      }
+
+let flow_start ?cat ?args ~id name = flow_event Flow_start ?cat ?args ~id name
+let flow_step ?cat ?args ~id name = flow_event Flow_step ?cat ?args ~id name
+let flow_end ?cat ?args ~id name = flow_event Flow_end ?cat ?args ~id name
 
 let snapshot_rings () =
   Mutex.lock rings_mutex;
@@ -200,9 +270,20 @@ let event_to_json ev =
       ("ts", Jsonx.Num (float_of_int ev.ts_ns /. 1e3));
     ]
   in
+  let flow ph extra =
+    ("ph", Jsonx.Str ph) :: ("id", Jsonx.Num (float_of_int ev.id)) :: extra
+  in
   let phase =
-    if ev.dur_ns < 0 then [ ("ph", Jsonx.Str "i"); ("s", Jsonx.Str "t") ]
-    else [ ("ph", Jsonx.Str "X"); ("dur", Jsonx.Num (float_of_int ev.dur_ns /. 1e3)) ]
+    match ev.ph with
+    | Instant -> [ ("ph", Jsonx.Str "i"); ("s", Jsonx.Str "t") ]
+    | Complete ->
+      [ ("ph", Jsonx.Str "X"); ("dur", Jsonx.Num (float_of_int ev.dur_ns /. 1e3)) ]
+    | Flow_start -> flow "s" []
+    | Flow_step -> flow "t" []
+    | Flow_end ->
+      (* bp:"e" binds the arrow head to the *enclosing* slice rather than
+         the next slice to start on the track. *)
+      flow "f" [ ("bp", Jsonx.Str "e") ]
   in
   let args =
     match ev.args with
@@ -211,8 +292,7 @@ let event_to_json ev =
   in
   Jsonx.Obj (base @ phase @ args)
 
-let export () =
-  let evs, drops = collect () in
+let export_events ?(dropped = 0) evs =
   let evs =
     List.sort
       (fun a b ->
@@ -225,8 +305,12 @@ let export () =
     [
       ("traceEvents", Jsonx.List (List.map event_to_json evs));
       ("displayTimeUnit", Jsonx.Str "ms");
-      ("ctg_dropped_events", Jsonx.Num (float_of_int drops));
+      ("ctg_dropped_events", Jsonx.Num (float_of_int dropped));
     ]
+
+let export () =
+  let evs, drops = collect () in
+  export_events ~dropped:drops evs
 
 let write path =
   Out_channel.with_open_text path (fun oc ->

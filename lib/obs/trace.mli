@@ -12,14 +12,28 @@
 
     Exported files load in [chrome://tracing] / Perfetto: spans become
     complete ("ph":"X") events with microsecond [ts]/[dur], the recording
-    domain as [tid]; instants become "ph":"i". *)
+    domain as [tid]; instants become "ph":"i"; {!flow_start} /
+    {!flow_step} / {!flow_end} become flow events ("ph":"s"/"t"/"f")
+    whose shared [id] draws the causal arrows of one request across
+    domains.
+
+    When {!set_gc_capture} is on (the ctg_prof layer), every span also
+    samples [Gc.counters] on entry and exit, appends the per-domain
+    minor/promoted/major word deltas to its args
+    ([alloc_minor_words], ...), and feeds the registered
+    {!set_gc_observer} hook — the substrate of the allocation-ranking
+    profile report. *)
+
+type phase = Complete | Instant | Flow_start | Flow_step | Flow_end
 
 type event = {
   name : string;
   cat : string;
+  ph : phase;
   ts_ns : int;
-  dur_ns : int;  (** [-1] for an instant event. *)
+  dur_ns : int;  (** [-1] for an instant event, [0] for flow events. *)
   tid : int;  (** Recording domain id. *)
+  id : int;  (** Flow-binding id; [-1] for non-flow events. *)
   args : (string * string) list;
 }
 
@@ -70,6 +84,34 @@ val with_span : ?cat:string -> ?args:(unit -> (string * string) list) -> string 
 
 val instant : ?cat:string -> ?args:(unit -> (string * string) list) -> string -> unit
 
+val flow_start :
+  ?cat:string -> ?args:(unit -> (string * string) list) -> id:int -> string -> unit
+(** Begin a causal flow.  Emit inside the [with_span] thunk whose slice
+    the arrow should leave from; [cat] defaults to ["flow"].  Chrome
+    chains flow events sharing (name, cat, [id]). *)
+
+val flow_step :
+  ?cat:string -> ?args:(unit -> (string * string) list) -> id:int -> string -> unit
+(** An intermediate hop of the flow (e.g. the coalesced batch span). *)
+
+val flow_end :
+  ?cat:string -> ?args:(unit -> (string * string) list) -> id:int -> string -> unit
+(** Terminate the flow; binds to the {e enclosing} slice ([bp:"e"]). *)
+
+val set_gc_capture : bool -> unit
+(** Capture per-span [Gc.counters] word deltas (only while tracing is
+    enabled; the disabled fast path is unchanged).  Off by default. *)
+
+val gc_capture_enabled : unit -> bool
+
+type gc_observer =
+  name:string -> minor:float -> promoted:float -> major:float ->
+  dur_ns:int -> unit
+
+val set_gc_observer : gc_observer option -> unit
+(** Hook fed every gc-captured span completion (on the recording domain;
+    implementations must be thread-safe).  Installed by [Ctg_prof]. *)
+
 val events : unit -> event list
 (** Everything currently buffered, sorted by [(ts_ns, tid, name)]. *)
 
@@ -79,6 +121,10 @@ val dropped : unit -> int
 val export : unit -> Jsonx.t
 (** The Chrome trace object:
     [{"traceEvents": [...], "displayTimeUnit": "ms", "ctg_dropped_events": n}]. *)
+
+val export_events : ?dropped:int -> event list -> Jsonx.t
+(** {!export} over an explicit event subset (sorted the same way) — what
+    the daemon's per-request [/v1/trace] slice uses. *)
 
 val write : string -> unit
 (** [write path] saves {!export} (compact JSON) to [path]. *)

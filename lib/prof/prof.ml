@@ -1,0 +1,198 @@
+(* The allocation/GC profiling layer: glue between the tracer's per-span
+   Gc.counters capture (Trace.set_gc_capture / set_gc_observer) and a
+   human-usable report — span labels ranked by words allocated — plus a
+   GC-alarm-driven major-cycle pulse fed into a registry histogram.
+
+   All state is one process-global singleton under a mutex: the observer
+   runs on whichever domain completes a span, and the report runs on the
+   caller's. *)
+
+open Ctg_sync.Shim
+module Obs = Ctg_obs
+module Jsonx = Obs.Jsonx
+
+type row = {
+  label : string;
+  spans : int;
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  total_ns : int;
+}
+
+type agg = {
+  mutable a_spans : int;
+  mutable a_minor : float;
+  mutable a_promoted : float;
+  mutable a_major : float;
+  mutable a_ns : int;
+}
+
+type state = {
+  mu : Mutex.t;
+  table : (string, agg) Hashtbl.t;
+  mutable alarm : Gc.alarm option;
+  mutable last_cycle_ns : int;
+  mutable cycle_histo : Obs.Registry.histo option;
+  mutable cycle_counter : Obs.Registry.counter option;
+  mutable active : bool;
+}
+
+let st =
+  {
+    mu = Mutex.create ();
+    table = Hashtbl.create 16;
+    alarm = None;
+    last_cycle_ns = 0;
+    cycle_histo = None;
+    cycle_counter = None;
+    active = false;
+  }
+
+let observer ~name ~minor ~promoted ~major ~dur_ns =
+  Mutex.lock st.mu;
+  let a =
+    match Hashtbl.find_opt st.table name with
+    | Some a -> a
+    | None ->
+      let a =
+        { a_spans = 0; a_minor = 0.0; a_promoted = 0.0; a_major = 0.0; a_ns = 0 }
+      in
+      Hashtbl.replace st.table name a;
+      a
+  in
+  a.a_spans <- a.a_spans + 1;
+  a.a_minor <- a.a_minor +. minor;
+  a.a_promoted <- a.a_promoted +. promoted;
+  a.a_major <- a.a_major +. major;
+  a.a_ns <- a.a_ns + dur_ns;
+  Mutex.unlock st.mu
+
+(* End-of-major-cycle pulse.  The stdlib has no per-pause timing, so what
+   the histogram records is the gap between consecutive major-cycle
+   completions on the alarm's domain — the collector's cadence, whose
+   compression under allocation pressure is the observable signal (see
+   DESIGN.md deviations; Runtime_events would give true pause times). *)
+let alarm_cb () =
+  let now = Obs.Clock.now_ns () in
+  Mutex.lock st.mu;
+  let gap = now - st.last_cycle_ns in
+  st.last_cycle_ns <- now;
+  let h = st.cycle_histo and c = st.cycle_counter in
+  Mutex.unlock st.mu;
+  (match c with Some c -> Obs.Registry.incr c | None -> ());
+  (match h with Some h when gap >= 0 -> Obs.Registry.observe h gap | _ -> ());
+  Obs.Trace.instant "gc_major_cycle" ~cat:"gc"
+
+let enable ?registry () =
+  Mutex.lock st.mu;
+  if st.active then Mutex.unlock st.mu
+  else begin
+    st.active <- true;
+    (match registry with
+    | Some r ->
+      st.cycle_histo <- Some (Obs.Registry.histo r "gc_major_cycle_gap_ns");
+      st.cycle_counter <- Some (Obs.Registry.counter r "gc_major_cycles_total")
+    | None -> ());
+    st.last_cycle_ns <- Obs.Clock.now_ns ();
+    Mutex.unlock st.mu;
+    Obs.Trace.enable ();
+    Obs.Trace.set_gc_capture true;
+    Obs.Trace.set_gc_observer (Some observer);
+    let alarm = Gc.create_alarm alarm_cb in
+    Mutex.lock st.mu;
+    st.alarm <- Some alarm;
+    Mutex.unlock st.mu
+  end
+
+let disable () =
+  Mutex.lock st.mu;
+  if not st.active then Mutex.unlock st.mu
+  else begin
+    st.active <- false;
+    let alarm = st.alarm in
+    st.alarm <- None;
+    st.cycle_histo <- None;
+    st.cycle_counter <- None;
+    Mutex.unlock st.mu;
+    (match alarm with Some a -> Gc.delete_alarm a | None -> ());
+    Obs.Trace.set_gc_capture false;
+    Obs.Trace.set_gc_observer None
+  end
+
+let active () =
+  Mutex.lock st.mu;
+  let a = st.active in
+  Mutex.unlock st.mu;
+  a
+
+let reset () =
+  Mutex.lock st.mu;
+  Hashtbl.reset st.table;
+  st.last_cycle_ns <- Obs.Clock.now_ns ();
+  Mutex.unlock st.mu
+
+let report () =
+  Mutex.lock st.mu;
+  let rows =
+    Hashtbl.fold
+      (fun label a acc ->
+        {
+          label;
+          spans = a.a_spans;
+          minor_words = a.a_minor;
+          promoted_words = a.a_promoted;
+          major_words = a.a_major;
+          total_ns = a.a_ns;
+        }
+        :: acc)
+      st.table []
+  in
+  Mutex.unlock st.mu;
+  List.sort
+    (fun a b ->
+      match compare b.minor_words a.minor_words with
+      | 0 -> compare a.label b.label
+      | c -> c)
+    rows
+
+let row_to_json r =
+  Jsonx.Obj
+    [
+      ("label", Jsonx.Str r.label);
+      ("spans", Jsonx.Num (float_of_int r.spans));
+      ("minor_words", Jsonx.Num r.minor_words);
+      ("promoted_words", Jsonx.Num r.promoted_words);
+      ("major_words", Jsonx.Num r.major_words);
+      ("total_ns", Jsonx.Num (float_of_int r.total_ns));
+      ( "words_per_span",
+        Jsonx.Num
+          (if r.spans = 0 then 0.0
+           else r.minor_words /. float_of_int r.spans) );
+    ]
+
+let report_json () =
+  Jsonx.Obj
+    [
+      ("profile", Jsonx.Str "alloc-by-span");
+      ("rows", Jsonx.List (List.map row_to_json (report ())));
+    ]
+
+let pp_row fmt r =
+  Format.fprintf fmt
+    "%-12s %6d spans  %12.0f minor  %10.0f promoted  %10.0f major words  \
+     %8.0f words/span"
+    r.label r.spans r.minor_words r.promoted_words r.major_words
+    (if r.spans = 0 then 0.0 else r.minor_words /. float_of_int r.spans)
+
+let pp_report fmt () =
+  List.iter (fun r -> Format.fprintf fmt "%a@." pp_row r) (report ())
+
+let set_alloc_baseline ?(labels = []) ~registry ~words_per_sample
+    ~words_per_signature () =
+  Obs.Registry.set_gauge
+    (Obs.Registry.gauge registry ~labels "alloc_words_per_sample")
+    words_per_sample;
+  Obs.Registry.set_gauge
+    (Obs.Registry.gauge registry ~labels "alloc_words_per_signature")
+    words_per_signature

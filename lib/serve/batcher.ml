@@ -16,6 +16,7 @@ type 'res outcome = Done of 'res | Shed | Failed of exn
 
 type ('req, 'res) cell = {
   req : 'req;
+  t_enqueue : int;  (* Clock.now_ns at submit, for the queue-wait split *)
   mutable state : 'res state;
 }
 
@@ -35,10 +36,14 @@ type ('req, 'res) t = {
   mutable batches : int;
   mutable submitted : int;
   runner : unit Domain.t option ref;
-  (* Metrics (optional): batch-size histogram, shed counter, depth gauge. *)
+  (* Metrics (optional): batch-size histogram, shed counter, depth gauge,
+     and the end-to-end latency split — time a request sat queued (enqueue
+     to batch formation) vs time its batch spent inside [run]. *)
   batch_histo : Ctg_obs.Registry.histo option;
   shed_counter : Ctg_obs.Registry.counter option;
   depth_gauge : Ctg_obs.Registry.gauge option;
+  queue_wait_histo : Ctg_obs.Registry.histo option;
+  service_histo : Ctg_obs.Registry.histo option;
 }
 
 let rec runner_loop t =
@@ -66,9 +71,23 @@ let rec runner_loop t =
     | Some g -> Ctg_obs.Registry.set_gauge g (float_of_int (Queue.length t.queue))
     | None -> ());
     Mutex.unlock t.mu;
+    (* Queue wait is per request (the linger is charged here, which is the
+       point: it makes the coalescing delay visible separately from the
+       signing work). *)
+    (match t.queue_wait_histo with
+    | Some h ->
+      let now = Ctg_obs.Clock.now_ns () in
+      Array.iter
+        (fun c -> Ctg_obs.Registry.observe h (max 0 (now - c.t_enqueue)))
+        cells
+    | None -> ());
+    let t_run = Ctg_obs.Clock.now_ns () in
     let result =
       try Ok (t.run (Array.map (fun c -> c.req) cells)) with e -> Error e
     in
+    (match t.service_histo with
+    | Some h -> Ctg_obs.Registry.observe h (Ctg_obs.Clock.now_ns () - t_run)
+    | None -> ());
     Mutex.lock t.mu;
     (match result with
     | Ok out when Array.length out = Array.length cells ->
@@ -117,6 +136,8 @@ let create ?registry ?(labels = []) ?(linger = 0.002) ~capacity ~max_batch ~run
       batch_histo = histo "serve_batch_size";
       shed_counter = counter "serve_shed_total";
       depth_gauge = gauge "serve_queue_depth";
+      queue_wait_histo = histo "serve_queue_wait_ns";
+      service_histo = histo "serve_service_ns";
     }
   in
   t.runner := Some (Domain.spawn (fun () -> runner_loop t));
@@ -137,7 +158,7 @@ let submit t req =
     Shed
   end
   else begin
-    let cell = { req; state = Pending } in
+    let cell = { req; t_enqueue = Ctg_obs.Clock.now_ns (); state = Pending } in
     Queue.push cell t.queue;
     t.submitted <- t.submitted + 1;
     (match t.depth_gauge with

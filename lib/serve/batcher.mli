@@ -9,7 +9,10 @@
 
     Registered metrics (when [registry] is given, under [labels]):
     [serve_batch_size] histogram — the observable proof of coalescing —
-    plus [serve_shed_total] and the [serve_queue_depth] gauge. *)
+    plus [serve_shed_total] and the [serve_queue_depth] gauge, and the
+    latency split: [serve_queue_wait_ns] (per request, enqueue to batch
+    formation — the linger is charged here, making the coalescing delay
+    visible) vs [serve_service_ns] (per batch, time inside [run]). *)
 
 type 'res outcome =
   | Done of 'res

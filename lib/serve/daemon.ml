@@ -35,6 +35,7 @@ type config = {
   leak_steps : int;
   seed : string;
   key_seed : string;
+  trace : bool;
 }
 
 let default_config =
@@ -55,9 +56,16 @@ let default_config =
     leak_steps = 8;
     seed = "ctg-serve";
     key_seed = "ctg-serve-key";
+    trace = false;
   }
 
-type sign_request = { tenant : string; msg : bytes; lane : int; t_submit : int }
+type sign_request = {
+  tenant : string;
+  msg : bytes;
+  lane : int;
+  t_submit : int;
+  rid : string;  (* X-Request-Id, threaded through for trace/flow args *)
+}
 
 type sign_result = {
   tenant : string;
@@ -118,7 +126,7 @@ let observed_base ~n drift master =
 (* Batch execution                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run_batch t (reqs : sign_request array) : sign_result array =
+let run_batch_inner t (reqs : sign_request array) : sign_result array =
   let drift = Assure.Monitor.drift t.monitor in
   let batch = Array.length reqs in
   (* Group by tenant, preserving submission order inside each group. *)
@@ -165,6 +173,28 @@ let run_batch t (reqs : sign_request array) : sign_result array =
   Array.map
     (function Some r -> r | None -> failwith "Daemon.run_batch: missing result")
     out
+
+let run_batch t (reqs : sign_request array) : sign_result array =
+  Obs.Trace.with_span "batch" ~cat:"serve"
+    ~args:(fun () ->
+      [
+        ("batch", string_of_int (Array.length reqs));
+        ( "lanes",
+          String.concat ","
+            (Array.to_list
+               (Array.map (fun (r : sign_request) -> string_of_int r.lane) reqs))
+        );
+      ])
+    (fun () ->
+      (* One flow step per coalesced request: the arrow from each request
+         span passes through this batch slice on the runner domain before
+         landing on the per-message sign span. *)
+      Array.iter
+        (fun (r : sign_request) ->
+          Obs.Trace.flow_step ~id:r.lane "sig"
+            ~args:(fun () -> [ ("request_id", r.rid) ]))
+        reqs;
+      run_batch_inner t reqs)
 
 (* ------------------------------------------------------------------ *)
 (* Per-tenant metrics                                                  *)
@@ -220,6 +250,7 @@ let handle_sign t req =
     error ~status:400 "invalid tenant name"
   | Some tenant ->
     let counter, histo = tenant_handles t tenant in
+    let rid = Http.request_id req in
     let t_submit = Obs.Clock.now_ns () in
     let sreq =
       {
@@ -227,13 +258,31 @@ let handle_sign t req =
         msg = Bytes.of_string req.Http.body;
         lane = Atomic.fetch_and_add t.lane_counter 1;
         t_submit;
+        rid;
       }
     in
-    (match Batcher.submit t.batcher sreq with
+    let outcome =
+      (* The request span covers the whole blocking submit (queue wait +
+         batch run); the flow it starts — id = lane, unique per request —
+         is stepped by the batch span and terminated by the per-message
+         sign span, drawing request -> batch -> sign across domains. *)
+      Obs.Trace.with_span "request" ~cat:"serve"
+        ~args:(fun () ->
+          [
+            ("request_id", rid);
+            ("tenant", tenant);
+            ("lane", string_of_int sreq.lane);
+          ])
+        (fun () ->
+          Obs.Trace.flow_start ~id:sreq.lane "sig"
+            ~args:(fun () -> [ ("request_id", rid) ]);
+          Batcher.submit t.batcher sreq)
+    in
+    (match outcome with
     | Batcher.Done r ->
       let latency_ns = Obs.Clock.now_ns () - t_submit in
       Obs.Registry.incr counter;
-      Obs.Registry.observe histo latency_ns;
+      Obs.Registry.observe_exemplar histo latency_ns rid;
       json (sign_response r ~latency_ns)
     | Batcher.Shed ->
       if Batcher.stopping t.batcher then
@@ -271,6 +320,45 @@ let handle_tenants t =
              (List.map (fun s -> Jsonx.Str s) (Keyring.tenants t.keyring)) );
        ])
 
+(* The causal slice of one request: every event carrying its request id,
+   plus every event on its lane's flow (the per-domain chunk/sign spans and
+   the batch span, whose [lanes] arg lists the coalesced lanes).  Arg
+   matching avoids reconstructing a span tree — the ids were planted for
+   exactly this query. *)
+let trace_slice rid =
+  let evs = Obs.Trace.events () in
+  let arg k (e : Obs.Trace.event) = List.assoc_opt k e.Obs.Trace.args in
+  let lane =
+    List.find_map
+      (fun e ->
+        match arg "request_id" e with
+        | Some r when r = rid -> arg "lane" e
+        | _ -> None)
+      evs
+  in
+  match lane with
+  | None -> None
+  | Some lane ->
+    let keep e =
+      (match arg "request_id" e with Some r -> r = rid | None -> false)
+      || (match arg "lane" e with Some l -> l = lane | None -> false)
+      || (match arg "lanes" e with
+         | Some ls -> List.mem lane (String.split_on_char ',' ls)
+         | None -> false)
+    in
+    Some (List.filter keep evs)
+
+let handle_trace t req =
+  if not t.config.trace then
+    error ~status:404 "tracing disabled (start the daemon with trace enabled)"
+  else
+    match Http.query_param req "request_id" with
+    | None -> json (Obs.Trace.export ())
+    | Some rid -> (
+      match trace_slice rid with
+      | None -> error ~status:404 ("no buffered trace for request_id " ^ rid)
+      | Some evs -> json (Obs.Trace.export_events evs))
+
 let handler t : Http.handler =
   let monitor_routes = Assure.Monitor.routes t.monitor ~registry:t.registry in
   fun req ->
@@ -278,6 +366,7 @@ let handler t : Http.handler =
     | "POST", "/v1/sign" -> handle_sign t req
     | "GET", "/v1/pubkey" -> handle_pubkey t req
     | "GET", "/v1/tenants" -> handle_tenants t
+    | "GET", "/v1/trace" -> handle_trace t req
     | "GET", path -> (
       match List.assoc_opt path monitor_routes with
       | Some f -> (
@@ -305,6 +394,7 @@ let params_of_n n =
   | _ -> F.Params.custom ~n
 
 let create ?(listen = true) config =
+  if config.trace then Obs.Trace.enable ();
   let params = params_of_n config.n in
   let registry = Obs.Registry.create () in
   let master =

@@ -16,8 +16,19 @@
       size; [429] when the queue sheds, [503] while draining.
     - [GET /v1/pubkey?tenant=T] → hex public key + parameters.
     - [GET /v1/tenants] → tenants with ready keys.
+    - [GET /v1/trace?request_id=R] (when [config.trace]) → the Chrome
+      trace slice of one request: its request span, the batch span it
+      coalesced into, and the per-domain sign span, linked by flow
+      events ("ph":"s"/"t"/"f") whose id is the request's lane.  Without
+      [request_id], the full buffered trace.  404 when tracing is off or
+      the id has aged out of the ring.
     - [GET /metrics], [/healthz], [/drift.json] — from
       {!Ctg_assure.Monitor.routes} over the daemon's registry.
+
+    Every [POST /v1/sign] response carries [X-Request-Id] (adopted from
+    the client or generated — see {!Ctg_net.Http.request_id}); the
+    latency histogram keeps the ids of its largest observations as
+    exemplars, so a p99 outlier in [/metrics] links to its trace slice.
 
     Determinism: each request gets a {!Ctg_engine.Stream_fork} lane from
     an atomic counter at submit time, so its signature depends only on
@@ -40,6 +51,9 @@ type config = {
   leak_steps : int;  (** Dudect probes interleaved per batch cycle. *)
   seed : string;  (** Master signing seed (lanes fork from it). *)
   key_seed : string;  (** Keyring derivation prefix. *)
+  trace : bool;
+      (** Enable {!Ctg_obs.Trace} at startup and serve [/v1/trace].
+          Default off — spans cost one ring write each when on. *)
 }
 
 val default_config : config

@@ -10,6 +10,7 @@ module Trace = Ctg_obs.Trace
 module Jsonx = Ctg_obs.Jsonx
 module Ctmon = Ctg_obs.Ctmon
 module Promtext = Ctg_obs.Promtext
+module Prof = Ctg_prof.Prof
 
 (* --------------------------------------------------------------------- *)
 (* Histograms *)
@@ -401,6 +402,196 @@ let test_trace_exception_still_records () =
       let evs = Trace.events () in
       Alcotest.(check int) "span recorded on exception" 1 (List.length evs))
 
+(* The causal chain of one request: flow start inside the request span,
+   a step inside the batch span, the end inside the sign span — all
+   sharing one id, with the terminator bound to its enclosing slice. *)
+let test_trace_flow_events () =
+  with_tracing (fun () ->
+      Trace.with_span "request" ~cat:"serve" (fun () ->
+          Trace.flow_start ~id:7 "sig");
+      Trace.with_span "batch" ~cat:"serve" (fun () ->
+          Trace.flow_step ~id:7 "sig");
+      Trace.with_span "sign" ~cat:"falcon" (fun () ->
+          Trace.flow_end ~id:7 "sig");
+      let evs = Trace.events () in
+      Alcotest.(check int) "three spans + three flow events" 6
+        (List.length evs);
+      let flow ph =
+        List.find (fun e -> e.Trace.ph = ph && e.Trace.name = "sig") evs
+      in
+      List.iter
+        (fun e -> Alcotest.(check int) "flow id shared" 7 e.Trace.id)
+        [ flow Trace.Flow_start; flow Trace.Flow_step; flow Trace.Flow_end ];
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "spans carry no flow id" true
+            (e.Trace.ph <> Trace.Complete || e.Trace.id = -1))
+        evs;
+      match Jsonx.parse (Jsonx.to_string (Trace.export ())) with
+      | Error e -> Alcotest.failf "flow trace JSON does not parse: %s" e
+      | Ok j ->
+        let evs_json =
+          match Option.bind (Jsonx.member "traceEvents" j) Jsonx.to_list with
+          | Some l -> l
+          | None -> Alcotest.fail "missing traceEvents"
+        in
+        let with_ph p =
+          List.filter
+            (fun e -> Jsonx.member "ph" e = Some (Jsonx.Str p))
+            evs_json
+        in
+        List.iter
+          (fun (p, label) ->
+            match with_ph p with
+            | [ e ] ->
+              Alcotest.(check (option int)) (label ^ " keeps the flow id")
+                (Some 7)
+                (Option.bind (Jsonx.member "id" e) Jsonx.to_int)
+            | l -> Alcotest.failf "expected one %s event, got %d" label
+                     (List.length l))
+          [ ("s", "flow start"); ("t", "flow step"); ("f", "flow end") ];
+        (match with_ph "f" with
+        | [ e ] ->
+          Alcotest.(check (option string))
+            "flow end binds to enclosing slice" (Some "e")
+            (Option.bind (Jsonx.member "bp" e) Jsonx.to_str)
+        | _ -> assert false))
+
+(* Multi-domain emission into deliberately tiny rings: whatever survives
+   the wrap must be whole (args still matching) and come from the newest
+   window, with every overwritten event counted as dropped. *)
+let test_trace_ring_wraparound () =
+  Trace.reset ();
+  Trace.enable ~capacity:32 ();
+  Fun.protect
+    ~finally:(fun () -> Trace.disable ())
+    (fun () ->
+      let per_domain = 100 in
+      let doms =
+        Array.init 2 (fun d ->
+            Domain.spawn (fun () ->
+                for i = 0 to per_domain - 1 do
+                  Trace.instant "wrap" ~cat:"test"
+                    ~args:(fun () ->
+                      [ ("k", string_of_int ((d * 1000) + i)) ])
+                done))
+      in
+      Array.iter Domain.join doms;
+      let evs =
+        List.filter (fun e -> e.Trace.name = "wrap") (Trace.events ())
+      in
+      let dropped = Trace.dropped () in
+      Alcotest.(check bool) "rings overwrote" true
+        (dropped >= 2 * (per_domain - 32));
+      Alcotest.(check bool) "survivors remain" true (List.length evs > 0);
+      Alcotest.(check int) "survivors + drops = emitted" (2 * per_domain)
+        (List.length evs + dropped);
+      List.iter
+        (fun e ->
+          match e.Trace.args with
+          | [ ("k", v) ] ->
+            let k = int_of_string v in
+            Alcotest.(check bool) "survivor is from the newest window" true
+              (k mod 1000 >= per_domain - 32)
+          | args ->
+            Alcotest.failf "torn event args (%d pairs)" (List.length args))
+        evs)
+
+(* Per-span Gc capture: a span that allocates a 10k-word array must show
+   it in its deltas, every delta is non-negative, and the observer hook
+   sees each captured span.  Arrays over 256 words allocate directly on
+   the major heap, so the assertion checks the minor+major sum. *)
+let test_trace_gc_capture_args () =
+  with_tracing (fun () ->
+      Trace.set_gc_capture true;
+      let observed = ref 0 in
+      Trace.set_gc_observer
+        (Some
+           (fun ~name:_ ~minor ~promoted ~major ~dur_ns ->
+             Alcotest.(check bool) "observer deltas non-negative" true
+               (minor >= 0.0 && promoted >= 0.0 && major >= 0.0
+              && dur_ns >= 0);
+             incr observed));
+      Fun.protect
+        ~finally:(fun () ->
+          Trace.set_gc_observer None;
+          Trace.set_gc_capture false)
+        (fun () ->
+          Trace.with_span "alloc_heavy" (fun () ->
+              ignore (Sys.opaque_identity (Array.make 10_000 0.0)));
+          Trace.with_span "alloc_light" (fun () -> ());
+          let evs = Trace.events () in
+          let span name = List.find (fun e -> e.Trace.name = name) evs in
+          let words e key =
+            match List.assoc_opt key e.Trace.args with
+            | Some v -> float_of_string v
+            | None -> Alcotest.failf "%s missing %s" e.Trace.name key
+          in
+          List.iter
+            (fun e ->
+              List.iter
+                (fun key ->
+                  Alcotest.(check bool)
+                    (e.Trace.name ^ " " ^ key ^ " non-negative") true
+                    (words e key >= 0.0))
+                [
+                  "alloc_minor_words";
+                  "alloc_promoted_words";
+                  "alloc_major_words";
+                ])
+            [ span "alloc_heavy"; span "alloc_light" ];
+          Alcotest.(check bool) "10k-word array visible in span deltas" true
+            (words (span "alloc_heavy") "alloc_minor_words"
+             +. words (span "alloc_heavy") "alloc_major_words"
+             >= 10_000.0);
+          Alcotest.(check int) "observer saw both spans" 2 !observed))
+
+(* The ctg_prof aggregation on top: labels ranked by minor words. *)
+let test_prof_report_ranking () =
+  let was_tracing = Trace.is_enabled () in
+  Trace.reset ();
+  Prof.enable ();
+  Prof.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Prof.disable ();
+      if not was_tracing then Trace.disable ())
+    (fun () ->
+      Alcotest.(check bool) "profiling active" true (Prof.active ());
+      for _ = 1 to 3 do
+        Trace.with_span "hungry" (fun () ->
+            (* 100-word arrays stay in the minor heap. *)
+            for _ = 1 to 100 do
+              ignore (Sys.opaque_identity (Array.make 100 0.0))
+            done)
+      done;
+      Trace.with_span "frugal" (fun () ->
+          ignore (Sys.opaque_identity (ref 0)));
+      let rows = Prof.report () in
+      let row label =
+        match List.find_opt (fun r -> r.Prof.label = label) rows with
+        | Some r -> r
+        | None -> Alcotest.failf "missing row %s" label
+      in
+      Alcotest.(check int) "hungry span count" 3 (row "hungry").Prof.spans;
+      Alcotest.(check int) "frugal span count" 1 (row "frugal").Prof.spans;
+      Alcotest.(check bool) "hungry out-allocates frugal" true
+        ((row "hungry").Prof.minor_words > (row "frugal").Prof.minor_words);
+      let pos label =
+        let rec go i = function
+          | [] -> Alcotest.failf "row %s not ranked" label
+          | r :: _ when r.Prof.label = label -> i
+          | _ :: tl -> go (i + 1) tl
+        in
+        go 0 rows
+      in
+      Alcotest.(check bool) "ranked by minor words" true
+        (pos "hungry" < pos "frugal");
+      match Jsonx.parse (Jsonx.to_string (Prof.report_json ())) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "prof report JSON does not parse: %s" e);
+  Prof.reset ()
+
 (* --------------------------------------------------------------------- *)
 (* Jsonx *)
 
@@ -584,6 +775,17 @@ let () =
             test_trace_disabled_is_free_of_effects;
           Alcotest.test_case "exception still records" `Quick
             test_trace_exception_still_records;
+          Alcotest.test_case "flow events chain with one id" `Quick
+            test_trace_flow_events;
+          Alcotest.test_case "ring wrap-around stays whole" `Quick
+            test_trace_ring_wraparound;
+          Alcotest.test_case "gc capture per span" `Quick
+            test_trace_gc_capture_args;
+        ] );
+      ( "prof",
+        [
+          Alcotest.test_case "report ranks labels by allocation" `Quick
+            test_prof_report_ranking;
         ] );
       ( "promtext",
         [

@@ -5,6 +5,7 @@ module Http = Ctg_net.Http
 module Client = Ctg_net.Client
 module Serve = Ctg_serve
 module Obs = Ctg_obs
+module Histo = Obs.Histo
 module Registry = Obs.Registry
 module Promtext = Obs.Promtext
 module Jsonx = Obs.Jsonx
@@ -441,6 +442,183 @@ let test_daemon_rejects_bad_tenants () =
   in
   Alcotest.(check int) "draining daemon answers 503" 503 after.Http.status
 
+(* ------------------------------------------------------------------ *)
+(* request ids, latency split, causal trace                            *)
+(* ------------------------------------------------------------------ *)
+
+let rid_of (r : Client.response) =
+  match List.assoc_opt "x-request-id" r.Client.headers with
+  | Some v -> v
+  | None -> Alcotest.fail "response without X-Request-Id"
+
+let test_request_id_roundtrip () =
+  let srv =
+    Http.start_handler ~port:0 ~workers:2 ~max_body:1000 echo_handler
+  in
+  let port = Http.port srv in
+  let c = Client.connect ~port () in
+  let r1 =
+    Client.request c ~meth:"POST" ~path:"/echo"
+      ~headers:[ ("X-Request-Id", "test-rid-42") ]
+      ~body:"x" ()
+  in
+  Alcotest.(check string) "client id adopted and echoed" "test-rid-42"
+    (rid_of r1);
+  let r2 = Client.request c ~meth:"GET" ~path:"/greet" () in
+  Alcotest.(check bool) "generated id when absent" true
+    (Http.valid_request_id (rid_of r2));
+  let r3 =
+    Client.request c ~meth:"GET" ~path:"/missing"
+      ~headers:[ ("x-request-id", "err-rid-404") ]
+      ()
+  in
+  Alcotest.(check int) "404 status" 404 r3.Client.status;
+  Alcotest.(check string) "echoed on 404" "err-rid-404" (rid_of r3);
+  let r4 =
+    Client.request c ~meth:"GET" ~path:"/greet"
+      ~headers:[ ("X-Request-Id", "bad!id") ]
+      ()
+  in
+  Alcotest.(check bool) "malformed id replaced, not echoed" true
+    (rid_of r4 <> "bad!id" && Http.valid_request_id (rid_of r4));
+  Client.close c;
+  (* The 413 error path still carries the id: the head parsed far enough
+     to recover it before the body was refused. *)
+  let r5 =
+    Client.one_shot ~port ~meth:"POST" ~path:"/echo"
+      ~headers:[ ("X-Request-Id", "big-rid") ]
+      ~body:(String.make 2000 'x') ()
+  in
+  Alcotest.(check int) "413 over max_body" 413 r5.Client.status;
+  Alcotest.(check string) "echoed on 413" "big-rid" (rid_of r5);
+  Http.stop srv
+
+let test_batcher_latency_split () =
+  let registry = Registry.create () in
+  let b =
+    Serve.Batcher.create ~registry ~linger:0.001 ~capacity:64 ~max_batch:8
+      ~run:(fun reqs ->
+        Unix.sleepf 0.002;
+        Array.map (fun x -> x + 1) reqs)
+      ()
+  in
+  let workers =
+    Array.init 12 (fun i -> Domain.spawn (fun () -> Serve.Batcher.submit b i))
+  in
+  Array.iter
+    (fun d ->
+      match Domain.join d with
+      | Serve.Batcher.Done _ -> ()
+      | _ -> Alcotest.fail "unexpected non-Done")
+    workers;
+  let batches = Serve.Batcher.batches b in
+  Serve.Batcher.shutdown b;
+  let summary name =
+    Registry.histo_summary (Registry.histo registry name)
+  in
+  let qw = summary "serve_queue_wait_ns" in
+  let sv = summary "serve_service_ns" in
+  Alcotest.(check int) "queue wait observed once per request" 12
+    qw.Histo.count;
+  Alcotest.(check int) "service observed once per batch" batches
+    sv.Histo.count;
+  Alcotest.(check bool) "service time covers the run" true
+    (sv.Histo.max >= 2_000_000);
+  Alcotest.(check bool) "some coalescing happened" true (batches < 12)
+
+let test_daemon_trace_slice_e2e () =
+  let d = Serve.Daemon.create { test_config with trace = true } in
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.disable ())
+    (fun () ->
+      let port = Serve.Daemon.port d in
+      let rid = "e2e-trace-rid-1" in
+      let r =
+        Client.one_shot ~port ~meth:"POST" ~path:"/v1/sign?tenant=alice"
+          ~headers:[ ("X-Request-Id", rid) ]
+          ~body:"traced message" ()
+      in
+      Alcotest.(check int) "sign 200" 200 r.Client.status;
+      Alcotest.(check string) "rid echoed on success" rid (rid_of r);
+      (* Daemon-level error path: 400 still echoes the id. *)
+      let bad =
+        Client.one_shot ~port ~meth:"POST" ~path:"/v1/sign"
+          ~headers:[ ("X-Request-Id", "err-rid-400") ]
+          ~body:"x" ()
+      in
+      Alcotest.(check int) "missing tenant 400" 400 bad.Client.status;
+      Alcotest.(check string) "rid echoed on 400" "err-rid-400" (rid_of bad);
+      (* The per-request slice: request -> batch -> sign, one flow id. *)
+      let tr =
+        Client.one_shot ~port ~meth:"GET"
+          ~path:("/v1/trace?request_id=" ^ rid)
+          ()
+      in
+      Alcotest.(check int) "trace slice 200" 200 tr.Client.status;
+      (match Jsonx.parse tr.Client.body with
+      | Error e -> Alcotest.failf "trace slice JSON: %s" e
+      | Ok j ->
+        let evs =
+          match Option.bind (Jsonx.member "traceEvents" j) Jsonx.to_list with
+          | Some l -> l
+          | None -> Alcotest.fail "slice without traceEvents"
+        in
+        let strs key =
+          List.filter_map
+            (fun e -> Option.bind (Jsonx.member key e) Jsonx.to_str)
+            evs
+        in
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) (n ^ " span in slice") true
+              (List.mem n (strs "name")))
+          [ "request"; "batch"; "sign" ];
+        List.iter
+          (fun p ->
+            Alcotest.(check bool) ("flow ph " ^ p) true
+              (List.mem p (strs "ph")))
+          [ "s"; "t"; "f" ];
+        match
+          List.filter_map
+            (fun e ->
+              match Jsonx.member "ph" e with
+              | Some (Jsonx.Str ("s" | "t" | "f")) ->
+                Option.bind (Jsonx.member "id" e) Jsonx.to_int
+              | _ -> None)
+            evs
+        with
+        | [] -> Alcotest.fail "slice has no flow ids"
+        | x :: tl ->
+          List.iter
+            (fun y -> Alcotest.(check int) "one flow id per request" x y)
+            tl);
+      let missing =
+        Client.one_shot ~port ~meth:"GET" ~path:"/v1/trace?request_id=nope" ()
+      in
+      Alcotest.(check int) "unknown rid 404" 404 missing.Client.status;
+      let full = Client.one_shot ~port ~meth:"GET" ~path:"/v1/trace" () in
+      Alcotest.(check int) "full export 200" 200 full.Client.status;
+      (* The latency histogram kept the request id as an exemplar. *)
+      let h =
+        Registry.histo (Serve.Daemon.registry d)
+          ~labels:[ ("tenant", "alice") ]
+          "serve_request_latency_ns"
+      in
+      Alcotest.(check bool) "exemplar links rid to its slice" true
+        (List.exists (fun (_, id) -> id = rid) (Registry.exemplars h));
+      Serve.Daemon.stop d)
+
+let test_daemon_trace_off_404 () =
+  let d = Serve.Daemon.create ~listen:false test_config in
+  let handler = Serve.Daemon.handler d in
+  let r =
+    handler
+      { Http.meth = "GET"; path = "/v1/trace"; query = []; headers = [];
+        body = "" }
+  in
+  Alcotest.(check int) "tracing off: /v1/trace 404" 404 r.Http.status;
+  Serve.Daemon.stop d
+
 let () =
   Alcotest.run "serve"
     [
@@ -453,6 +631,8 @@ let () =
             test_oversized_body_rejected;
           Alcotest.test_case "stop is clean and idempotent" `Quick
             test_stop_is_clean;
+          Alcotest.test_case "request id round-trips, also on errors" `Quick
+            test_request_id_roundtrip;
         ] );
       ( "keyring",
         [
@@ -469,6 +649,8 @@ let () =
             test_batcher_results_match_requests;
           Alcotest.test_case "run errors propagate" `Quick
             test_batcher_run_errors_propagate;
+          Alcotest.test_case "queue-wait vs service latency split" `Quick
+            test_batcher_latency_split;
         ] );
       ( "daemon",
         [
@@ -478,5 +660,9 @@ let () =
             test_daemon_healthz_flips_on_alarm;
           Alcotest.test_case "request validation" `Quick
             test_daemon_rejects_bad_tenants;
+          Alcotest.test_case "causal trace slice + exemplars" `Quick
+            test_daemon_trace_slice_e2e;
+          Alcotest.test_case "/v1/trace 404 when tracing off" `Quick
+            test_daemon_trace_off_404;
         ] );
     ]
