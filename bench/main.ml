@@ -799,6 +799,31 @@ let cmd_assure ?(smoke = false) () =
   end
 
 (* -------------------------------------------------------------------- *)
+(* Saga: acceptance-battery cost budget (and BENCH_saga.json)            *)
+(* -------------------------------------------------------------------- *)
+
+let cmd_saga ?(smoke = false) () =
+  section
+    (if smoke then "Saga: acceptance-battery evaluation cost (smoke run)"
+     else "Saga: acceptance-battery evaluation cost vs raw sampling");
+  let samples = if smoke then 50_000 else 200_000 in
+  let rounds = if smoke then 2 else 3 in
+  printf "CDT linear-ct draw loop vs draw + full battery evaluation@.@.";
+  let entries = Ctg_saga.Saga_bench.run ~samples ~rounds () in
+  List.iter (fun e -> printf "  %a@." Ctg_saga.Saga_bench.pp_entry e) entries;
+  let path = if smoke then "BENCH_saga_smoke.json" else "BENCH_saga.json" in
+  Ctg_saga.Saga_bench.save path entries;
+  printf "@.wrote %s@." path;
+  if Ctg_saga.Saga_bench.ok entries then
+    printf "OK: battery evaluation costs < %.0f%% of sampling, all verdicts \
+            clean@."
+      Ctg_saga.Saga_bench.threshold_pct
+  else begin
+    printf "FAIL: battery evaluation over budget or a clean stream failed@.";
+    exit 1
+  end
+
+(* -------------------------------------------------------------------- *)
 (* Serve: signing-daemon SLO gate (and BENCH_serve.json)                 *)
 (* -------------------------------------------------------------------- *)
 
@@ -1071,7 +1096,7 @@ let usage () =
     "usage: main.exe [all|table1|table2|fig1|fig2|fig3|fig4|fig5|delta|@.";
   printf "                 prng-overhead|dudect|ablation-min|ablation-chain|@.";
   printf "                 precision|large-sigma|sampler-quality|engine|@.";
-  printf "                 gates|sign-many|obs|alloc|fault|assure|serve|history|micro|sync]@.";
+  printf "                 gates|sign-many|obs|alloc|fault|assure|saga|serve|history|micro|sync]@.";
   printf "        [--full]        (fig5 at the paper's 64x10^7 samples)@.";
   printf
     "        [--smoke]       (obs/alloc/fault/assure/serve: CI-sized windows \
@@ -1125,6 +1150,7 @@ let () =
   | "alloc" -> cmd_alloc ~smoke ()
   | "fault" -> cmd_fault ~smoke ()
   | "assure" -> cmd_assure ~smoke ()
+  | "saga" -> cmd_saga ~smoke ()
   | "serve" -> cmd_serve ~smoke ()
   | "history" -> cmd_history ()
   | "micro" -> cmd_micro ()

@@ -219,7 +219,10 @@ let merged_trace ~daemon_json rid =
 
 let client host port tenant message trace_out =
   (match trace_out with Some _ -> Obs.Trace.enable () | None -> ());
-  let c = Client.connect ~host ~port () in
+  (* Retrying connect rides out a daemon still booting; the policy's
+     deadline doubles as the connection's socket timeout, so a wedged
+     daemon turns into an error instead of a hang. *)
+  let c = Client.connect_retry ~host ~port () in
   let params, h, bound_sq = fetch_pubkey c ~tenant in
   let msg = Bytes.of_string message in
   let rid = Ctg_net.Http.gen_request_id () in
@@ -313,7 +316,7 @@ let smoke json_out =
     Array.map
       (fun tenant ->
         Domain.spawn (fun () ->
-            let c = Client.connect ~port () in
+            let c = Client.connect_retry ~port () in
             let params, h, bound_sq = fetch_pubkey c ~tenant in
             for i = 1 to per_tenant do
               let msg = Bytes.of_string (Printf.sprintf "%s-msg-%d" tenant i) in
@@ -326,9 +329,9 @@ let smoke json_out =
   in
   Array.iter Domain.join signers;
   (* Scrape and check the serving invariants. *)
-  let metrics = Client.one_shot ~port ~meth:"GET" ~path:"/metrics" () in
+  let metrics = Client.get_retry ~port "/metrics" in
   if metrics.Client.status <> 200 then fail "/metrics -> %d" metrics.Client.status;
-  let health = Client.one_shot ~port ~meth:"GET" ~path:"/healthz" () in
+  let health = Client.get_retry ~port "/healthz" in
   let requests = Serve.Daemon.requests d in
   let batches = Serve.Daemon.batches d in
   let shed = Serve.Daemon.batcher_shed d in

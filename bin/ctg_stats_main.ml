@@ -672,11 +672,187 @@ let assure_cmd =
           $ window $ json_out)
 
 (* ------------------------------------------------------------------ *)
+(* saga                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The statistical acceptance battery over the registered backend zoo —
+   the same instances ctmon sweeps — at every paper sigma, plus one
+   seeded-bias control per test family that must FAIL (proving each
+   family fires before we trust the clean PASSes). *)
+let saga smoke samples seed json_out =
+  let module Battery = Ctg_saga.Battery in
+  let module Plan = Ctg_fault.Plan in
+  let seed =
+    match seed with
+    | None -> 0x5A6A_5EEDL
+    | Some s -> (
+      try Int64.of_string s
+      with _ -> failwith (Printf.sprintf "unparseable seed %S" s))
+  in
+  let set =
+    if smoke then [ ("2", 16); ("215", 16) ]
+    else [ ("1", 128); ("2", 128); ("6.15543", 128); ("215", 16) ]
+  in
+  let config =
+    match samples with
+    | None -> Battery.default_config
+    | Some n -> { Battery.default_config with samples = n }
+  in
+  Format.printf
+    "acceptance battery: %d samples per (backend, sigma), master seed 0x%Lx@.@."
+    config.Battery.samples seed;
+  let failures = ref [] in
+  let verdicts =
+    List.concat_map
+      (fun (sigma, precision) ->
+        let sampler =
+          Ctg_engine.Registry.lookup Ctg_engine.Registry.global ~sigma
+            ~precision ~tail_cut:13 ()
+        in
+        let matrix = Ctgauss.Sampler.matrix sampler in
+        let model = Battery.model matrix in
+        let table = Ctg_samplers.Cdt_table.of_matrix matrix in
+        let zoo =
+          [
+            Sig.of_bitsliced (Ctgauss.Sampler.clone sampler);
+            Ctg_samplers.Cdt_samplers.linear_ct table;
+            Ctg_samplers.Cdt_samplers.binary_search table;
+            Ctg_samplers.Cdt_samplers.byte_scan table;
+            Sig.knuth_yao_reference matrix;
+          ]
+        in
+        List.map
+          (fun inst ->
+            let v = Battery.run ~config ~seed model inst in
+            Format.printf "  %a@." Battery.pp_verdict v;
+            if not v.Battery.pass then
+              failures :=
+                Printf.sprintf "%s sigma=%s FAILed the clean battery"
+                  v.Battery.backend sigma
+                :: !failures;
+            v)
+          zoo)
+      set
+  in
+  (* Seeded-bias controls: each family must fire on the fault built to
+     violate exactly it. *)
+  Format.printf "@.bias controls (each family must FAIL):@.";
+  let control_sigma, control_precision =
+    List.hd (List.filter (fun (s, _) -> s = "2") set)
+  in
+  let control_matrix =
+    Ctg_kyao.Matrix.create ~sigma:control_sigma
+      ~precision:control_precision ~tail_cut:13
+  in
+  let control_model = Battery.model control_matrix in
+  let control_table = Ctg_samplers.Cdt_table.of_matrix control_matrix in
+  let support = control_matrix.Ctg_kyao.Matrix.support in
+  let controls =
+    [
+      ("moments", Plan.Center_shift { delta = 0.05 });
+      ("chi-square", Plan.Variance_deflate { p = 0.05 });
+      ("tails", Plan.Outlier { p = 5e-4; magnitude = support + 3 });
+      ("autocorrelation", Plan.Sticky { p = 0.1 });
+    ]
+  in
+  let control_verdicts =
+    List.mapi
+      (fun i (family, fault) ->
+        let plan =
+          Plan.value_plan ~seed:(Int64.add seed (Int64.of_int (i + 1))) fault
+        in
+        let v =
+          Battery.run ~config
+            ~bias:(Plan.value_transform plan)
+            ~seed control_model
+            (Ctg_samplers.Cdt_samplers.linear_ct control_table)
+        in
+        let hit = List.mem family (Battery.failed_families v) in
+        Format.printf "  %-16s %-18s -> %s@." family
+          (Plan.value_fault_name fault)
+          (if hit then "FAIL (as required)"
+           else if v.Battery.pass then "PASS (control did not fire!)"
+           else
+             Printf.sprintf "FAIL, but in %s"
+               (String.concat "," (Battery.failed_families v)));
+        if not hit then
+          failures :=
+            Printf.sprintf "control %s (%s) did not fail its family" family
+              (Plan.value_fault_name fault)
+            :: !failures;
+        (family, Plan.value_fault_name fault, hit, v))
+      controls
+  in
+  (match json_out with
+  | Some path ->
+    let j =
+      Obs.Jsonx.Obj
+        [
+          ("seed", Str (Printf.sprintf "0x%Lx" seed));
+          ("samples", Num (float_of_int config.Battery.samples));
+          ( "verdicts",
+            List (List.map Battery.verdict_json verdicts) );
+          ( "controls",
+            List
+              (List.map
+                 (fun (family, fault, hit, v) ->
+                   Obs.Jsonx.Obj
+                     [
+                       ("family", Str family);
+                       ("fault", Str fault);
+                       ("failed_as_required", Bool hit);
+                       ("verdict", Battery.verdict_json v);
+                     ])
+                 control_verdicts) );
+          ("pass", Bool (!failures = []));
+        ]
+    in
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Obs.Jsonx.pretty j);
+        output_char oc '\n');
+    Format.printf "@.wrote %s@." path
+  | None -> ());
+  match !failures with
+  | [] -> Format.printf "@.OK: all clean verdicts PASS, every control fired@."
+  | fs ->
+    Format.printf "@.FAIL:@.";
+    List.iter (fun f -> Format.printf "  %s@." f) fs;
+    exit 1
+
+let saga_cmd =
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ] ~doc:"CI-sized run: sigma 2 and 215 at precision 16.")
+  in
+  let samples =
+    Arg.(value & opt (some int) None
+         & info [ "samples"; "n" ] ~docv:"N"
+             ~doc:"Samples per (backend, sigma) verdict (default 200000).")
+  in
+  let seed =
+    Arg.(value & opt (some string) None
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Master seed (decimal or 0x-hex) for exact reproduction.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json"; "o" ] ~docv:"FILE"
+             ~doc:"Write the machine-readable verdicts here.")
+  in
+  let doc =
+    "SAGA-style statistical acceptance battery: moments, chi-square GOF, \
+     tail/support and autocorrelation checks for every registered backend \
+     and sigma against the exact termination-conditioned law, plus \
+     seeded-bias controls that must fail."
+  in
+  Cmd.v (Cmd.info "saga" ~doc) Term.(const saga $ smoke $ samples $ seed $ json_out)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
     "observability companion: overhead, exposition, CT monitor, traces, \
-     continuous assurance"
+     continuous assurance, acceptance battery"
   in
   let info = Cmd.info "ctg_stats" ~version:"1.0" ~doc in
   exit
@@ -684,5 +860,5 @@ let () =
        (Cmd.group info
           [
             overhead_cmd; expose_cmd; ctmon_cmd; trace_cmd; prof_cmd;
-            watch_cmd; serve_cmd; assure_cmd;
+            watch_cmd; serve_cmd; assure_cmd; saga_cmd;
           ]))

@@ -25,6 +25,19 @@ type window_result = {
   renyi : float;
 }
 
+(* The termination-conditioned sampler law, shared with the offline
+   acceptance battery (Ctg_saga): the walk restarts on the residual path,
+   so magnitudes follow p_v / (1 - residual) and the overflow bin carries
+   zero expected mass. *)
+let expected_model ~matrix =
+  let exact = Distance.exact_probabilities matrix in
+  let residual = Float.max 0.0 (1.0 -. Array.fold_left ( +. ) 0.0 exact) in
+  let mass = 1.0 -. residual in
+  let conditional =
+    Array.append (Array.map (fun p -> p /. mass) exact) [| 0.0 |]
+  in
+  (conditional, residual)
+
 type t = {
   config : config;
   exact : float array;  (* p_v over 0..support; sums to slightly < 1 *)
@@ -43,6 +56,7 @@ type t = {
   cumulative : Sketch.t;
   mutable windows : int;
   mutable alarm_count : int;
+  mutable first_alarm : window_result option;
   mutable results : window_result list;  (* newest first, bounded *)
   g_chi2 : Registry.gauge;
   g_p : Registry.gauge;
@@ -63,11 +77,7 @@ let create ?(config = default_config) ?(registry = Registry.default)
     invalid_arg "Drift.create: renyi_alpha must be > 1";
   let exact = Distance.exact_probabilities matrix in
   let support = matrix.Ctg_kyao.Matrix.support in
-  let residual = Float.max 0.0 (1.0 -. Array.fold_left ( +. ) 0.0 exact) in
-  let mass = 1.0 -. residual in
-  let expected_freq =
-    Array.append (Array.map (fun p -> p /. mass) exact) [| 0.0 |]
-  in
+  let expected_freq, residual = expected_model ~matrix in
   {
     config;
     exact;
@@ -78,6 +88,7 @@ let create ?(config = default_config) ?(registry = Registry.default)
     cumulative = Sketch.create ~support;
     windows = 0;
     alarm_count = 0;
+    first_alarm = None;
     results = [];
     g_chi2 = Registry.gauge registry ~labels "assure_drift_chi2";
     g_p = Registry.gauge registry ~labels "assure_drift_p_value";
@@ -146,6 +157,7 @@ let evaluate_window t =
   in
   if alarm then begin
     t.alarm_count <- t.alarm_count + 1;
+    if t.first_alarm = None then t.first_alarm <- Some result;
     Registry.incr t.c_alarms
   end;
   Registry.incr t.c_windows;
@@ -191,6 +203,7 @@ let samples t =
 
 let cumulative t = locked t (fun () -> Sketch.merge t.cumulative t.window)
 let last t = locked t (fun () -> match t.results with [] -> None | r :: _ -> Some r)
+let first_alarm t = locked t (fun () -> t.first_alarm)
 let results t = locked t (fun () -> List.rev t.results)
 let exact t = Array.copy t.exact
 

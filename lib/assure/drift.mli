@@ -84,6 +84,13 @@ val cumulative : t -> Sketch.t
 (** Copy of the lifetime sketch. *)
 
 val last : t -> window_result option
+
+val first_alarm : t -> window_result option
+(** The earliest window that alarmed over the monitor's lifetime (kept
+    even after it ages out of [results]) — what [/healthz] reports as the
+    first-alarm window so operators can triage without scraping
+    [/drift.json]. *)
+
 val results : t -> window_result list
 (** Retained window results, oldest first (at most [keep_results]). *)
 
@@ -92,6 +99,14 @@ val exact : t -> float array
 val alpha_at : alpha:float -> int -> float
 (** The spending schedule, exposed for tests: [alpha_at ~alpha k] is
     window [k]'s threshold. *)
+
+val expected_model : matrix:Ctg_kyao.Matrix.t -> float array * float
+(** [(conditional, residual)]: the termination-conditioned per-magnitude
+    law the monitor tests against — [conditional.(v) = p_v / (1-residual)]
+    for [v <= support] plus a trailing zero-mass overflow bin — and the
+    tail+rounding mass beyond the support.  Exposed so the offline
+    acceptance battery ({!Ctg_saga.Battery}) tests against exactly the
+    model the online monitor uses. *)
 
 val result_json : window_result -> Ctg_obs.Jsonx.t
 val pp_result : Format.formatter -> window_result -> unit

@@ -42,6 +42,22 @@ let verdict t =
 
 let healthy t = match verdict t with Healthy -> true | Failing _ -> false
 
+(* Short monitor names for the /healthz body: which monitor is failing,
+   without parsing the human-readable failure strings. *)
+let failing_monitors t =
+  let names = ref [] in
+  let add n = if not (List.mem n !names) then names := n :: !names in
+  if Drift.alarms t.drift > 0 then add "drift";
+  (match t.leak with
+  | Some l when (Leak.report l).Ctg_ctcheck.Dudect.leaky -> add "leak"
+  | _ -> ());
+  List.iter
+    (fun pool ->
+      if Obs.Ctmon.violations (Pool.ctmon pool) > 0 then add "ct";
+      if Pool.degraded pool then add "degraded")
+    t.pools;
+  List.rev !names
+
 let healthz_json t =
   let v = verdict t in
   let leak_json =
@@ -75,6 +91,12 @@ let healthz_json t =
       ("status", Str (match v with Healthy -> "ok" | Failing _ -> "failing"));
       ( "failures",
         List (match v with Healthy -> [] | Failing fs -> List.map (fun f -> Jsonx.Str f) fs) );
+      ( "failing_monitors",
+        List (List.map (fun n -> Jsonx.Str n) (failing_monitors t)) );
+      ( "first_alarm_window",
+        match Drift.first_alarm t.drift with
+        | None -> Jsonx.Null
+        | Some r -> Drift.result_json r );
       ( "drift",
         Obj
           [

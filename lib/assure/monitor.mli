@@ -32,6 +32,14 @@ val verdict : t -> verdict
 
 val healthy : t -> bool
 
+val failing_monitors : t -> string list
+(** Short names of the monitors currently failing, in a fixed order:
+    ["drift"], ["leak"], ["ct"], ["degraded"].  Empty iff [healthy]. *)
+
+(** [healthz_json] is the [/healthz] body.  On failure it carries, beyond
+    the human-readable [failures] strings, the structured
+    [failing_monitors] names and the drift monitor's [first_alarm_window]
+    so operators can triage a 503 without scraping [/drift.json]. *)
 val healthz_json : t -> Ctg_obs.Jsonx.t
 val drift_json : t -> Ctg_obs.Jsonx.t
 

@@ -30,6 +30,7 @@ let default_files =
     "BENCH_assure.json";
     "BENCH_serve.json";
     "BENCH_alloc.json";
+    "BENCH_saga.json";
   ]
 
 (* Flatten every numeric leaf of a baseline file to (path, value).  List

@@ -4,10 +4,17 @@ type kind =
   | Paper of Ctg_samplers.Sampler_sig.instance
   | Ideal
 
-type t = { kind : kind; observe : (int -> unit) option; mutable calls : int }
+type t = {
+  kind : kind;
+  observe : (int -> unit) option;
+  bias : (int -> int) option;
+  mutable calls : int;
+}
 
-let of_instance ?observe inst = { kind = Paper inst; observe; calls = 0 }
-let ideal () = { kind = Ideal; observe = None; calls = 0 }
+let of_instance ?observe ?bias inst =
+  { kind = Paper inst; observe; bias; calls = 0 }
+
+let ideal () = { kind = Ideal; observe = None; bias = None; calls = 0 }
 
 let name t =
   match t.kind with
@@ -24,6 +31,9 @@ let sample_around t rng ~center ~sigma' =
   match t.kind with
   | Paper inst ->
     let base = Ctg_samplers.Sampler_sig.sample_signed inst rng in
+    (* The bias seam models a faulty sampler, so the monitor tap sees the
+       faulted draw — exactly what a biased implementation would emit. *)
+    let base = match t.bias with Some f -> f base | None -> base in
     (match t.observe with Some f -> f base | None -> ());
     Float.to_int (Float.round center) + base
   | Ideal ->

@@ -11,13 +11,22 @@
 
 type t
 
-val of_instance : ?observe:(int -> unit) -> Ctg_samplers.Sampler_sig.instance -> t
+val of_instance :
+  ?observe:(int -> unit) ->
+  ?bias:(int -> int) ->
+  Ctg_samplers.Sampler_sig.instance ->
+  t
 (** [observe] (when given) sees every raw signed base sample {e before}
     the center shift is applied — in paper mode the base draws are i.i.d.
     from the fixed-σ sampler law regardless of the leaf centers, which is
     what lets a serving daemon feed its {!Ctg_assure.Drift} monitor from
     live signing traffic.  The callback runs on the signing domain and
-    must not touch the bitstream. *)
+    must not touch the bitstream.
+
+    [bias] (fault injection only; e.g. {!Ctg_fault.Plan.value_transform})
+    corrupts each signed base draw before use.  It models a {e biased
+    sampler implementation}, so [observe] taps the faulted value — the
+    monitors see what such a sampler would actually emit. *)
 
 val ideal : unit -> t
 (** Box-Muller rounding with the leaf's σ'; not constant time. *)

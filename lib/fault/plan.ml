@@ -110,6 +110,72 @@ let lane_factory ?(backend = Ctg_engine.Stream_fork.Chacha) ?(health = true)
   bs
 
 (* ------------------------------------------------------------------ *)
+(* Value faults: biased sampler outputs                                 *)
+(* ------------------------------------------------------------------ *)
+
+type value_fault =
+  | Center_shift of { delta : float }
+  | Variance_deflate of { p : float }
+  | Outlier of { p : float; magnitude : int }
+  | Sticky of { p : float }
+
+type value_plan = { vfault : value_fault; vseed : int64 }
+
+let value_plan ~seed fault =
+  (match fault with
+  | Center_shift { delta } ->
+    if not (abs_float delta <= 1.0) then
+      invalid_arg "Plan.value_plan: |delta| must be <= 1"
+  | Variance_deflate { p } | Sticky { p } ->
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg "Plan.value_plan: p must be in [0,1]"
+  | Outlier { p; magnitude } ->
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg "Plan.value_plan: p must be in [0,1]";
+    if magnitude < 1 then invalid_arg "Plan.value_plan: magnitude must be >= 1");
+  { vfault = fault; vseed = seed }
+
+let value_fault_name = function
+  | Center_shift _ -> "center-shift"
+  | Variance_deflate _ -> "variance-deflate"
+  | Outlier _ -> "outlier"
+  | Sticky _ -> "sticky"
+
+(* A stateful signed-draw corruptor, pure in the plan seed.  Each fault
+   realizes a textbook deviation from the symmetric law:
+   - Center_shift: add sign(delta) with probability |delta|, so the mean
+     moves by exactly delta per draw (the Ratio-attack bias model);
+   - Variance_deflate: with probability p, pull a nonzero draw one step
+     toward 0 — mean stays 0 by symmetry, the second moment shrinks;
+   - Outlier: with probability p, replace the draw with a +-magnitude
+     spike (tail-mass / support violation);
+   - Sticky: with probability p, replay the previous output (lag-1
+     autocorrelation of about p, independence violation). *)
+let value_transform plan =
+  let sm = Sm.create plan.vseed in
+  let prev = ref 0 in
+  fun x ->
+    match plan.vfault with
+    | Center_shift { delta } ->
+      if Sm.next_float sm < abs_float delta then
+        x + (if delta >= 0.0 then 1 else -1)
+      else x
+    | Variance_deflate { p } ->
+      if x <> 0 && Sm.next_float sm < p then
+        if x > 0 then x - 1 else x + 1
+      else x
+    | Outlier { p; magnitude } ->
+      if Sm.next_float sm < p then
+        (if Sm.next_float sm < 0.5 then magnitude else -magnitude)
+      else x
+    | Sticky { p } ->
+      if Sm.next_float sm < p then !prev
+      else begin
+        prev := x;
+        x
+      end
+
+(* ------------------------------------------------------------------ *)
 (* Gate-table corruption                                               *)
 (* ------------------------------------------------------------------ *)
 

@@ -70,6 +70,43 @@ val lane_factory :
     that matters — the health tests ([health] defaults [true]) attached to
     the {e wrapper}, where they see the bytes the sampler will consume. *)
 
+(** {1 Value faults}
+
+    Biased sampler {e outputs} rather than biased input randomness: the
+    model of a subtly wrong sampler implementation (bad table constant,
+    truncated tail, broken rejection step) that the statistical layer —
+    online {!Ctg_assure.Drift} and the offline acceptance battery — must
+    catch.  A corruptor maps each signed base draw to a faulted draw;
+    it slots into {!Ctg_falcon.Base_sampler.of_instance}'s [bias] seam
+    for end-to-end signing runs ({!Ctg_saga.Ratio}). *)
+
+type value_fault =
+  | Center_shift of { delta : float }
+      (** Mean moves by exactly [delta] per draw: add [sign delta] with
+          probability [|delta|].  [|delta| <= 1]. *)
+  | Variance_deflate of { p : float }
+      (** With probability [p], pull a nonzero draw one step toward 0 —
+          symmetric, so the mean stays put while the variance shrinks. *)
+  | Outlier of { p : float; magnitude : int }
+      (** With probability [p], replace the draw with [+-magnitude] — a
+          tail-mass / support violation. *)
+  | Sticky of { p : float }
+      (** With probability [p], replay the previous output — lag-1
+          autocorrelation of about [p]. *)
+
+type value_plan
+
+val value_plan : seed:int64 -> value_fault -> value_plan
+(** @raise Invalid_argument on out-of-range parameters. *)
+
+val value_fault_name : value_fault -> string
+
+val value_transform : value_plan -> int -> int
+(** A fresh stateful corruptor over signed draws; its randomness is a
+    pure function of the plan seed, so every faulted sequence is
+    reproducible.  Partial application matters: [value_transform plan]
+    creates the state once, then maps draw after draw. *)
+
 (** {1 Gate-table corruption} *)
 
 type gate_corruption = {

@@ -10,9 +10,16 @@ type response = {
 
 type t = { fd : Unix.file_descr; host : string; mutable pending : string }
 
-let connect ?(host = "127.0.0.1") ~port () =
+let connect ?(host = "127.0.0.1") ?timeout ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  (try
+     (match timeout with
+     | Some s when s > 0.0 ->
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+     | Some _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+     | None -> ());
+     Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
    with e ->
      (try Unix.close fd with _ -> ());
      raise e);
@@ -139,3 +146,105 @@ let get ?host ~port path = one_shot ?host ~port ~meth:"GET" ~path ()
 
 let post ?host ~port ?body path =
   one_shot ?host ~port ?body ~meth:"POST" ~path ()
+
+(* ------------------------------------------------------------------ *)
+(* Retry layer: bounded exponential backoff with jitter, per-request
+   deadline, idempotent-only by default.                               *)
+(* ------------------------------------------------------------------ *)
+
+type retry_policy = {
+  max_attempts : int;
+  base_delay : float;
+  max_delay : float;
+  deadline : float option;
+  retry_non_idempotent : bool;
+  jitter : attempt:int -> cap:float -> float;
+  sleep : float -> unit;
+}
+
+(* Equal jitter: half the backoff step is guaranteed, half randomized so
+   concurrent clients retrying after one daemon hiccup desynchronize.
+   Deliberately unseeded — retry timing is operational, never part of a
+   reproducible verdict — and stateless, so concurrent domains race on
+   nothing.  Tests pin the seam instead. *)
+let default_jitter ~attempt ~cap =
+  let frac =
+    float_of_int (Hashtbl.hash (attempt, Unix.gettimeofday ()) land 0xffff)
+    /. 65536.0
+  in
+  (cap /. 2.0) +. (cap /. 2.0 *. frac)
+
+let default_policy =
+  {
+    max_attempts = 3;
+    base_delay = 0.05;
+    max_delay = 1.0;
+    deadline = Some 5.0;
+    retry_non_idempotent = false;
+    jitter = default_jitter;
+    sleep = Unix.sleepf;
+  }
+
+(* Transport and protocol failures are worth retrying: the daemon may be
+   mid-restart, shedding, or have closed a keep-alive socket under us.
+   Anything else (bad arguments, out of descriptors) is not transient.
+   A received HTTP response — any status, including 503 — is never
+   retried here: a 503 from /healthz is the answer, not a failure. *)
+let transient = function
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.EPIPE
+        | Unix.ETIMEDOUT | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+        | Unix.ENETUNREACH | Unix.EHOSTUNREACH ),
+        _,
+        _ ) ->
+    true
+  | Failure msg -> String.length msg >= 7 && String.sub msg 0 7 = "Client:"
+  | _ -> false
+
+let backoff_cap p attempt =
+  Float.min p.max_delay (p.base_delay *. (2.0 ** float_of_int (attempt - 1)))
+
+(* Run [f ~timeout] up to [max_attempts] times.  [timeout] is the time
+   left on the request deadline, applied as socket send/receive timeouts
+   by [connect]; the deadline also bounds the backoff sleeps, so a
+   request never outlives [deadline] by more than one socket timeout. *)
+let with_retry (p : retry_policy) ~meth f =
+  let idempotent = meth = "GET" || meth = "HEAD" in
+  let allow_retry = idempotent || p.retry_non_idempotent in
+  let deadline_at =
+    Option.map (fun d -> Unix.gettimeofday () +. d) p.deadline
+  in
+  let remaining () =
+    Option.map (fun d -> d -. Unix.gettimeofday ()) deadline_at
+  in
+  if p.max_attempts < 1 then invalid_arg "Client: max_attempts < 1";
+  let rec attempt n =
+    (match remaining () with
+    | Some r when r <= 0.0 -> failwith "Client: request deadline exceeded"
+    | _ -> ());
+    try f ~timeout:(remaining ())
+    with e when allow_retry && n < p.max_attempts && transient e ->
+      let d = p.jitter ~attempt:n ~cap:(backoff_cap p n) in
+      let d =
+        match remaining () with
+        | Some r -> Float.min d (Float.max 0.0 r)
+        | None -> d
+      in
+      p.sleep d;
+      attempt (n + 1)
+  in
+  attempt 1
+
+let connect_retry ?(policy = default_policy) ?host ~port () =
+  with_retry policy ~meth:"GET" (fun ~timeout -> connect ?host ?timeout ~port ())
+
+let one_shot_retry ?(policy = default_policy) ?host ~port ?headers ?body ~meth
+    ~path () =
+  with_retry policy ~meth (fun ~timeout ->
+      let t = connect ?host ?timeout ~port () in
+      Fun.protect
+        ~finally:(fun () -> close t)
+        (fun () -> request t ?headers ?body ~meth ~path ()))
+
+let get_retry ?policy ?host ~port path =
+  one_shot_retry ?policy ?host ~port ~meth:"GET" ~path ()

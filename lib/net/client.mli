@@ -11,9 +11,12 @@ type response = {
 
 type t
 
-val connect : ?host:string -> port:int -> unit -> t
-(** TCP connect (default host 127.0.0.1).
-    Raises [Unix.Unix_error] on failure. *)
+val connect : ?host:string -> ?timeout:float -> port:int -> unit -> t
+(** TCP connect (default host 127.0.0.1).  [timeout] (seconds) is set as
+    the socket's send and receive timeout, so every later [request] on
+    the connection fails with [Unix.Unix_error (EAGAIN, _, _)] rather
+    than blocking forever; a non-positive [timeout] fails immediately
+    with [ETIMEDOUT].  Raises [Unix.Unix_error] on failure. *)
 
 val close : t -> unit
 
@@ -43,3 +46,56 @@ val one_shot :
 
 val get : ?host:string -> port:int -> string -> response
 val post : ?host:string -> port:int -> ?body:string -> string -> response
+
+(** {1 Retries}
+
+    Bounded exponential backoff with jitter around the one-shot
+    entrypoints.  Only transport and protocol failures are retried — a
+    received HTTP response of any status is the answer (a 503 from
+    [/healthz] reports failing monitors; retrying it would mask the
+    signal).  Non-idempotent methods are never retried unless the policy
+    explicitly opts in, because a lost response does not mean the daemon
+    did not sign. *)
+
+type retry_policy = {
+  max_attempts : int;  (** Total attempts including the first; >= 1. *)
+  base_delay : float;  (** First backoff step, seconds. *)
+  max_delay : float;  (** Backoff cap, seconds. *)
+  deadline : float option;
+      (** Wall-clock budget for the whole request across all attempts,
+          also applied as per-attempt socket timeouts. *)
+  retry_non_idempotent : bool;  (** Retry POST too (default no). *)
+  jitter : attempt:int -> cap:float -> float;
+      (** Sleep for this attempt given the backoff cap.  The default is
+          equal jitter: [cap/2 + uniform(0, cap/2)].  Seam for tests. *)
+  sleep : float -> unit;  (** [Unix.sleepf]; seam for tests. *)
+}
+
+val default_policy : retry_policy
+(** 3 attempts, 50 ms doubling to a 1 s cap, 5 s deadline, GET/HEAD
+    only. *)
+
+val transient : exn -> bool
+(** Would the policy retry this exception? *)
+
+val backoff_cap : retry_policy -> int -> float
+(** Backoff cap for the given 1-based attempt (before jitter). *)
+
+val connect_retry : ?policy:retry_policy -> ?host:string -> port:int -> unit -> t
+(** [connect] under the policy — retries refused/reset connects while a
+    daemon boots.  The deadline becomes the connection's socket timeout. *)
+
+val one_shot_retry :
+  ?policy:retry_policy ->
+  ?host:string ->
+  port:int ->
+  ?headers:(string * string) list ->
+  ?body:string ->
+  meth:string ->
+  path:string ->
+  unit ->
+  response
+(** [one_shot] under the policy.  Each attempt uses a fresh connection
+    whose socket timeout is the time left on the deadline. *)
+
+val get_retry : ?policy:retry_policy -> ?host:string -> port:int -> string -> response

@@ -1,0 +1,112 @@
+module Jsonx = Ctg_obs.Jsonx
+module Sig = Ctg_samplers.Sampler_sig
+module Bs = Ctg_prng.Bitstream
+
+type entry = {
+  sigma : string;
+  precision : int;
+  samples : int;
+  sampling_ns_per_sample : float;  (** Raw signed-draw loop (CDT linear-ct). *)
+  battery_ns_per_sample : float;  (** Draw + full battery evaluation. *)
+  overhead_pct : float;  (** Battery evaluation cost relative to sampling. *)
+  pass : bool;  (** The timed run's own verdict — must be clean. *)
+}
+
+(* The battery is an offline acceptance gate, not an always-on monitor,
+   so its budget is looser than the 3% online budgets: evaluation may
+   cost up to a quarter of the sampling it judges. *)
+let threshold_pct = 25.0
+
+let default_set = [ ("1", 16); ("2", 16); ("6.15543", 16); ("215", 16) ]
+
+let measure ?(samples = 200_000) ?(rounds = 3) ~sigma ~precision ~tail_cut ()
+    =
+  let matrix = Ctg_kyao.Matrix.create ~sigma ~precision ~tail_cut in
+  let model = Battery.model matrix in
+  let table = Ctg_samplers.Cdt_table.of_matrix matrix in
+  let inst = Ctg_samplers.Cdt_samplers.linear_ct table in
+  let out = Array.make samples 0 in
+  let fill lane =
+    let rng =
+      Bs.of_chacha
+        (Ctg_prng.Chacha20.of_seed (Printf.sprintf "saga-bench-%s-%d" sigma lane))
+    in
+    for i = 0 to samples - 1 do
+      out.(i) <- Sig.sample_signed inst rng
+    done
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  fill 0;
+  ignore (Battery.evaluate model ~backend:inst.Sig.name ~samples:out ~len:samples);
+  let best = ref infinity and best_eval = ref infinity in
+  for r = 1 to rounds do
+    let t_fill = time (fun () -> fill r) in
+    let t_eval =
+      time (fun () ->
+          ignore
+            (Battery.evaluate model ~backend:inst.Sig.name ~samples:out
+               ~len:samples))
+    in
+    if t_fill < !best then best := t_fill;
+    if t_eval < !best_eval then best_eval := t_eval
+  done;
+  let verdict =
+    Battery.evaluate model ~backend:inst.Sig.name ~samples:out ~len:samples
+  in
+  let fs = float_of_int samples in
+  {
+    sigma;
+    precision;
+    samples;
+    sampling_ns_per_sample = !best *. 1e9 /. fs;
+    battery_ns_per_sample = (!best +. !best_eval) *. 1e9 /. fs;
+    overhead_pct = 100.0 *. !best_eval /. !best;
+    pass = verdict.Battery.pass;
+  }
+
+let run ?samples ?rounds ?(set = default_set) () =
+  List.map
+    (fun (sigma, precision) ->
+      measure ?samples ?rounds ~sigma ~precision ~tail_cut:13 ())
+    set
+
+let ok entries =
+  List.for_all (fun e -> e.overhead_pct <= threshold_pct && e.pass) entries
+
+let entry_json e =
+  Jsonx.Obj
+    [
+      ("sigma", Str e.sigma);
+      ("precision", Num (float_of_int e.precision));
+      ("samples", Num (float_of_int e.samples));
+      ("sampling_ns_per_sample", Num e.sampling_ns_per_sample);
+      ("battery_ns_per_sample", Num e.battery_ns_per_sample);
+      ("overhead_pct", Num e.overhead_pct);
+      ("pass", Bool e.pass);
+    ]
+
+let to_json entries =
+  Jsonx.Obj
+    [
+      ("bench", Str "saga");
+      ("threshold_pct", Num threshold_pct);
+      ("entries", List (List.map entry_json entries));
+    ]
+
+let save path entries =
+  let oc = open_out path in
+  output_string oc (Jsonx.pretty (to_json entries));
+  output_char oc '\n';
+  close_out oc
+
+let pp_entry fmt e =
+  Format.fprintf fmt
+    "sigma=%-8s prec=%-3d sampling=%7.1f ns/sample  with-battery=%7.1f \
+     ns/sample  eval-overhead=%5.1f%% (budget %.0f%%)  %s"
+    e.sigma e.precision e.sampling_ns_per_sample e.battery_ns_per_sample
+    e.overhead_pct threshold_pct
+    (if e.pass then "PASS" else "FAIL")

@@ -1,0 +1,33 @@
+(** Cost of the acceptance battery relative to the sampling it judges.
+
+    Each entry times a raw CDT linear-scan signed-draw loop against the
+    same loop plus one full {!Battery.evaluate} over the produced
+    samples, at one (sigma, precision).  The evaluation overhead is
+    gated at {!threshold_pct}; the timed run's own battery verdict must
+    also be clean, so a statistical regression fails the bench even when
+    the timing budget holds. *)
+
+type entry = {
+  sigma : string;
+  precision : int;
+  samples : int;
+  sampling_ns_per_sample : float;  (** Raw signed-draw loop (CDT linear-ct). *)
+  battery_ns_per_sample : float;  (** Draw + full battery evaluation. *)
+  overhead_pct : float;  (** Battery evaluation cost relative to sampling. *)
+  pass : bool;  (** The timed run's own verdict — must be clean. *)
+}
+
+val threshold_pct : float
+(** Maximum evaluation overhead, percent of sampling time. *)
+
+val default_set : (string * int) list
+(** (sigma, precision) pairs; the four roadmap sigmas at 16 bits. *)
+
+val run :
+  ?samples:int -> ?rounds:int -> ?set:(string * int) list -> unit -> entry list
+
+val ok : entry list -> bool
+val entry_json : entry -> Ctg_obs.Jsonx.t
+val to_json : entry list -> Ctg_obs.Jsonx.t
+val save : string -> entry list -> unit
+val pp_entry : Format.formatter -> entry -> unit

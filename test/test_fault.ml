@@ -349,6 +349,108 @@ let sign_tests =
         Alcotest.(check bool) "checked signature verifies" true (verify s));
   ]
 
+(* Value faults at the Falcon sigma (215): each bias primitive must move
+   the moment it claims to move, in the right direction and by the
+   predicted amount.  Paired-stream design: the transform is applied to
+   the same clean draws, so the shift estimators are exact differences
+   with tiny standard errors and the bands below are many sigmas wide. *)
+let value_fault_tests =
+  let clean_draws n =
+    let matrix = Ctg_kyao.Matrix.create ~sigma:"215" ~precision:16 ~tail_cut:13 in
+    let inst =
+      Ctg_samplers.Cdt_samplers.linear_ct (Ctg_samplers.Cdt_table.of_matrix matrix)
+    in
+    let rng = Bs.of_chacha (Ctg_prng.Chacha20.of_seed "value-fault-215") in
+    ( matrix,
+      Array.init n (fun _ -> Ctg_samplers.Sampler_sig.sample_signed inst rng) )
+  in
+  let apply fault ~seed xs =
+    let f = Plan.value_transform (Plan.value_plan ~seed fault) in
+    Array.map f xs
+  in
+  let mean xs =
+    Array.fold_left (fun a x -> a +. float_of_int x) 0.0 xs
+    /. float_of_int (Array.length xs)
+  in
+  let variance xs =
+    let m = mean xs in
+    Array.fold_left (fun a x -> a +. ((float_of_int x -. m) ** 2.0)) 0.0 xs
+    /. float_of_int (Array.length xs)
+  in
+  let n = 20_000 in
+  [
+    Alcotest.test_case "center shift moves the mean by delta" `Quick (fun () ->
+        let delta = 0.05 in
+        let _, clean = clean_draws n in
+        let faulted = apply (Plan.Center_shift { delta }) ~seed:21L clean in
+        let shift = mean faulted -. mean clean in
+        (* Paired estimator: the shift is a Bernoulli(delta) mean with
+           SE ~ 0.0015 at this n, so [delta +- 0.02] is > 10 SE wide. *)
+        if shift < delta -. 0.02 || shift > delta +. 0.02 then
+          Alcotest.failf "mean shift %.4f outside [%.3f, %.3f]" shift
+            (delta -. 0.02) (delta +. 0.02));
+    Alcotest.test_case "variance deflation shrinks the variance as predicted"
+      `Quick (fun () ->
+        let p = 0.15 in
+        let _, clean = clean_draws n in
+        let faulted = apply (Plan.Variance_deflate { p }) ~seed:22L clean in
+        let deficit = variance clean -. variance faulted in
+        (* Each deflated draw loses 2|x|-1 from the sum of squares, so
+           the expected per-sample deficit is p * (2 E|x| - 1). *)
+        let mean_abs =
+          Array.fold_left (fun a x -> a +. float_of_int (abs x)) 0.0 clean
+          /. float_of_int n
+        in
+        let predicted = p *. ((2.0 *. mean_abs) -. 1.0) in
+        Alcotest.(check bool) "variance strictly decreases" true (deficit > 0.0);
+        if deficit < 0.6 *. predicted || deficit > 1.4 *. predicted then
+          Alcotest.failf "variance deficit %.1f outside [0.6, 1.4] x %.1f"
+            deficit predicted);
+    Alcotest.test_case "sticky replay sets lag-1 autocorrelation to p" `Quick
+      (fun () ->
+        let p = 0.25 in
+        let _, clean = clean_draws n in
+        let faulted = apply (Plan.Sticky { p }) ~seed:23L clean in
+        let corr xs =
+          let m = mean xs and v = variance xs in
+          let acc = ref 0.0 in
+          for i = 1 to Array.length xs - 1 do
+            acc :=
+              !acc
+              +. ((float_of_int xs.(i) -. m) *. (float_of_int xs.(i - 1) -. m))
+          done;
+          !acc /. (float_of_int (Array.length xs - 1) *. v)
+        in
+        (* A replay chain has corr(y_i, y_{i-1}) = p exactly; SE ~ 0.007
+           at this n.  The clean stream must sit near zero. *)
+        let r_f = corr faulted and r_c = corr clean in
+        Alcotest.(check bool) "clean stream uncorrelated" true (abs_float r_c < 0.05);
+        if r_f < p -. 0.1 || r_f > p +. 0.1 then
+          Alcotest.failf "lag-1 corr %.3f outside [%.2f, %.2f]" r_f (p -. 0.1)
+            (p +. 0.1));
+    Alcotest.test_case "outliers land beyond the support at rate p" `Quick
+      (fun () ->
+        let p = 0.002 in
+        let matrix, clean = clean_draws n in
+        let magnitude = matrix.Ctg_kyao.Matrix.support + 5 in
+        let faulted = apply (Plan.Outlier { p; magnitude }) ~seed:24L clean in
+        let beyond =
+          Array.fold_left
+            (fun a x ->
+              if abs x > matrix.Ctg_kyao.Matrix.support then a + 1 else a)
+            0 faulted
+        in
+        Array.iter
+          (fun x ->
+            if abs x > matrix.Ctg_kyao.Matrix.support && abs x <> magnitude
+            then Alcotest.failf "stray out-of-support value %d" x)
+          faulted;
+        (* Binomial(n, p): mean 40, SD ~ 6.3; [15, 70] is ~4 SD wide. *)
+        if beyond < 15 || beyond > 70 then
+          Alcotest.failf "%d outliers, expected ~%.0f" beyond
+            (float_of_int n *. p));
+  ]
+
 let () =
   Alcotest.run "fault"
     [
@@ -359,4 +461,5 @@ let () =
       ("degradation", degrade_tests);
       ("registry", registry_tests);
       ("sign", sign_tests);
+      ("value-faults", value_fault_tests);
     ]

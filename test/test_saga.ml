@@ -1,0 +1,190 @@
+(* The acceptance battery and the ratio-attack harness: the battery must
+   pass clean streams at every roadmap sigma, fail each seeded-bias
+   control in the right family, and be a pure function of the master
+   seed; the harness's smoke matrix must end with zero attack-wins-first
+   outcomes.  Everything runs at precision 16 on CDT backends so no
+   circuit compiles are involved. *)
+
+module Battery = Ctg_saga.Battery
+module Ratio = Ctg_saga.Ratio
+module Drift = Ctg_assure.Drift
+module Plan = Ctg_fault.Plan
+module Sig = Ctg_samplers.Sampler_sig
+module Bs = Ctg_prng.Bitstream
+module Jsonx = Ctg_obs.Jsonx
+
+let matrix_of sigma = Ctg_kyao.Matrix.create ~sigma ~precision:16 ~tail_cut:13
+
+let instance_of matrix =
+  Ctg_samplers.Cdt_samplers.linear_ct (Ctg_samplers.Cdt_table.of_matrix matrix)
+
+(* Small-sample config for unit tests; bounds stay at the offline
+   defaults, which hold comfortably at 20k clean samples. *)
+let config = { Battery.default_config with samples = 20_000 }
+
+let seed = 0x5A6AL
+
+let model_tests =
+  [
+    Alcotest.test_case "expected model is a law with a zero overflow bin"
+      `Quick (fun () ->
+        List.iter
+          (fun sigma ->
+            let matrix = matrix_of sigma in
+            let conditional, residual = Drift.expected_model ~matrix in
+            Alcotest.(check int)
+              "support+2 bins"
+              (matrix.Ctg_kyao.Matrix.support + 2)
+              (Array.length conditional);
+            Alcotest.(check (float 1e-9))
+              "overflow bin empty" 0.0
+              conditional.(Array.length conditional - 1);
+            Alcotest.(check bool)
+              "residual in [0,1)" true
+              (residual >= 0.0 && residual < 1.0);
+            let mass = Array.fold_left ( +. ) 0.0 conditional in
+            Alcotest.(check (float 1e-9)) "sums to 1" 1.0 mass)
+          [ "1"; "2"; "215" ]);
+  ]
+
+let battery_tests =
+  [
+    Alcotest.test_case "clean streams pass at every roadmap sigma" `Quick
+      (fun () ->
+        List.iter
+          (fun sigma ->
+            let m = Battery.model (matrix_of sigma) in
+            let v = Battery.run ~config ~seed m (instance_of (matrix_of sigma)) in
+            if not v.Battery.pass then
+              Alcotest.failf "sigma %s failed: %s" sigma
+                (String.concat ", " (Battery.failed_families v)))
+          [ "1"; "2"; "6.15543"; "215" ]);
+    Alcotest.test_case "each bias control fails its family" `Quick (fun () ->
+        let matrix = matrix_of "2" in
+        let m = Battery.model matrix in
+        let support = matrix.Ctg_kyao.Matrix.support in
+        List.iteri
+          (fun i (family, fault) ->
+            let plan = Plan.value_plan ~seed:(Int64.of_int (100 + i)) fault in
+            let v =
+              Battery.run ~config ~bias:(Plan.value_transform plan) ~seed m
+                (instance_of matrix)
+            in
+            Alcotest.(check bool)
+              (Plan.value_fault_name fault ^ " fails overall")
+              false v.Battery.pass;
+            if not (List.mem family (Battery.failed_families v)) then
+              Alcotest.failf "%s missed by family %s (failed: %s)"
+                (Plan.value_fault_name fault)
+                family
+                (String.concat ", " (Battery.failed_families v)))
+          [
+            ("moments", Plan.Center_shift { delta = 0.2 });
+            ("chi-square", Plan.Variance_deflate { p = 0.2 });
+            ("tails", Plan.Outlier { p = 0.005; magnitude = support + 3 });
+            ("autocorrelation", Plan.Sticky { p = 0.25 });
+          ]);
+    Alcotest.test_case "verdict is a pure function of the seed" `Quick
+      (fun () ->
+        let matrix = matrix_of "2" in
+        let m = Battery.model matrix in
+        let once () =
+          Jsonx.to_string
+            (Battery.verdict_json (Battery.run ~config ~seed m (instance_of matrix)))
+        in
+        Alcotest.(check string) "identical verdict JSON" (once ()) (once ());
+        let other =
+          Jsonx.to_string
+            (Battery.verdict_json
+               (Battery.run ~config ~seed:(Int64.add seed 1L) m
+                  (instance_of matrix)))
+        in
+        Alcotest.(check bool)
+          "different seed, different stream" true
+          (other <> once ()));
+    Alcotest.test_case "evaluate rejects tiny runs" `Quick (fun () ->
+        let m = Battery.model (matrix_of "2") in
+        Alcotest.check_raises "len < 1000"
+          (Invalid_argument "Battery.evaluate: need >= 1000 samples")
+          (fun () ->
+            ignore
+              (Battery.evaluate m ~backend:"x" ~samples:(Array.make 999 0)
+                 ~len:999)));
+  ]
+
+(* The drift monitor's first-alarm memory and the health body built from
+   it: what /healthz serves after a 503. *)
+let monitor_tests =
+  [
+    Alcotest.test_case "first alarm is remembered; clean runs keep none"
+      `Quick (fun () ->
+        let matrix = matrix_of "2" in
+        let config = { Drift.default_config with window = 2048 } in
+        let feed bias =
+          let d = Drift.create ~config ~matrix () in
+          let inst = instance_of matrix in
+          let rng = Bs.of_chacha (Ctg_prng.Chacha20.of_seed "saga-first-alarm") in
+          let buf =
+            Array.init 8192 (fun _ -> bias (Sig.sample_signed inst rng))
+          in
+          Drift.observe d buf;
+          d
+        in
+        let clean = feed Fun.id in
+        Alcotest.(check bool) "clean: no first alarm" true
+          (Drift.first_alarm clean = None);
+        let plan = Plan.value_plan ~seed:9L (Plan.Variance_deflate { p = 0.3 }) in
+        let biased = feed (Plan.value_transform plan) in
+        match Drift.first_alarm biased with
+        | None -> Alcotest.fail "deflated stream never alarmed"
+        | Some w ->
+          Alcotest.(check bool) "alarm flagged" true w.Drift.alarm;
+          Alcotest.(check int) "first window" 1 w.Drift.index);
+    Alcotest.test_case "healthz body names failing monitors + first window"
+      `Quick (fun () ->
+        let matrix = matrix_of "2" in
+        let config = { Drift.default_config with window = 2048 } in
+        let mon = Ctg_assure.Monitor.create ~config ~matrix () in
+        let d = Ctg_assure.Monitor.drift mon in
+        let inst = instance_of matrix in
+        let rng = Bs.of_chacha (Ctg_prng.Chacha20.of_seed "saga-healthz") in
+        let plan = Plan.value_plan ~seed:9L (Plan.Variance_deflate { p = 0.3 }) in
+        let bias = Plan.value_transform plan in
+        Drift.observe d
+          (Array.init 4096 (fun _ -> bias (Sig.sample_signed inst rng)));
+        Alcotest.(check (list string))
+          "failing monitors" [ "drift" ]
+          (Ctg_assure.Monitor.failing_monitors mon);
+        let j = Ctg_assure.Monitor.healthz_json mon in
+        (match Jsonx.member "failing_monitors" j with
+        | Some (Jsonx.List [ Jsonx.Str "drift" ]) -> ()
+        | _ -> Alcotest.fail "failing_monitors missing from healthz body");
+        match Jsonx.member "first_alarm_window" j with
+        | Some (Jsonx.Obj _) -> ()
+        | _ -> Alcotest.fail "first_alarm_window missing from healthz body");
+  ]
+
+let ratio_tests =
+  [
+    Alcotest.test_case "smoke matrix: monitors fire first, clean arm quiet"
+      `Slow (fun () ->
+        let r = Ratio.run ~config:Ratio.smoke_config ~seed:0xC0FFEEL () in
+        Alcotest.(check bool) "report ok" true r.Ratio.ok;
+        Alcotest.(check bool) "clean attack z under threshold" true
+          (r.Ratio.clean_attack_z < Ratio.smoke_config.Ratio.attack_z);
+        List.iter
+          (fun (row : Ratio.row) ->
+            Alcotest.(check bool)
+              (row.Ratio.fault_name ^ " monitors win") false
+              row.Ratio.attack_wins_first)
+          r.Ratio.rows);
+  ]
+
+let () =
+  Alcotest.run "saga"
+    [
+      ("model", model_tests);
+      ("battery", battery_tests);
+      ("monitor", monitor_tests);
+      ("ratio", ratio_tests);
+    ]
