@@ -852,6 +852,124 @@ let cmd_serve ?(smoke = false) () =
   end
 
 (* -------------------------------------------------------------------- *)
+(* Pauses: real GC pause baselines + rtev overhead (BENCH_pauses.json)   *)
+(* -------------------------------------------------------------------- *)
+
+(* The daemon-under-load row: the signing daemon with rtev on, driven by
+   concurrent HTTP clients, then the pause-charged serving split read
+   back out of its registry.  Assembled here because the gated library
+   bench (lib/prof) cannot depend on the serving stack.  Advisory only —
+   none of its keys are [_ns]-suffixed, a loaded daemon's pause total is
+   too run-shaped to trend-gate. *)
+let pauses_daemon_row ?(tenants = 2) ?(per_tenant = 8) () =
+  let config =
+    {
+      Ctg_serve.Daemon.default_config with
+      port = 0;
+      rtev = true;
+      linger = 0.005;
+      max_batch = 8;
+    }
+  in
+  let d = Ctg_serve.Daemon.create config in
+  if not (Ctg_serve.Daemon.rtev_active d) then begin
+    Ctg_serve.Daemon.stop d;
+    None
+  end
+  else begin
+    let port = Ctg_serve.Daemon.port d in
+    let module Client = Ctg_net.Client in
+    let workers =
+      Array.init tenants (fun t ->
+          Domain.spawn (fun () ->
+              let tenant = Printf.sprintf "pause-t%d" t in
+              let c = Client.connect ~port () in
+              for i = 0 to per_tenant - 1 do
+                let r =
+                  Client.request c ~meth:"POST"
+                    ~path:("/v1/sign?tenant=" ^ tenant)
+                    ~body:(Printf.sprintf "%s-%d" tenant i)
+                    ()
+                in
+                if r.Client.status <> 200 then
+                  failwith (Printf.sprintf "sign -> %d" r.Client.status)
+              done;
+              Client.close c))
+    in
+    Array.iter Domain.join workers;
+    (* One forced major collection while the daemon is still up, so the
+       row always carries a nonzero pause. *)
+    Gc.compact ();
+    ignore (Ctg_rtev.Rtev.poll ());
+    let registry = Ctg_serve.Daemon.registry d in
+    let serve =
+      Ctg_obs.Registry.histo_summary
+        (Ctg_obs.Registry.histo registry "serve_gc_pause_ns")
+    in
+    let pause =
+      Ctg_obs.Registry.histo_summary
+        (Ctg_obs.Registry.histo registry "gc_pause_ns")
+    in
+    let requests = Ctg_serve.Daemon.requests d in
+    let batches = Ctg_serve.Daemon.batches d in
+    Ctg_serve.Daemon.stop d;
+    let module J = Ctg_obs.Jsonx in
+    let module H = Ctg_obs.Histo in
+    Some
+      (J.Obj
+         [
+           ("requests", J.Num (float_of_int requests));
+           ("batches", J.Num (float_of_int batches));
+           ("gc_pauses", J.Num (float_of_int pause.H.count));
+           ("gc_pause_total", J.Num (float_of_int pause.H.sum));
+           ("gc_pause_max", J.Num (float_of_int pause.H.max));
+           ("serve_batches_observed", J.Num (float_of_int serve.H.count));
+           ("serve_pause_total", J.Num (float_of_int serve.H.sum));
+           ("serve_pause_max", J.Num (float_of_int serve.H.max));
+         ])
+  end
+
+let cmd_pauses ?(smoke = false) () =
+  section
+    (if smoke then "Pauses: GC pause baselines + rtev overhead (smoke run)"
+     else
+       "Pauses: real GC pause baselines per sigma + rtev always-on overhead");
+  let set =
+    if smoke then [ ("2", 128); ("215", 16) ]
+    else Ctg_prof.Pause_bench.default_set
+  in
+  let samples = if smoke then 63 * 400 else 63 * 1000 in
+  let min_pauses = if smoke then 5 else 30 in
+  let rounds = if smoke then 3 else 5 in
+  let min_time = if smoke then 1.0 else 0.4 in
+  printf "ring-suspended vs ring-live fill loops, median of paired passes@.@.";
+  match
+    Ctg_prof.Pause_bench.run ~samples ~min_pauses ~rounds ~min_time ~set ()
+  with
+  | None ->
+    printf "SKIP: Runtime_events ring unavailable in this environment@."
+  | Some entries ->
+    List.iter
+      (fun e -> printf "  %a@." Ctg_prof.Pause_bench.pp_entry e)
+      entries;
+    let daemon = pauses_daemon_row () in
+    (match daemon with
+    | Some _ -> printf "@.daemon-under-load pause row captured@."
+    | None -> printf "@.daemon-under-load pause row skipped (ring unavailable)@.");
+    let path =
+      if smoke then "BENCH_pauses_smoke.json" else "BENCH_pauses.json"
+    in
+    Ctg_prof.Pause_bench.save ?daemon path entries;
+    printf "wrote %s@." path;
+    if Ctg_prof.Pause_bench.ok entries then
+      printf "OK: every sigma saw real pauses; rtev overhead < %.1f%%@."
+        Ctg_prof.Pause_bench.threshold_pct
+    else begin
+      printf "FAIL: no pause decoded or rtev overhead budget exceeded@.";
+      exit 1
+    end
+
+(* -------------------------------------------------------------------- *)
 (* History: perf trajectory over the committed BENCH baselines           *)
 (* -------------------------------------------------------------------- *)
 
@@ -1096,11 +1214,11 @@ let usage () =
     "usage: main.exe [all|table1|table2|fig1|fig2|fig3|fig4|fig5|delta|@.";
   printf "                 prng-overhead|dudect|ablation-min|ablation-chain|@.";
   printf "                 precision|large-sigma|sampler-quality|engine|@.";
-  printf "                 gates|sign-many|obs|alloc|fault|assure|saga|serve|history|micro|sync]@.";
+  printf "                 gates|sign-many|obs|alloc|fault|assure|saga|serve|pauses|history|micro|sync]@.";
   printf "        [--full]        (fig5 at the paper's 64x10^7 samples)@.";
   printf
-    "        [--smoke]       (obs/alloc/fault/assure/serve: CI-sized windows \
-     -> BENCH_*_smoke.json)@.";
+    "        [--smoke]       (obs/alloc/fault/assure/serve/pauses: CI-sized \
+     windows -> BENCH_*_smoke.json)@.";
   printf "        [--trace FILE]  (record spans, write Chrome trace JSON)@."
 
 let () =
@@ -1152,6 +1270,7 @@ let () =
   | "assure" -> cmd_assure ~smoke ()
   | "saga" -> cmd_saga ~smoke ()
   | "serve" -> cmd_serve ~smoke ()
+  | "pauses" -> cmd_pauses ~smoke ()
   | "history" -> cmd_history ()
   | "micro" -> cmd_micro ()
   | "sync" -> cmd_sync ()

@@ -24,7 +24,7 @@ module Client = Ctg_net.Client
 (* ------------------------------------------------------------------ *)
 
 let config_of ~n ~sigma ~port ~host ~queue ~batch ~linger ~domains ~workers
-    ~no_check ~trace =
+    ~no_check ~trace ~rtev ~rtev_custom ~pause_budget_ms =
   {
     Serve.Daemon.default_config with
     n;
@@ -38,6 +38,9 @@ let config_of ~n ~sigma ~port ~host ~queue ~batch ~linger ~domains ~workers
     http_workers = workers;
     check = not no_check;
     trace;
+    rtev = rtev || rtev_custom || pause_budget_ms > 0.0;
+    rtev_custom;
+    pause_budget_ms;
   }
 
 let common_args =
@@ -56,10 +59,11 @@ let common_args =
 (* run                                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let run n sigma host port queue batch linger domains workers no_check trace =
+let run n sigma host port queue batch linger domains workers no_check trace
+    rtev rtev_custom pause_budget_ms =
   let config =
     config_of ~n ~sigma ~port ~host ~queue ~batch ~linger ~domains ~workers
-      ~no_check ~trace
+      ~no_check ~trace ~rtev ~rtev_custom ~pause_budget_ms
   in
   Format.printf "compiling sigma=%s sampler and starting daemon...@." sigma;
   let d = Serve.Daemon.create config in
@@ -69,6 +73,14 @@ let run n sigma host port queue batch linger domains workers no_check trace =
   Format.printf "  GET /metrics /healthz /drift.json /v1/tenants@.";
   if trace then
     Format.printf "  GET /v1/trace[?request_id=R]  (tracing enabled)@.";
+  if config.rtev then
+    Format.printf
+      "  runtime telemetry: %s (gc_pause_ns, serve_gc_pause_ns%s%s)@."
+      (if Serve.Daemon.rtev_active d then "on" else "UNAVAILABLE")
+      (if rtev_custom then ", custom span events" else "")
+      (if pause_budget_ms > 0.0 then
+         Printf.sprintf ", %gms pause budget" pause_budget_ms
+       else "");
   let stop_flag = Atomic.make false in
   let request_stop _ = Atomic.set stop_flag true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
@@ -78,11 +90,18 @@ let run n sigma host port queue batch linger domains workers no_check trace =
     try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   Format.printf "@.draining...@.";
+  let was_rtev = Serve.Daemon.rtev_active d in
   Serve.Daemon.stop d;
   Format.printf
     "served %d requests in %d batches (%d shed), healthy=%b@."
     (Serve.Daemon.requests d) (Serve.Daemon.batches d)
-    (Serve.Daemon.batcher_shed d) (Serve.Daemon.healthy d)
+    (Serve.Daemon.batcher_shed d) (Serve.Daemon.healthy d);
+  if was_rtev then
+    Format.printf "gc pauses: %d (%d minor), total %.3fms, max %.3fms@."
+      (Ctg_rtev.Rtev.pause_count ())
+      (Ctg_rtev.Rtev.minor_pause_count ())
+      (float_of_int (Ctg_rtev.Rtev.total_pause_ns ()) /. 1e6)
+      (float_of_int (Ctg_rtev.Rtev.max_pause_ns ()) /. 1e6)
 
 let run_cmd =
   let n, sigma = common_args in
@@ -124,10 +143,33 @@ let run_cmd =
              ~doc:"Enable span tracing and serve GET /v1/trace (per-request \
                    Chrome trace slices).")
   in
+  let rtev =
+    Arg.(value & flag
+         & info [ "rtev" ]
+             ~doc:"Consume the OCaml Runtime_events ring: real per-domain GC \
+                   pause histograms (gc_pause_ns), a pause-charged batch \
+                   split (serve_gc_pause_ns), and — with $(b,--trace) — GC \
+                   pause spans merged into /v1/trace slices.")
+  in
+  let rtev_custom =
+    Arg.(value & flag
+         & info [ "rtev-custom" ]
+             ~doc:"Also mirror every trace span begin/end as a Runtime_events \
+                   custom event (ctg.<name>) for external tooling such as \
+                   olly.  Implies $(b,--rtev).")
+  in
+  let pause_budget_ms =
+    Arg.(value & opt float 0.0
+         & info [ "pause-budget-ms" ] ~docv:"MS"
+             ~doc:"Fail /healthz (gc_pause_budget monitor) if any single GC \
+                   pause exceeds this many milliseconds.  Implies \
+                   $(b,--rtev); 0 disables.")
+  in
   let doc = "serve Falcon signatures over HTTP until SIGINT/SIGTERM" in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ n $ sigma $ host $ port $ queue $ batch $ linger
-          $ domains $ workers $ no_check $ trace)
+          $ domains $ workers $ no_check $ trace $ rtev $ rtev_custom
+          $ pause_budget_ms)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)

@@ -6,6 +6,7 @@
      ctg_stats ctmon                     # CT monitor across the sampler zoo
      ctg_stats trace -o trace.json       # demo trace: sign + engine chunks
      ctg_stats prof [--json FILE] [--trace FILE]  # alloc-by-span profile
+     ctg_stats pauses [--json FILE] [--trace FILE]  # real GC pause report
 
    Exit codes: [overhead] fails (1) when any entry exceeds the budget or
    reports a CT violation; [ctmon] fails when a claimed-CT sampler
@@ -289,7 +290,7 @@ let trace_cmd =
 
 let prof_run json_out trace_out =
   let registry = Obs.Registry.create () in
-  Ctg_prof.Prof.enable ~registry ();
+  Ctg_prof.Prof.enable ~registry ~rtev:true ();
   Ctg_prof.Prof.reset ();
   Obs.Trace.reset ();
   (* The same demo workload as [trace], now profiled: a Falcon signing
@@ -314,8 +315,20 @@ let prof_run json_out trace_out =
       Obs.Trace.flow_start ~id:424242 "job";
       ignore (Ctg_engine.Pool.batch_parallel ~flow:424242 pool ~n:(63 * 64)));
   Ctg_engine.Pool.shutdown pool;
+  ignore (Ctg_rtev.Rtev.poll ());
   Format.printf "allocation by span label (minor words, descending):@.@.";
   Format.printf "%a" Ctg_prof.Prof.pp_report ();
+  (* The pause column above comes from the rtev consumer when the ring is
+     up (wall - pause ~ work); the major-cycle cadence stays as the
+     labeled fallback signal. *)
+  if Ctg_rtev.Rtev.active () then
+    Format.printf "@.gc pauses (rtev): %d (%d minor), total %.3f ms, max %.3f ms"
+      (Ctg_rtev.Rtev.pause_count ())
+      (Ctg_rtev.Rtev.minor_pause_count ())
+      (float_of_int (Ctg_rtev.Rtev.total_pause_ns ()) /. 1e6)
+      (float_of_int (Ctg_rtev.Rtev.max_pause_ns ()) /. 1e6)
+  else
+    Format.printf "@.gc pauses (rtev): ring unavailable, cadence fallback only";
   let cycles =
     Obs.Registry.value (Obs.Registry.counter registry "gc_major_cycles_total")
   in
@@ -323,7 +336,7 @@ let prof_run json_out trace_out =
     Obs.Registry.histo_summary
       (Obs.Registry.histo registry "gc_major_cycle_gap_ns")
   in
-  Format.printf "@.gc major cycles: %d" cycles;
+  Format.printf "@.gc major cycles (cadence fallback): %d" cycles;
   if gap.Obs.Histo.count > 0 then
     Format.printf " (cycle gap p50 %d ns, max %d ns)" gap.Obs.Histo.p50
       gap.Obs.Histo.max;
@@ -343,6 +356,7 @@ let prof_run json_out trace_out =
       (List.length (Obs.Trace.events ()))
       (Obs.Trace.dropped ()));
   Ctg_prof.Prof.disable ();
+  Ctg_rtev.Rtev.stop ();
   Obs.Trace.disable ()
 
 let prof_cmd =
@@ -361,6 +375,156 @@ let prof_cmd =
      allocated, plus the GC major-cycle cadence."
   in
   Cmd.v (Cmd.info "prof" ~doc) Term.(const prof_run $ json_out $ trace_out)
+
+(* ------------------------------------------------------------------ *)
+(* pauses                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Rtev = Ctg_rtev.Rtev
+
+(* Forced-GC workload for the pause report: a single-domain sampling fill
+   (steady allocation pressure), a 2-domain engine job (pauses land on
+   more than one runtime domain slot), and one [Gc.compact] so even a
+   quiet heap reports a deterministic stop-the-world pause. *)
+let pauses_workload ~smoke () =
+  let sampler =
+    Ctg_engine.Registry.lookup Ctg_engine.Registry.global ~sigma:"2"
+      ~precision:16 ~tail_cut:13 ()
+  in
+  let reps = if smoke then 4 else 12 in
+  let n = 63 * (if smoke then 300 else 1000) in
+  for lane = 0 to reps - 1 do
+    let rng =
+      Ctg_engine.Stream_fork.bitstream ~health:false ~seed:"ctg-stats-pauses"
+        ~lane ()
+    in
+    let s = Ctgauss.Sampler.clone sampler in
+    let filled = ref 0 in
+    while !filled < n do
+      filled := !filled + Array.length (Ctgauss.Sampler.batch_signed s rng)
+    done;
+    ignore (Rtev.poll ())
+  done;
+  let pool = Ctg_engine.Pool.create ~domains:2 ~seed:"ctg-stats-pauses" sampler in
+  ignore (Ctg_engine.Pool.batch_parallel pool ~n);
+  Ctg_engine.Pool.shutdown pool;
+  Gc.compact ();
+  ignore (Rtev.poll ())
+
+let pauses_json registry =
+  let stats = Rtev.domain_stats () in
+  let module J = Obs.Jsonx in
+  let agg =
+    Obs.Registry.histo_summary (Obs.Registry.histo registry "gc_pause_ns")
+  in
+  J.Obj
+    [
+      ("report", J.Str "gc-pauses");
+      ("pauses", J.Num (float_of_int (Rtev.pause_count ())));
+      ("minor_pauses", J.Num (float_of_int (Rtev.minor_pause_count ())));
+      ("total_pause", J.Num (float_of_int (Rtev.total_pause_ns ())));
+      ("pause_max", J.Num (float_of_int (Rtev.max_pause_ns ())));
+      ("pause_p50_obs", J.Num (float_of_int agg.Obs.Histo.p50));
+      ("pause_p99_obs", J.Num (float_of_int agg.Obs.Histo.p99));
+      ("lost_events", J.Num (float_of_int (Rtev.lost_events ())));
+      ( "domains",
+        J.List
+          (List.map
+             (fun (d : Rtev.domain_stats) ->
+               J.Obj
+                 [
+                   ("ring", J.Num (float_of_int d.ring));
+                   ("pauses", J.Num (float_of_int d.pauses));
+                   ("minor_pauses", J.Num (float_of_int d.minor_pauses));
+                   ("total_pause", J.Num (float_of_int d.total_ns));
+                   ("pause_max", J.Num (float_of_int d.max_ns));
+                 ])
+             stats) );
+    ]
+
+let pauses_run smoke json_out trace_out =
+  let registry = Obs.Registry.create () in
+  let trace = trace_out <> None in
+  if trace then Obs.Trace.enable ();
+  if not (Rtev.start ~registry ~trace ()) then begin
+    Format.printf
+      "runtime telemetry UNAVAILABLE: the Runtime_events ring could not be \
+       started; only the gc_major_cycle_gap_ns cadence fallback is \
+       available in this environment@.";
+    exit 2
+  end;
+  pauses_workload ~smoke ();
+  Format.printf "gc pauses by runtime domain slot (forced-GC workload):@.@.";
+  Format.printf "  %4s %8s %8s %14s %14s@." "ring" "pauses" "minor" "total ns"
+    "max ns";
+  List.iter
+    (fun (d : Rtev.domain_stats) ->
+      Format.printf "  %4d %8d %8d %14d %14d@." d.ring d.pauses d.minor_pauses
+        d.total_ns d.max_ns)
+    (Rtev.domain_stats ());
+  let agg =
+    Obs.Registry.histo_summary (Obs.Registry.histo registry "gc_pause_ns")
+  in
+  Format.printf
+    "@.total: %d pauses (%d minor), %.3f ms paused, max %.3f ms, p50 %d ns, \
+     p99 %d ns%s@."
+    (Rtev.pause_count ())
+    (Rtev.minor_pause_count ())
+    (float_of_int (Rtev.total_pause_ns ()) /. 1e6)
+    (float_of_int (Rtev.max_pause_ns ()) /. 1e6)
+    agg.Obs.Histo.p50 agg.Obs.Histo.p99
+    (if Rtev.lost_events () > 0 then
+       Printf.sprintf " (%d lost event words)" (Rtev.lost_events ())
+     else "");
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Obs.Jsonx.pretty (pauses_json registry));
+        output_char oc '\n');
+    Format.printf "wrote %s@." path);
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    Obs.Trace.write path;
+    Format.printf "wrote %s: %d events (%d dropped)@." path
+      (List.length (Obs.Trace.events ()))
+      (Obs.Trace.dropped ());
+    Obs.Trace.disable ());
+  let pauses = Rtev.pause_count () in
+  Rtev.stop ();
+  if pauses = 0 then begin
+    Format.printf
+      "FAIL: no GC pause decoded from the runtime ring on a forced-GC \
+       workload@.";
+    exit 1
+  end
+  else Format.printf "OK: real per-domain pause telemetry captured@."
+
+let pauses_cmd =
+  let smoke =
+    Arg.(value & flag
+         & info [ "smoke" ]
+             ~doc:"CI-sized run: fewer fill reps, smaller batches.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the per-domain pause report as JSON.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace with GC pause spans on synthetic \
+                   per-domain tracks (tid = 1000 + ring).")
+  in
+  let doc =
+    "Consume the Runtime_events ring over a forced-GC workload and report \
+     true per-domain GC pause durations (count/minor/total/max plus \
+     registry quantiles).  Exits 1 when no pause was decoded, 2 when the \
+     ring cannot start."
+  in
+  Cmd.v (Cmd.info "pauses" ~doc) Term.(const pauses_run $ smoke $ json_out $ trace_out)
 
 (* ------------------------------------------------------------------ *)
 (* watch / serve / assure: the continuous-assurance commands            *)
@@ -860,5 +1024,5 @@ let () =
        (Cmd.group info
           [
             overhead_cmd; expose_cmd; ctmon_cmd; trace_cmd; prof_cmd;
-            watch_cmd; serve_cmd; assure_cmd; saga_cmd;
+            pauses_cmd; watch_cmd; serve_cmd; assure_cmd; saga_cmd;
           ]))

@@ -6,10 +6,27 @@ type t = {
   drift : Drift.t;
   leak : Leak.t option;
   mutable pools : Pool.t list;  (* for CT-monitor and degradation verdicts *)
+  mutable checks : (string * (unit -> string option)) list;
+      (* custom named probes (e.g. the daemon's GC pause budget) *)
 }
 
 let create ?config ?registry ?labels ?leak ~matrix () =
-  { drift = Drift.create ?config ?registry ?labels ~matrix (); leak; pools = [] }
+  {
+    drift = Drift.create ?config ?registry ?labels ~matrix ();
+    leak;
+    pools = [];
+    checks = [];
+  }
+
+let add_check t ~name probe = t.checks <- t.checks @ [ (name, probe) ]
+
+let failing_checks t =
+  List.filter_map
+    (fun (name, probe) ->
+      match (try probe () with _ -> Some "check raised") with
+      | Some reason -> Some (name, reason)
+      | None -> None)
+    t.checks
 
 let drift t = t.drift
 let leak t = t.leak
@@ -38,6 +55,7 @@ let verdict t =
       if v > 0 then fail "ct: pool %d has %d violation(s)" i v;
       if Pool.degraded pool then fail "degraded: pool %d serves the CDT fallback" i)
     (List.rev t.pools);
+  List.iter (fun (name, reason) -> fail "%s: %s" name reason) (failing_checks t);
   match List.rev !failures with [] -> Healthy | fs -> Failing fs
 
 let healthy t = match verdict t with Healthy -> true | Failing _ -> false
@@ -56,6 +74,7 @@ let failing_monitors t =
       if Obs.Ctmon.violations (Pool.ctmon pool) > 0 then add "ct";
       if Pool.degraded pool then add "degraded")
     t.pools;
+  List.iter (fun (name, _) -> add name) (failing_checks t);
   List.rev !names
 
 let healthz_json t =

@@ -23,18 +23,27 @@ val attach_pool : t -> Ctg_engine.Pool.t -> unit
     Attach while the pool is idle (see
     {!Ctg_engine.Pool.add_chunk_observer}). *)
 
+val add_check : t -> name:string -> (unit -> string option) -> unit
+(** Register a custom named probe in the verdict: [probe ()] returns
+    [Some reason] while failing, [None] while healthy.  Probes run on
+    every verdict/healthz evaluation (keep them cheap and thread-safe; a
+    raising probe counts as failing).  The daemon uses this to surface
+    its GC pause-budget alarm on [/healthz]. *)
+
 type verdict = Healthy | Failing of string list
 
 val verdict : t -> verdict
 (** Healthy iff: no drift window alarm, the leak assessor (when present)
     is under its |t| threshold, every attached pool has zero CT-monitor
-    violations and is not degraded. *)
+    violations and is not degraded, and every {!add_check} probe returns
+    [None]. *)
 
 val healthy : t -> bool
 
 val failing_monitors : t -> string list
 (** Short names of the monitors currently failing, in a fixed order:
-    ["drift"], ["leak"], ["ct"], ["degraded"].  Empty iff [healthy]. *)
+    ["drift"], ["leak"], ["ct"], ["degraded"], then failing
+    {!add_check} names in registration order.  Empty iff [healthy]. *)
 
 (** [healthz_json] is the [/healthz] body.  On failure it carries, beyond
     the human-readable [failures] strings, the structured

@@ -31,6 +31,7 @@ let default_files =
     "BENCH_serve.json";
     "BENCH_alloc.json";
     "BENCH_saga.json";
+    "BENCH_pauses.json";
   ]
 
 (* Flatten every numeric leaf of a baseline file to (path, value).  List

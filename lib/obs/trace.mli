@@ -106,11 +106,33 @@ val gc_capture_enabled : unit -> bool
 
 type gc_observer =
   name:string -> minor:float -> promoted:float -> major:float ->
-  dur_ns:int -> unit
+  pause_ns:int -> dur_ns:int -> unit
 
 val set_gc_observer : gc_observer option -> unit
 (** Hook fed every gc-captured span completion (on the recording domain;
-    implementations must be thread-safe).  Installed by [Ctg_prof]. *)
+    implementations must be thread-safe).  Installed by [Ctg_prof].
+    [pause_ns] is the GC pause time charged to the span by the
+    {!set_pause_source} hook, or [0] when no source is installed. *)
+
+val set_pause_source : (unit -> int) option -> unit
+(** Install a cumulative process-wide GC-pause counter (nanoseconds ever
+    spent paused).  While gc capture is on, every span samples it on
+    entry and exit, appends the delta as a [gc_pause_ns] arg, and passes
+    it to the {!gc_observer} — wall time minus that delta approximates
+    the span's mutator work time.  Installed by [Ctg_rtev] (obs cannot
+    depend on rtev, so the dependency is inverted through this hook). *)
+
+val set_span_sink : (string -> bool -> unit) option -> unit
+(** Mirror every span begin/end to [sink name is_begin] (only while
+    tracing is enabled).  [Ctg_rtev] installs a sink that re-emits spans
+    as Runtime_events {e custom} events so external tooling (e.g. olly)
+    can observe sampler batch and sign phases without our trace format. *)
+
+val inject : event -> unit
+(** Push a fully-specified event into the calling domain's ring (no-op
+    while tracing is disabled).  Used by the rtev poller to merge GC
+    pause spans — recorded on their synthetic per-domain [tid] track —
+    into the same trace stream as the request flows. *)
 
 val events : unit -> event list
 (** Everything currently buffered, sorted by [(ts_ns, tid, name)]. *)

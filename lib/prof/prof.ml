@@ -9,6 +9,7 @@
 
 open Ctg_sync.Shim
 module Obs = Ctg_obs
+module Rtev = Ctg_rtev.Rtev
 module Jsonx = Obs.Jsonx
 
 type row = {
@@ -18,6 +19,7 @@ type row = {
   promoted_words : float;
   major_words : float;
   total_ns : int;
+  pause_ns : int;
 }
 
 type agg = {
@@ -26,6 +28,7 @@ type agg = {
   mutable a_promoted : float;
   mutable a_major : float;
   mutable a_ns : int;
+  mutable a_pause : int;
 }
 
 type state = {
@@ -49,14 +52,21 @@ let st =
     active = false;
   }
 
-let observer ~name ~minor ~promoted ~major ~dur_ns =
+let observer ~name ~minor ~promoted ~major ~pause_ns ~dur_ns =
   Mutex.lock st.mu;
   let a =
     match Hashtbl.find_opt st.table name with
     | Some a -> a
     | None ->
       let a =
-        { a_spans = 0; a_minor = 0.0; a_promoted = 0.0; a_major = 0.0; a_ns = 0 }
+        {
+          a_spans = 0;
+          a_minor = 0.0;
+          a_promoted = 0.0;
+          a_major = 0.0;
+          a_ns = 0;
+          a_pause = 0;
+        }
       in
       Hashtbl.replace st.table name a;
       a
@@ -66,13 +76,14 @@ let observer ~name ~minor ~promoted ~major ~dur_ns =
   a.a_promoted <- a.a_promoted +. promoted;
   a.a_major <- a.a_major +. major;
   a.a_ns <- a.a_ns + dur_ns;
+  a.a_pause <- a.a_pause + pause_ns;
   Mutex.unlock st.mu
 
-(* End-of-major-cycle pulse.  The stdlib has no per-pause timing, so what
-   the histogram records is the gap between consecutive major-cycle
-   completions on the alarm's domain — the collector's cadence, whose
-   compression under allocation pressure is the observable signal (see
-   DESIGN.md deviations; Runtime_events would give true pause times). *)
+(* End-of-major-cycle pulse — the cadence *fallback*.  The histogram
+   records the gap between consecutive major-cycle completions on the
+   alarm's domain, kept for environments where the Runtime_events ring
+   cannot start; with [enable ~rtev:true] the rtev consumer provides true
+   pause durations and this signal is advisory only (DESIGN.md §15). *)
 let alarm_cb () =
   let now = Obs.Clock.now_ns () in
   Mutex.lock st.mu;
@@ -84,7 +95,7 @@ let alarm_cb () =
   (match h with Some h when gap >= 0 -> Obs.Registry.observe h gap | _ -> ());
   Obs.Trace.instant "gc_major_cycle" ~cat:"gc"
 
-let enable ?registry () =
+let enable ?registry ?(rtev = false) () =
   Mutex.lock st.mu;
   if st.active then Mutex.unlock st.mu
   else begin
@@ -99,6 +110,8 @@ let enable ?registry () =
     Obs.Trace.enable ();
     Obs.Trace.set_gc_capture true;
     Obs.Trace.set_gc_observer (Some observer);
+    if rtev && Rtev.start ?registry ~trace:true () then
+      Rtev.install_trace_pause_source ();
     let alarm = Gc.create_alarm alarm_cb in
     Mutex.lock st.mu;
     st.alarm <- Some alarm;
@@ -117,7 +130,10 @@ let disable () =
     Mutex.unlock st.mu;
     (match alarm with Some a -> Gc.delete_alarm a | None -> ());
     Obs.Trace.set_gc_capture false;
-    Obs.Trace.set_gc_observer None
+    Obs.Trace.set_gc_observer None;
+    (* Unhook the per-span pause charging; the rtev consumer itself stays
+       in whatever state its owner (daemon, CLI) put it. *)
+    Obs.Trace.set_pause_source None
   end
 
 let active () =
@@ -144,6 +160,7 @@ let report () =
           promoted_words = a.a_promoted;
           major_words = a.a_major;
           total_ns = a.a_ns;
+          pause_ns = a.a_pause;
         }
         :: acc)
       st.table []
@@ -165,6 +182,8 @@ let row_to_json r =
       ("promoted_words", Jsonx.Num r.promoted_words);
       ("major_words", Jsonx.Num r.major_words);
       ("total_ns", Jsonx.Num (float_of_int r.total_ns));
+      ("pause_ns", Jsonx.Num (float_of_int r.pause_ns));
+      ("work_ns", Jsonx.Num (float_of_int (max 0 (r.total_ns - r.pause_ns))));
       ( "words_per_span",
         Jsonx.Num
           (if r.spans = 0 then 0.0
@@ -181,9 +200,10 @@ let report_json () =
 let pp_row fmt r =
   Format.fprintf fmt
     "%-12s %6d spans  %12.0f minor  %10.0f promoted  %10.0f major words  \
-     %8.0f words/span"
+     %8.0f words/span  %9d pause ns"
     r.label r.spans r.minor_words r.promoted_words r.major_words
     (if r.spans = 0 then 0.0 else r.minor_words /. float_of_int r.spans)
+    r.pause_ns
 
 let pp_report fmt () =
   List.iter (fun r -> Format.fprintf fmt "%a@." pp_row r) (report ())

@@ -14,11 +14,14 @@
     [Gc.counters] calls and one mutex-guarded table update; the
     [Alloc_bench] gate bounds the measured end-to-end overhead at < 3%.
 
-    Deviation (stdlib-only): OCaml's stdlib exposes no per-pause GC
-    timing, so [gc_major_cycle_gap_ns] records the gap between
-    consecutive major-cycle completions on the alarm's domain — cadence,
-    not pause duration.  [Runtime_events] would give true pause times and
-    is noted on the roadmap. *)
+    GC pause accounting: with [enable ~rtev:true], the {!Ctg_rtev}
+    consumer is started and installed as the tracer's pause source, so
+    every span is charged the real GC pause nanoseconds that landed
+    inside it ([pause_ns]; [total_ns - pause_ns] ≈ mutator work time).
+    [gc_major_cycle_gap_ns] remains as a {e cadence (fallback)} signal
+    for environments where the Runtime_events ring cannot start — it
+    measures the gap between consecutive major-cycle completions, not
+    pause duration. *)
 
 type row = {
   label : string;  (** Span name ([with_span]'s first argument). *)
@@ -27,12 +30,17 @@ type row = {
   promoted_words : float;
   major_words : float;
   total_ns : int;
+  pause_ns : int;
+      (** GC pause time charged to the label's spans (0 without [rtev]). *)
 }
 
-val enable : ?registry:Ctg_obs.Registry.t -> unit -> unit
+val enable : ?registry:Ctg_obs.Registry.t -> ?rtev:bool -> unit -> unit
 (** Idempotent.  With [registry], also registers
-    [gc_major_cycle_gap_ns] (histogram) and [gc_major_cycles_total]
-    (counter) and feeds them from the GC alarm. *)
+    [gc_major_cycle_gap_ns] (histogram, cadence fallback) and
+    [gc_major_cycles_total] (counter) and feeds them from the GC alarm.
+    With [rtev] (default false), starts the {!Ctg_rtev} consumer against
+    the same registry and charges per-span pause time via
+    {!Ctg_obs.Trace.set_pause_source}. *)
 
 val disable : unit -> unit
 (** Stop capturing (alarm deleted, observer unhooked).  Leaves span

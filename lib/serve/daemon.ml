@@ -12,6 +12,7 @@
 
 open Ctg_sync.Shim
 module Obs = Ctg_obs
+module Rtev = Ctg_rtev.Rtev
 module Assure = Ctg_assure
 module F = Ctg_falcon
 module Sig = Ctg_samplers.Sampler_sig
@@ -36,6 +37,9 @@ type config = {
   seed : string;
   key_seed : string;
   trace : bool;
+  rtev : bool;
+  rtev_custom : bool;
+  pause_budget_ms : float;
 }
 
 let default_config =
@@ -57,6 +61,9 @@ let default_config =
     seed = "ctg-serve";
     key_seed = "ctg-serve-key";
     trace = false;
+    rtev = false;
+    rtev_custom = false;
+    pause_budget_ms = 0.0;
   }
 
 type sign_request = {
@@ -86,6 +93,9 @@ type t = {
   master : Ctgauss.Sampler.t;
   batcher : (sign_request, sign_result) Batcher.t;
   lane_counter : int Atomic.t;
+  rtev_on : bool;  (* config.rtev and the runtime ring actually started *)
+  serve_gc_pause : Obs.Registry.histo option;
+  last_rid : string Atomic.t;  (* pause-exemplar attribution window *)
   mutable server : Http.server option;
   mutable stopped : bool;
   stop_mu : Mutex.t;
@@ -174,7 +184,7 @@ let run_batch_inner t (reqs : sign_request array) : sign_result array =
     (function Some r -> r | None -> failwith "Daemon.run_batch: missing result")
     out
 
-let run_batch t (reqs : sign_request array) : sign_result array =
+let run_batch_traced t (reqs : sign_request array) : sign_result array =
   Obs.Trace.with_span "batch" ~cat:"serve"
     ~args:(fun () ->
       [
@@ -195,6 +205,32 @@ let run_batch t (reqs : sign_request array) : sign_result array =
             ~args:(fun () -> [ ("request_id", r.rid) ]))
         reqs;
       run_batch_inner t reqs)
+
+(* Pause-charged latency split: alongside the batcher's queue-wait and
+   service histograms, [serve_gc_pause_ns] records the GC pause time that
+   landed during each batch run (the rtev cumulative counter sampled
+   around it, with an opportunistic consumer poll on each read), carrying
+   the batch's first request id as exemplar — a pause outlier in
+   /metrics links to a real request's trace slice. *)
+let run_batch t (reqs : sign_request array) : sign_result array =
+  match t.serve_gc_pause with
+  | None -> run_batch_traced t reqs
+  | Some h ->
+    let rid0 = if Array.length reqs > 0 then reqs.(0).rid else "" in
+    Atomic.set t.last_rid rid0;
+    let p0 = Rtev.pause_source_value () in
+    let finish () =
+      let dp = max 0 (Rtev.pause_source_value () - p0) in
+      Obs.Registry.observe_exemplar h dp rid0;
+      Atomic.set t.last_rid ""
+    in
+    (match run_batch_traced t reqs with
+    | res ->
+      finish ();
+      res
+    | exception e ->
+      finish ();
+      raise e)
 
 (* ------------------------------------------------------------------ *)
 (* Per-tenant metrics                                                  *)
@@ -325,8 +361,7 @@ let handle_tenants t =
    the batch span, whose [lanes] arg lists the coalesced lanes).  Arg
    matching avoids reconstructing a span tree — the ids were planted for
    exactly this query. *)
-let trace_slice rid =
-  let evs = Obs.Trace.events () in
+let trace_slice_events ~rid evs =
   let arg k (e : Obs.Trace.event) = List.assoc_opt k e.Obs.Trace.args in
   let lane =
     List.find_map
@@ -346,7 +381,35 @@ let trace_slice rid =
          | Some ls -> List.mem lane (String.split_on_char ',' ls)
          | None -> false)
     in
-    Some (List.filter keep evs)
+    let kept = List.filter keep evs in
+    (* Fold in the GC pause spans (rtev's synthetic per-domain tracks)
+       overlapping the request's wall-clock window, so the slice shows
+       the pauses that hit it. *)
+    let window =
+      List.fold_left
+        (fun acc (e : Obs.Trace.event) ->
+          let t0 = e.Obs.Trace.ts_ns in
+          let t1 = t0 + max 0 e.Obs.Trace.dur_ns in
+          match acc with
+          | None -> Some (t0, t1)
+          | Some (w0, w1) -> Some (min w0 t0, max w1 t1))
+        None kept
+    in
+    let gc =
+      match window with
+      | None -> []
+      | Some (w0, w1) ->
+        List.filter
+          (fun (e : Obs.Trace.event) ->
+            e.Obs.Trace.cat = "gc"
+            && e.Obs.Trace.ph = Obs.Trace.Complete
+            && e.Obs.Trace.ts_ns < w1
+            && e.Obs.Trace.ts_ns + e.Obs.Trace.dur_ns > w0)
+          evs
+    in
+    Some (kept @ gc)
+
+let trace_slice rid = trace_slice_events ~rid (Obs.Trace.events ())
 
 let handle_trace t req =
   if not t.config.trace then
@@ -434,6 +497,11 @@ let create ?(listen = true) config =
     Batcher.create ~registry ~linger:config.linger
       ~capacity:config.queue_capacity ~max_batch:config.max_batch ~run ()
   in
+  (* Start the rtev consumer before the record is built so its availability
+     decides whether the pause-charged split exists at all. *)
+  let rtev_on =
+    config.rtev && Rtev.start ~registry ~trace:config.trace ()
+  in
   let t =
     {
       config;
@@ -449,11 +517,36 @@ let create ?(listen = true) config =
       server = None;
       stopped = false;
       stop_mu = Mutex.create ();
+      rtev_on;
+      serve_gc_pause =
+        (if rtev_on then Some (Obs.Registry.histo registry "serve_gc_pause_ns")
+         else None);
+      last_rid = Atomic.make "";
       requests_histo_mu = Mutex.create ();
       tenant_handles = [];
     }
   in
   self := Some t;
+  if rtev_on then begin
+    Rtev.set_rid_source
+      (Some
+         (fun () ->
+           match Atomic.get t.last_rid with "" -> None | rid -> Some rid));
+    Rtev.install_trace_pause_source ();
+    (if config.pause_budget_ms > 0.0 then begin
+       Rtev.set_pause_budget_ns
+         (Some (int_of_float (config.pause_budget_ms *. 1e6)));
+       Assure.Monitor.add_check monitor ~name:"gc_pause_budget" (fun () ->
+           let b = Rtev.budget_breaches () in
+           if b > 0 then
+             Some
+               (Printf.sprintf "%d pause(s) over %gms budget" b
+                  config.pause_budget_ms)
+           else None)
+     end);
+    if config.rtev_custom then Rtev.enable_custom_spans ();
+    Rtev.start_poller ()
+  end;
   if listen then
     t.server <-
       Some
@@ -466,6 +559,7 @@ let port t =
 
 let registry t = t.registry
 let monitor t = t.monitor
+let rtev_active t = t.rtev_on
 let keyring t = t.keyring
 let batcher_shed t = Batcher.shed_count t.batcher
 let batches t = Batcher.batches t.batcher
@@ -490,6 +584,12 @@ let stop t =
       t.server <- None
     | None -> ());
     Batcher.shutdown t.batcher;
+    if t.rtev_on then begin
+      Rtev.set_rid_source None;
+      if t.config.pause_budget_ms > 0.0 then Rtev.set_pause_budget_ns None;
+      if t.config.rtev_custom then Rtev.disable_custom_spans ();
+      Rtev.stop ()
+    end;
     ignore (Assure.Drift.flush (Assure.Monitor.drift t.monitor));
     Ctg_engine.Workforce.shutdown t.workforce
   end

@@ -54,6 +54,23 @@ type config = {
   trace : bool;
       (** Enable {!Ctg_obs.Trace} at startup and serve [/v1/trace].
           Default off — spans cost one ring write each when on. *)
+  rtev : bool;
+      (** Consume the Runtime_events ring ({!Ctg_rtev.Rtev}): real
+          per-domain GC pause histograms in the registry, a
+          [serve_gc_pause_ns] pause-charged split per batch (first
+          request id as exemplar), a background poller, and — with
+          [trace] — GC pause spans merged into [/v1/trace] slices.
+          Default off. *)
+  rtev_custom : bool;
+      (** Additionally mirror every trace span begin/end as a
+          Runtime_events {e custom} event ([ctg.<name>], type [span])
+          for external tooling such as olly.  Implies nothing without
+          [rtev]. *)
+  pause_budget_ms : float;
+      (** When > 0 (and [rtev]), any single GC pause longer than this
+          budget registers a [gc_pause_budget] monitor failure — i.e.
+          [/healthz] flips 503 — and bumps
+          [gc_pause_budget_breaches_total]. *)
 }
 
 val default_config : config
@@ -82,6 +99,17 @@ val port : t -> int
 
 val registry : t -> Ctg_obs.Registry.t
 val monitor : t -> Ctg_assure.Monitor.t
+
+val rtev_active : t -> bool
+(** [config.rtev] and the Runtime_events ring actually started. *)
+
+val trace_slice_events :
+  rid:string -> Ctg_obs.Trace.event list -> Ctg_obs.Trace.event list option
+(** The pure slice filter behind [/v1/trace?request_id=R]: the events
+    carrying the request id or riding its lane's flow, plus every GC
+    pause span (cat ["gc"], complete) overlapping the slice's wall-clock
+    window.  [None] when the id matches nothing buffered. *)
+
 val keyring : t -> Keyring.t
 val config : t -> config
 

@@ -620,6 +620,154 @@ let test_daemon_trace_off_404 () =
   Serve.Daemon.stop d
 
 (* ------------------------------------------------------------------ *)
+(* runtime telemetry (rtev)                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Rtev = Ctg_rtev.Rtev
+
+let test_daemon_rtev_e2e () =
+  let d = Serve.Daemon.create { test_config with rtev = true; trace = true } in
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.disable ())
+    (fun () ->
+      Alcotest.(check bool) "runtime ring started" true
+        (Serve.Daemon.rtev_active d);
+      let port = Serve.Daemon.port d in
+      let rid = "rtev-rid-1" in
+      let r =
+        Client.one_shot ~port ~meth:"POST" ~path:"/v1/sign?tenant=alice"
+          ~headers:[ ("X-Request-Id", rid) ]
+          ~body:"rtev message" ()
+      in
+      Alcotest.(check int) "sign 200" 200 r.Client.status;
+      (* Force a stop-the-world pause while the daemon is live, then one
+         explicit consumer poll (the background poller is asynchronous). *)
+      Gc.compact ();
+      ignore (Rtev.poll ());
+      Alcotest.(check bool) "pauses decoded while serving" true
+        (Rtev.pause_count () > 0);
+      let metrics = Client.one_shot ~port ~meth:"GET" ~path:"/metrics" () in
+      Alcotest.(check int) "/metrics 200" 200 metrics.Client.status;
+      (match Promtext.parse metrics.Client.body with
+      | Error e -> Alcotest.failf "metrics not parseable: %s" e
+      | Ok items ->
+        Alcotest.(check bool) "serve_gc_pause_ns exposed" true
+          (Promtext.value items ~name:"serve_gc_pause_ns_count" ~labels:[]
+           <> None);
+        Alcotest.(check bool) "aggregate gc_pause_ns exposed" true
+          (Promtext.value items ~name:"gc_pause_ns_count" ~labels:[]
+           <> None));
+      (* The batch run carried its first request id into the pause-split
+         histogram as an exemplar — a pause outlier links to a request. *)
+      let h = Registry.histo (Serve.Daemon.registry d) "serve_gc_pause_ns" in
+      Alcotest.(check bool) "pause split keeps the rid exemplar" true
+        (List.exists (fun (_, id) -> id = rid) (Registry.exemplars h));
+      (* With tracing on, the request's slice can carry GC pause spans on
+         the synthetic per-domain tracks; the full export must have them
+         after a forced compaction. *)
+      let full = Client.one_shot ~port ~meth:"GET" ~path:"/v1/trace" () in
+      Alcotest.(check int) "full trace 200" 200 full.Client.status;
+      (match Jsonx.parse full.Client.body with
+      | Error e -> Alcotest.failf "trace JSON: %s" e
+      | Ok j ->
+        let evs =
+          match Option.bind (Jsonx.member "traceEvents" j) Jsonx.to_list with
+          | Some l -> l
+          | None -> Alcotest.fail "trace without traceEvents"
+        in
+        Alcotest.(check bool) "GC pause spans in the live trace" true
+          (List.exists
+             (fun e ->
+               match Jsonx.member "cat" e with
+               | Some (Jsonx.Str "gc") -> true
+               | _ -> false)
+             evs));
+      Serve.Daemon.stop d)
+
+let test_daemon_pause_budget_flips_healthz () =
+  (* A 1 ns budget: the first real pause breaches it, the monitor check
+     fails and /healthz flips 503. *)
+  let d =
+    Serve.Daemon.create
+      { test_config with rtev = true; pause_budget_ms = 1e-6 }
+  in
+  Alcotest.(check bool) "runtime ring started" true
+    (Serve.Daemon.rtev_active d);
+  let port = Serve.Daemon.port d in
+  let r =
+    Client.one_shot ~port ~meth:"POST" ~path:"/v1/sign?tenant=alice"
+      ~body:"budget message" ()
+  in
+  Alcotest.(check int) "sign 200" 200 r.Client.status;
+  Gc.compact ();
+  ignore (Rtev.poll ());
+  Alcotest.(check bool) "budget breaches recorded" true
+    (Rtev.budget_breaches () > 0);
+  Alcotest.(check bool) "breach counter in the daemon registry" true
+    (Registry.value
+       (Registry.counter (Serve.Daemon.registry d)
+          "gc_pause_budget_breaches_total")
+     > 0);
+  Alcotest.(check bool) "gc_pause_budget check failing" true
+    (List.mem "gc_pause_budget"
+       (Ctg_assure.Monitor.failing_monitors (Serve.Daemon.monitor d)));
+  let health = Client.one_shot ~port ~meth:"GET" ~path:"/healthz" () in
+  Alcotest.(check int) "healthz 503 on budget breach" 503 health.Client.status;
+  Serve.Daemon.stop d
+
+let test_trace_slice_includes_gc_spans () =
+  (* Pure unit test of the slice filter: the request/batch events are
+     kept by arg matching, and exactly the GC pause spans overlapping the
+     slice's wall-clock window ride along. *)
+  let ev ?(args = []) ?(cat = "serve") ?(dur = 10) ~ts name =
+    {
+      Obs.Trace.name;
+      cat;
+      ph = Obs.Trace.Complete;
+      ts_ns = ts;
+      dur_ns = dur;
+      tid = 1;
+      id = -1;
+      args;
+    }
+  in
+  let evs =
+    [
+      ev ~ts:1_000 ~dur:100
+        ~args:[ ("request_id", "r1"); ("lane", "7") ]
+        "request";
+      ev ~ts:1_020 ~dur:50 ~args:[ ("lanes", "7,9") ] "batch";
+      (* Overlaps the [1000, 1100] window. *)
+      ev ~ts:1_050 ~dur:20 ~cat:"gc" "gc:stw_leader";
+      (* Straddles the window start. *)
+      ev ~ts:990 ~dur:15 ~cat:"gc" "gc:minor";
+      (* Far outside the window: must not ride along. *)
+      ev ~ts:5_000 ~dur:20 ~cat:"gc" "gc:stw_leader";
+      ev ~ts:2_000 ~dur:5
+        ~args:[ ("request_id", "r2"); ("lane", "8") ]
+        "request";
+    ]
+  in
+  (match Serve.Daemon.trace_slice_events ~rid:"r1" evs with
+  | None -> Alcotest.fail "slice missing"
+  | Some kept ->
+    let names = List.map (fun e -> e.Obs.Trace.name) kept in
+    Alcotest.(check bool) "request kept" true (List.mem "request" names);
+    Alcotest.(check bool) "batch kept via lanes arg" true
+      (List.mem "batch" names);
+    Alcotest.(check bool) "other request excluded" true
+      (not
+         (List.exists
+            (fun e ->
+              List.assoc_opt "request_id" e.Obs.Trace.args = Some "r2")
+            kept));
+    let gcs = List.filter (fun e -> e.Obs.Trace.cat = "gc") kept in
+    Alcotest.(check int) "exactly the overlapping gc spans" 2
+      (List.length gcs));
+  Alcotest.(check bool) "unknown rid is None" true
+    (Serve.Daemon.trace_slice_events ~rid:"zzz" evs = None)
+
+(* ------------------------------------------------------------------ *)
 (* client retry policy                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -778,5 +926,14 @@ let () =
             test_daemon_trace_slice_e2e;
           Alcotest.test_case "/v1/trace 404 when tracing off" `Quick
             test_daemon_trace_off_404;
+        ] );
+      ( "rtev",
+        [
+          Alcotest.test_case "live e2e: pause split, exemplar, gc spans"
+            `Quick test_daemon_rtev_e2e;
+          Alcotest.test_case "pause budget flips healthz" `Quick
+            test_daemon_pause_budget_flips_healthz;
+          Alcotest.test_case "trace slice carries overlapping gc spans"
+            `Quick test_trace_slice_includes_gc_spans;
         ] );
     ]
